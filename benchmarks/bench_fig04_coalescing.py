@@ -1,0 +1,42 @@
+"""Figure 4: events produced vs remaining after coalescing, per round.
+
+The paper runs PageRank on LiveJournal and shows that "over 90% of the
+events are eliminated via coalescing multiple events destined to the
+same vertex".  This benchmark reproduces the two series (total events
+produced each round — blue in the paper — and events remaining after
+coalescing — orange) on the LJ proxy, and asserts the headline
+elimination rate.
+"""
+
+from conftest import publish
+
+from repro.analysis import format_series, prepare_workload
+from repro.core import FunctionalGraphPulse
+
+
+def regenerate_figure4():
+    graph, spec = prepare_workload("LJ", "pagerank", scale=0.5)
+    result = FunctionalGraphPulse(graph, spec).run()
+    produced = [float(r.events_produced) for r in result.rounds]
+    remaining = [float(r.events_remaining) for r in result.rounds]
+    text = format_series(
+        {"produced": produced, "remaining_after_coalescing": remaining},
+        x_label="round",
+        title=(
+            "Figure 4 (measured): PageRank on LJ proxy — events produced "
+            "vs remaining after coalescing"
+        ),
+    )
+    publish("fig04_coalescing", text)
+    return result
+
+
+def test_fig04_event_coalescing(benchmark):
+    result = benchmark.pedantic(regenerate_figure4, rounds=1, iterations=1)
+    # paper: >90% of events eliminated on LiveJournal
+    assert result.coalesce_rate() > 0.80
+    # the remaining population is far below production in every busy round
+    busy = [r for r in result.rounds if r.events_produced > 1000]
+    assert busy, "run produced no busy rounds"
+    for record in busy:
+        assert record.events_remaining < record.events_produced

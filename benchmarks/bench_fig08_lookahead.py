@@ -1,0 +1,65 @@
+"""Figure 8: degree of lookahead in events processed in each round.
+
+With a 256-bin queue running PageRank-Delta on LiveJournal, the paper
+shows that coalesced events quickly compound "the effects of hundreds of
+previous iterations of events in a single round" — bucketed as 0, <100,
+<200, <300, <400, >400.  This benchmark reproduces the per-round
+histogram on the LJ proxy with the same 256-bin queue geometry.
+"""
+
+from conftest import publish
+
+from repro.analysis import format_table, prepare_workload
+from repro.core import LOOKAHEAD_BUCKETS, FunctionalGraphPulse
+
+BUCKET_ORDER = ["0"] + [f"<{b}" for b in LOOKAHEAD_BUCKETS[1:]] + [
+    f">{LOOKAHEAD_BUCKETS[-1]}"
+]
+
+
+def regenerate_figure8():
+    graph, spec = prepare_workload("LJ", "pagerank", scale=0.5)
+    result = FunctionalGraphPulse(
+        graph,
+        spec,
+        num_bins=256,
+        block_size=8,  # queue geometry scaled with the proxy graph
+        track_lookahead=True,
+    ).run()
+    rows = []
+    for record in result.rounds:
+        histogram = record.lookahead_histogram
+        rows.append(
+            [record.round_index]
+            + [histogram.get(bucket, 0) for bucket in BUCKET_ORDER]
+        )
+    table = format_table(
+        ["round"] + BUCKET_ORDER,
+        rows,
+        title=(
+            "Figure 8 (measured): lookahead of events processed per round "
+            "(256-bin queue, PageRank on LJ proxy)"
+        ),
+    )
+    publish("fig08_lookahead", table)
+    return result
+
+
+def test_fig08_lookahead_distribution(benchmark):
+    result = benchmark.pedantic(regenerate_figure8, rounds=1, iterations=1)
+    total_ahead = 0
+    deep_ahead = 0
+    for record in result.rounds:
+        for bucket, count in record.lookahead_histogram.items():
+            if bucket != "0":
+                total_ahead += count
+            if bucket in (">400", "<400", "<300", "<200", "<100"):
+                deep_ahead += count if bucket != "0" else 0
+    # asynchronous execution compounds work across iterations
+    assert total_ahead > 0
+    # lookahead grows across rounds: later rounds see deeper compounding
+    later = result.rounds[len(result.rounds) // 2]
+    deep_buckets = {
+        b: c for b, c in later.lookahead_histogram.items() if b != "0"
+    }
+    assert sum(deep_buckets.values()) > 0

@@ -1,0 +1,111 @@
+"""Figure 14: time breakdown of processors and generation units.
+
+The paper plots, per workload, the fraction of execution time the
+processors spend in {vertex read, process, stall, idle} and the
+generation units spend in {edge read, generate, stall, idle}, observing
+that generation units are dominated by edge reads while processors
+mostly wait on generators.
+
+This benchmark regenerates both breakdowns from the cycle-level model's
+occupancy counters.
+"""
+
+import pytest
+from conftest import publish
+
+from repro.analysis import format_table, prepare_workload
+from repro.core import GraphPulseAccelerator
+
+CYCLE_SCALES = {"WG": 0.06, "FB": 0.05, "LJ": 0.04}
+
+WORKLOADS = [
+    ("pagerank", "WG"),
+    ("pagerank", "FB"),
+    ("pagerank", "LJ"),
+    ("sssp", "LJ"),
+    ("cc", "LJ"),
+]
+
+_RESULTS = {}
+
+
+def run_cycle_model(algorithm, dataset):
+    graph, spec = prepare_workload(
+        dataset, algorithm, scale=CYCLE_SCALES[dataset]
+    )
+    return GraphPulseAccelerator(graph, spec).run()
+
+
+@pytest.mark.parametrize("algorithm,dataset", WORKLOADS)
+def test_fig14_occupancy(benchmark, algorithm, dataset):
+    result = benchmark.pedantic(
+        lambda: run_cycle_model(algorithm, dataset), rounds=1, iterations=1
+    )
+    _RESULTS[(algorithm, dataset)] = result
+    cfg = result.config
+    proc = result.occupancy.processor_fractions(
+        result.total_cycles, cfg.num_processors
+    )
+    gen = result.occupancy.generator_fractions(
+        result.total_cycles, cfg.total_generation_streams
+    )
+    assert sum(proc.values()) == pytest.approx(1.0)
+    assert sum(gen.values()) == pytest.approx(1.0)
+    # generators spend more of their busy time on edge reads + generation
+    # than processors spend computing (the paper's asymmetry)
+    assert gen["edge_read"] + gen["generate"] > 0
+
+
+def test_fig14_render_table(benchmark):
+    def render():
+        rows = []
+        for algorithm, dataset in WORKLOADS:
+            result = _RESULTS.get((algorithm, dataset))
+            if result is None:
+                result = run_cycle_model(algorithm, dataset)
+            cfg = result.config
+            proc = result.occupancy.processor_fractions(
+                result.total_cycles, cfg.num_processors
+            )
+            gen = result.occupancy.generator_fractions(
+                result.total_cycles, cfg.total_generation_streams
+            )
+            rows.append(
+                [
+                    algorithm,
+                    dataset,
+                    proc["vertex_read"],
+                    proc["process"],
+                    proc["stall"],
+                    proc["idle"],
+                    gen["edge_read"],
+                    gen["generate"],
+                    gen["stall"],
+                    gen["idle"],
+                ]
+            )
+        table = format_table(
+            [
+                "algorithm",
+                "graph",
+                "P:vtx-read",
+                "P:process",
+                "P:stall",
+                "P:idle",
+                "G:edge-read",
+                "G:generate",
+                "G:stall",
+                "G:idle",
+            ],
+            rows,
+            title=(
+                "Figure 14 (measured): processor (P) and generator (G) "
+                "time-fraction breakdown"
+            ),
+            float_format="{:.3f}",
+        )
+        publish("fig14_time_breakdown", table)
+        return rows
+
+    rows = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert len(rows) == len(WORKLOADS)

@@ -1,0 +1,62 @@
+"""Extension study: multi-accelerator slicing (Section IV-F, option b).
+
+The paper processes slices one at a time (option a) and leaves "multiple
+accelerator chips ... streaming inter-slice events in real-time" as an
+unexplored alternative.  This benchmark runs PageRank on the TW proxy
+with 1/2/4/8 parallel accelerators, measuring sequential steps (the
+parallel analogue of rounds), inter-accelerator messages and load
+balance.
+"""
+
+import numpy as np
+from conftest import publish
+
+from repro.analysis import format_table, prepare_workload
+from repro.core import FunctionalGraphPulse, ParallelSlicedGraphPulse
+from repro.graph import contiguous_partition
+
+
+def run_scaling_sweep():
+    graph, spec = prepare_workload("TW", "pagerank", scale=0.03)
+    single = FunctionalGraphPulse(graph, spec).run()
+    rows = [["1 (monolithic)", single.num_rounds, 0, "1.00"]]
+    results = {1: None}
+    for num_accels in (2, 4, 8):
+        partition = contiguous_partition(graph, num_accels)
+        result = ParallelSlicedGraphPulse(partition, spec).run()
+        assert np.allclose(result.values, single.values, atol=1e-7)
+        results[num_accels] = result
+        rows.append(
+            [
+                str(num_accels),
+                result.num_super_rounds,
+                result.total_messages,
+                f"{result.load_balance():.2f}",
+            ]
+        )
+    table = format_table(
+        [
+            "accelerators",
+            "sequential steps",
+            "inter-chip messages",
+            "load balance",
+        ],
+        rows,
+        title=(
+            "Extension (measured): multi-accelerator scaling, PageRank "
+            "on TW proxy"
+        ),
+    )
+    publish("multi_accelerator", table)
+    return results
+
+
+def test_multi_accelerator_scaling(benchmark):
+    results = benchmark.pedantic(run_scaling_sweep, rounds=1, iterations=1)
+    # more chips -> more inter-chip traffic (cut grows)
+    assert (
+        results[8].total_messages >= results[2].total_messages
+    )
+    for num_accels in (2, 4, 8):
+        assert results[num_accels].converged
+        assert 0.0 < results[num_accels].load_balance() <= 1.0

@@ -1,0 +1,72 @@
+"""Section IV-F: slicing overhead for graphs exceeding on-chip capacity.
+
+The paper splits Twitter into 3 slices and notes it still "achieves
+comparable speedup to the other graphs, despite the overhead of
+switching between active slices".  This benchmark runs PageRank on the
+TW proxy unsliced and with 2/3/5 slices, reporting the spill traffic
+overhead and verifying the fixed point never changes.
+"""
+
+import numpy as np
+from conftest import publish
+
+from repro.analysis import format_table, prepare_workload
+from repro.core import FunctionalGraphPulse, SlicedGraphPulse
+from repro.graph import contiguous_partition
+
+
+def run_slicing_sweep():
+    graph, spec = prepare_workload("TW", "pagerank", scale=0.04)
+    unsliced = FunctionalGraphPulse(graph, spec).run()
+    rows = [
+        [
+            "unsliced",
+            0.0,
+            0.0,
+            unsliced.traffic.total_bytes_fetched / 1e6,
+            0.0,
+        ]
+    ]
+    results = {}
+    for num_slices in (2, 3, 5):
+        partition = contiguous_partition(graph, num_slices)
+        result = SlicedGraphPulse(partition, spec).run()
+        assert np.allclose(result.values, unsliced.values, atol=1e-7)
+        results[num_slices] = result
+        rows.append(
+            [
+                f"{num_slices} slices",
+                partition.cut_fraction(),
+                result.total_spill_bytes / 1e6,
+                result.traffic.total_bytes_fetched / 1e6,
+                result.spill_overhead(),
+            ]
+        )
+    table = format_table(
+        [
+            "configuration",
+            "cut fraction",
+            "spill MB",
+            "graph traffic MB",
+            "spill overhead",
+        ],
+        rows,
+        title=(
+            "Section IV-F (measured): slicing overhead, PageRank on TW "
+            "proxy"
+        ),
+    )
+    publish("slicing_overhead", table)
+    return results
+
+
+def test_slicing_overhead(benchmark):
+    results = benchmark.pedantic(run_slicing_sweep, rounds=1, iterations=1)
+    # more slices -> more boundary crossings -> more spill traffic
+    assert (
+        results[5].total_spill_bytes >= results[2].total_spill_bytes
+    )
+    # but the overhead stays a bounded fraction of total traffic
+    for result in results.values():
+        assert result.spill_overhead() < 0.9
+        assert result.converged

@@ -1,0 +1,61 @@
+"""Table I: access-pattern comparison of graph processing models.
+
+The paper's Table I qualitatively contrasts Pull, Push and GraphPulse on
+random reads/writes, synchronization, active-set tracking and atomics.
+This benchmark measures those quantities for a PageRank run on a
+power-law proxy across all four modelled paradigms (push, pull,
+edge-centric, event-driven) and prints the measured counts.
+
+Expected shape: pull has the most random reads; push/edge-centric need
+one atomic per traversed edge; the event-driven model needs no atomics,
+no barriers and no active-set bookkeeping.
+"""
+
+from conftest import publish
+
+from repro.analysis import format_table, prepare_workload
+from repro.baselines import profile_models
+
+
+def regenerate_table1():
+    graph, spec = prepare_workload("WG", "pagerank", scale=0.2)
+    profiles = profile_models(graph, spec)
+    order = ["pull", "push", "edge-centric", "event-driven"]
+    rows = []
+    for name in order:
+        p = profiles[name]
+        rows.append(
+            [
+                name,
+                p.random_reads,
+                p.random_writes,
+                p.atomic_updates,
+                p.synchronizations,
+                p.active_set_ops,
+            ]
+        )
+    table = format_table(
+        [
+            "model",
+            "rand reads",
+            "rand writes",
+            "atomics",
+            "barriers",
+            "active-set ops",
+        ],
+        rows,
+        title="Table I (measured): PageRank on WG proxy",
+    )
+    publish("table1_models", table)
+    return profiles
+
+
+def test_table1_model_comparison(benchmark):
+    profiles = benchmark.pedantic(regenerate_table1, rounds=1, iterations=1)
+    event = profiles["event-driven"]
+    # the paper's claims, asserted
+    assert event.atomic_updates == 0
+    assert event.synchronizations == 0
+    assert event.active_set_ops == 0
+    assert profiles["pull"].random_reads > event.random_reads
+    assert profiles["push"].atomic_updates > 0

@@ -1,0 +1,81 @@
+"""Table V + Section VI-B energy: power, area and energy efficiency.
+
+Regenerates the paper's Table V (per-component static/dynamic power and
+area) from the activity counters of an actual simulated PageRank run,
+and the Section VI-B headline that GraphPulse is ~280x more
+energy-efficient than the software framework (accelerator power x
+accelerator time vs CPU package power x Ligra time, DRAM excluded on
+both sides as in the paper).
+"""
+
+from conftest import get_comparison, publish
+
+from repro.analysis import format_table
+from repro.power import PowerModel, energy_efficiency_ratio
+
+
+def regenerate_table5():
+    comparison = get_comparison("LJ", "pagerank")
+    functional = comparison.functional
+    runtime = comparison.graphpulse.seconds
+
+    report = PowerModel().report(
+        runtime_seconds=runtime,
+        queue_ops=functional.total_events_produced
+        + functional.total_events_processed,
+        scratchpad_ops=functional.traffic.vertex_reads
+        + functional.traffic.vertex_writes,
+        network_ops=functional.total_events_produced,
+        processing_ops=functional.total_events_processed,
+    )
+
+    rows = [
+        [
+            name,
+            int(row["count"]),
+            row["static_mw"],
+            row["dynamic_mw"],
+            row["total_mw"],
+            row["area_mm2"],
+        ]
+        for name, row in report.rows.items()
+    ]
+    rows.append(
+        [
+            "TOTAL",
+            "-",
+            report.total_static_mw,
+            report.total_dynamic_mw,
+            report.total_static_mw + report.total_dynamic_mw,
+            report.total_area_mm2,
+        ]
+    )
+    efficiency = energy_efficiency_ratio(
+        report, software_seconds=comparison.ligra.seconds
+    )
+    table = format_table(
+        ["component", "#", "static mW", "dynamic mW", "total mW", "area mm2"],
+        rows,
+        title=(
+            "Table V (regenerated): power and area of accelerator "
+            "components\n"
+            f"energy efficiency vs software: {efficiency:.0f}x "
+            "(paper: 280x)"
+        ),
+    )
+    publish("table5_power_area", table)
+    return report, efficiency
+
+
+def test_table5_power_area(benchmark):
+    report, efficiency = benchmark.pedantic(
+        regenerate_table5, rounds=1, iterations=1
+    )
+    # Table V shape: the queue dominates both power and area
+    queue = report.rows["queue"]
+    for name, row in report.rows.items():
+        if name != "queue":
+            assert queue["total_mw"] > row["total_mw"]
+            assert queue["area_mm2"] > row["area_mm2"]
+    # the accelerator is orders of magnitude more energy-efficient
+    assert efficiency > 20

@@ -1,0 +1,59 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (Section VI).  Results are printed and also written to
+``benchmarks/results/<name>.txt`` so a full run leaves the regenerated
+artifacts on disk.
+
+Workload scales
+---------------
+The proxies (see ``repro.graph.datasets``) are already scaled-down
+stand-ins for the Table IV graphs; the benchmark harness scales them
+further so a full sweep finishes in minutes of pure Python.  The scale
+factors below keep every dataset's *relative* size ordering (TW largest,
+WG smallest workload per edge) while bounding per-run cost.  Figures
+that need the full proxy (4, 8) use scale 1.0 on their single workload.
+"""
+
+import os
+from pathlib import Path
+
+from repro.analysis import run_comparison
+
+#: per-dataset extra scaling for the 5x5 sweep benchmarks
+SWEEP_SCALES = {
+    "WG": 0.35,
+    "FB": 0.25,
+    "WK": 0.25,
+    "LJ": 0.20,
+    "TW": 0.05,
+}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_COMPARISON_CACHE = {}
+
+
+def get_comparison(dataset: str, algorithm: str):
+    """Run (or reuse) the cross-system comparison for one workload.
+
+    Figures 10, 11 and 12 all read the same sweep; caching makes the
+    harness run each workload once.
+    """
+    key = (dataset, algorithm)
+    if key not in _COMPARISON_CACHE:
+        _COMPARISON_CACHE[key] = run_comparison(
+            dataset,
+            algorithm,
+            scale=SWEEP_SCALES[dataset],
+            verify=False,
+        )
+    return _COMPARISON_CACHE[key]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Mapping a new algorithm onto GraphPulse (Section III-B).
+
+The paper's programming interface asks the user for four things:
+propagate, reduce, the initial vertex value (the reduce identity) and
+the initial event deltas.  Any algorithm whose reduce operator is
+commutative + associative with an identity, and whose propagate
+distributes over it, runs unmodified on every engine in this repository.
+
+This example adds *Single-Source Widest Path* (maximum-bottleneck
+routing: the best path is the one whose weakest edge is strongest),
+which is not in the paper's Table II — demonstrating that the interface
+generalizes:
+
+    propagate(delta) = min(delta, E_ij)     # path bottleneck
+    reduce           = max                  # keep the best bottleneck
+    identity         = -inf
+    initial delta    = +inf at the root
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmSpec
+from repro.core import FunctionalGraphPulse, GraphPulseAccelerator
+from repro.graph import random_weights, rmat_graph
+
+
+def make_widest_path(root: int) -> AlgorithmSpec:
+    """Single-source widest path as a delta-accumulative spec."""
+
+    def reduce_fn(state: float, delta: float) -> float:
+        return max(state, delta)
+
+    def propagate_fn(delta, src, dst, weight, out_degree):
+        return min(delta, weight)
+
+    def initial_delta(vertex, graph):
+        return math.inf if vertex == root else -math.inf
+
+    return AlgorithmSpec(
+        name="widest-path",
+        reduce=reduce_fn,
+        propagate=propagate_fn,
+        identity=-math.inf,
+        initial_delta=initial_delta,
+        should_propagate=lambda change: True,
+        uses_weights=True,
+        additive=False,
+        description=f"maximum-bottleneck path widths from vertex {root}",
+    )
+
+
+def widest_path_reference(graph, root):
+    """Golden oracle: Dijkstra variant maximizing the bottleneck."""
+    import heapq
+
+    width = np.full(graph.num_vertices, -math.inf)
+    width[root] = math.inf
+    heap = [(-math.inf, root)]  # max-heap by negated width
+    while heap:
+        negative, u = heapq.heappop(heap)
+        if -negative < width[u]:
+            continue
+        for v, w in zip(
+            graph.neighbors(u).tolist(), graph.edge_weights(u).tolist()
+        ):
+            candidate = min(width[u], w)
+            if candidate > width[v]:
+                width[v] = candidate
+                heapq.heappush(heap, (-candidate, v))
+    return width
+
+
+def main():
+    g = random_weights(rmat_graph(1_000, 8_000, seed=3), low=1, high=100)
+    root = int(np.argmax(g.out_degrees()))
+    spec = make_widest_path(root)
+
+    result = FunctionalGraphPulse(g, spec).run()
+    reference = widest_path_reference(g, root)
+    reachable = np.isfinite(reference) & (reference > -math.inf)
+    assert np.allclose(result.values[reachable], reference[reachable])
+    print(
+        f"widest-path from v{root}: {int(reachable.sum())} reachable "
+        f"vertices, verified against Dijkstra oracle"
+    )
+    print(
+        f"functional engine: {result.num_rounds} rounds, "
+        f"{result.total_events_processed:,} events "
+        f"({result.coalesce_rate():.0%} coalesced away)"
+    )
+
+    # the same spec runs unmodified on the cycle-level accelerator
+    cycle = GraphPulseAccelerator(g, spec).run()
+    assert np.array_equal(cycle.values, result.values)
+    print(
+        f"cycle model: {cycle.total_cycles:,} cycles "
+        f"({cycle.seconds * 1e6:.0f} us at 1 GHz), "
+        f"{cycle.offchip_bytes / 1e6:.1f} MB off-chip"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""GraphPulse reproduction: event-driven asynchronous graph processing.
+
+Reproduction of *GraphPulse: An Event-Driven Hardware Accelerator for
+Asynchronous Graph Processing* (Rahman, Abu-Ghazaleh, Gupta -- MICRO
+2020), built entirely in Python: the accelerator (functional and
+cycle-level models), its memory/network substrates, the software and
+accelerator baselines it is compared against, and the benchmark harness
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import graph, algorithms
+    from repro.core import FunctionalGraphPulse
+
+    g = graph.rmat_graph(1024, 8192, seed=1)
+    spec = algorithms.get_algorithm("pagerank", g)
+    result = FunctionalGraphPulse(g, spec).run()
+    print(result.values[:5], result.num_rounds)
+"""
+
+from . import algorithms, analysis, baselines, core, graph, memory, network, power, sim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "baselines",
+    "core",
+    "graph",
+    "memory",
+    "network",
+    "power",
+    "sim",
+    "__version__",
+]

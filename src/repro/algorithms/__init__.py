@@ -1,0 +1,57 @@
+"""Delta-accumulative algorithm specs (Table II) and golden references."""
+
+from .base import (
+    AlgorithmSpec,
+    ApplyResult,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+)
+from .adsorption import (
+    injection_values,
+    make_adsorption,
+    normalize_inbound_weights,
+)
+from .bfs import make_bfs, make_bfs_reachability
+from .connected_components import make_connected_components, symmetrize
+from .linear_solver import (
+    jacobi_reference,
+    make_linear_solver,
+    system_from_matrix,
+)
+from .pagerank import make_pagerank_delta
+from .reference import (
+    adsorption_reference,
+    bfs_reference,
+    connected_components_reference,
+    pagerank_reference,
+    reference_for,
+    sssp_reference,
+)
+from .sssp import make_sssp
+
+__all__ = [
+    "AlgorithmSpec",
+    "ApplyResult",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
+    "make_pagerank_delta",
+    "make_adsorption",
+    "normalize_inbound_weights",
+    "injection_values",
+    "make_sssp",
+    "make_bfs",
+    "make_bfs_reachability",
+    "make_connected_components",
+    "symmetrize",
+    "make_linear_solver",
+    "system_from_matrix",
+    "jacobi_reference",
+    "pagerank_reference",
+    "adsorption_reference",
+    "sssp_reference",
+    "bfs_reference",
+    "connected_components_reference",
+    "reference_for",
+]

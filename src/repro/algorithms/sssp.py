@@ -1,0 +1,68 @@
+"""Single-Source Shortest Paths in delta-accumulative form (Table II).
+
+Table II row ``SSSP``:
+
+    propagate(delta) = E_ij + delta
+    reduce           = min
+    V_init           = +inf
+    DeltaV_init      = 0 for the root, +inf otherwise
+
+``min`` is commutative/associative with identity ``+inf``, so events
+coalesce by keeping the shortest tentative distance.  A vertex propagates
+whenever its distance improves (monotonic algorithms have no magnitude
+threshold).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..graph import CSRGraph
+from .base import AlgorithmSpec, register_algorithm
+
+__all__ = ["make_sssp", "INFINITY"]
+
+INFINITY = math.inf
+
+
+@register_algorithm("sssp")
+def make_sssp(
+    graph: Optional[CSRGraph] = None,
+    *,
+    root: int = 0,
+) -> AlgorithmSpec:
+    """Build the SSSP spec rooted at ``root``.
+
+    The graph should carry non-negative edge weights; unweighted graphs
+    fall back to unit weights through ``CSRGraph.edge_weights``.
+    """
+    if root < 0:
+        raise ValueError("root must be a valid vertex id")
+
+    def reduce_fn(state: float, delta: float) -> float:
+        return min(state, delta)
+
+    def propagate_fn(
+        delta: float, src: int, dst: int, weight: float, out_degree: int
+    ) -> float:
+        return weight + delta
+
+    def initial_delta(vertex: int, g: CSRGraph) -> float:
+        return 0.0 if vertex == root else INFINITY
+
+    def should_propagate(change: float) -> bool:
+        return True
+
+    return AlgorithmSpec(
+        name="sssp",
+        reduce=reduce_fn,
+        propagate=propagate_fn,
+        identity=INFINITY,
+        initial_delta=initial_delta,
+        should_propagate=should_propagate,
+        uses_weights=True,
+        additive=False,
+        comparison_tolerance=1e-9,
+        description=f"Single-source shortest paths from vertex {root}",
+    )

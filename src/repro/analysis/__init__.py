@@ -1,0 +1,26 @@
+"""Experiment orchestration, throughput timing and report formatting."""
+
+from .experiments import (
+    ALGORITHMS,
+    ComparisonResult,
+    prepare_workload,
+    run_comparison,
+)
+from .report import format_series, format_table, geometric_mean
+from .sweep import SweepResult, run_sweep
+from .throughput import TimingBreakdown, time_graphicionado, time_graphpulse
+
+__all__ = [
+    "ALGORITHMS",
+    "ComparisonResult",
+    "prepare_workload",
+    "run_comparison",
+    "format_table",
+    "format_series",
+    "geometric_mean",
+    "SweepResult",
+    "run_sweep",
+    "TimingBreakdown",
+    "time_graphpulse",
+    "time_graphicionado",
+]

@@ -1,0 +1,203 @@
+"""End-to-end experiment runner shared by the benchmark harness.
+
+One *workload* is a (dataset, algorithm) pair from the paper's
+evaluation matrix (Table IV x the five algorithms).  This module owns
+the workload preparation conventions (SSSP gets random weights, CC runs
+on the symmetrized graph, Adsorption on inbound-normalized weights) and
+runs the full cross-system comparison behind Figure 10/11/12:
+GraphPulse optimized + baseline (functional engine + throughput timing),
+Graphicionado (BSP engine + throughput timing) and Ligra (instrumented
+framework + CPU cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .. import algorithms
+from ..algorithms.base import AlgorithmSpec
+from ..baselines import LigraEngine, LigraResult, SynchronousDeltaEngine
+from ..core.config import baseline_config, optimized_config
+from ..core.functional import FunctionalGraphPulse, FunctionalResult
+from ..graph import CSRGraph, load_dataset
+from ..graph.datasets import DATASETS
+from .throughput import TimingBreakdown, time_graphicionado, time_graphpulse
+
+__all__ = [
+    "ALGORITHMS",
+    "prepare_workload",
+    "run_comparison",
+    "ComparisonResult",
+]
+
+#: the paper's five evaluated algorithms, in Figure 10 order
+ALGORITHMS = ("pagerank", "adsorption", "sssp", "bfs", "cc")
+
+
+def prepare_workload(
+    dataset: str,
+    algorithm: str,
+    *,
+    scale: float = 1.0,
+    root: Optional[int] = None,
+) -> Tuple[CSRGraph, AlgorithmSpec]:
+    """Materialize a dataset proxy prepared for one algorithm.
+
+    Applies the paper's preprocessing conventions: random edge weights
+    for SSSP; random weights normalized per-vertex inbound for
+    Adsorption; symmetrization for Connected Components.  Traversal
+    roots default to the highest-out-degree vertex so the traversal
+    covers the giant component (synthetic proxies have no canonical
+    root ids).
+    """
+    if algorithm not in ALGORITHMS and algorithm != "bfs-reachability":
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    weighted = algorithm in ("sssp", "adsorption")
+    graph = load_dataset(dataset, scale=scale, weighted=weighted)
+    if algorithm == "adsorption":
+        graph = algorithms.normalize_inbound_weights(graph)
+    elif algorithm == "cc":
+        graph = algorithms.symmetrize(graph)
+    if algorithm in ("sssp", "bfs", "bfs-reachability"):
+        if root is None:
+            root = int(np.argmax(graph.out_degrees()))
+        spec = algorithms.get_algorithm(algorithm, graph, root=root)
+    else:
+        spec = algorithms.get_algorithm(algorithm, graph)
+    return graph, spec
+
+
+@dataclass
+class ComparisonResult:
+    """All systems' measurements for one workload."""
+
+    dataset: str
+    algorithm: str
+    graph: CSRGraph
+    functional: FunctionalResult
+    graphpulse: TimingBreakdown
+    graphpulse_baseline: TimingBreakdown
+    graphicionado: TimingBreakdown
+    ligra: LigraResult
+    bsp_iterations: int
+
+    # ------------------------------------------------------------------
+    @property
+    def speedup_over_ligra(self) -> float:
+        """Figure 10's primary series (GraphPulse optimized vs Ligra)."""
+        return self.ligra.seconds / self.graphpulse.seconds
+
+    @property
+    def baseline_speedup_over_ligra(self) -> float:
+        return self.ligra.seconds / self.graphpulse_baseline.seconds
+
+    @property
+    def speedup_over_graphicionado(self) -> float:
+        return self.graphicionado.seconds / self.graphpulse.seconds
+
+    @property
+    def traffic_vs_graphicionado(self) -> float:
+        """Figure 11: GraphPulse off-chip bytes / Graphicionado's."""
+        denominator = self.graphicionado.offchip_bytes
+        return (
+            self.graphpulse.offchip_bytes / denominator
+            if denominator
+            else 0.0
+        )
+
+    @property
+    def data_utilization(self) -> float:
+        """Figure 12: fraction of fetched off-chip data utilized."""
+        return self.functional.traffic.utilization()
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "speedup_vs_ligra": self.speedup_over_ligra,
+            "baseline_speedup_vs_ligra": self.baseline_speedup_over_ligra,
+            "speedup_vs_graphicionado": self.speedup_over_graphicionado,
+            "traffic_vs_graphicionado": self.traffic_vs_graphicionado,
+            "data_utilization": self.data_utilization,
+            "graphpulse_rounds": self.functional.num_rounds,
+            "bsp_iterations": self.bsp_iterations,
+        }
+
+
+def run_comparison(
+    dataset: str,
+    algorithm: str,
+    *,
+    scale: float = 1.0,
+    verify: bool = True,
+) -> ComparisonResult:
+    """Run one workload across all four systems.
+
+    ``verify`` cross-checks every engine's converged values against the
+    golden reference (cheap insurance that the measured systems computed
+    the same answer; tolerance per algorithm spec).
+    """
+    graph, spec = prepare_workload(dataset, algorithm, scale=scale)
+
+    functional = FunctionalGraphPulse(graph, spec).run()
+    graphpulse = time_graphpulse(functional.rounds, optimized_config())
+    graphpulse_base = time_graphpulse(functional.rounds, baseline_config())
+
+    bsp = SynchronousDeltaEngine(graph, spec).run()
+    graphicionado = time_graphicionado(bsp.iterations, graph)
+
+    original_vertices = DATASETS[dataset.upper()].original_vertices
+    ligra = LigraEngine(
+        graph,
+        spec,
+        random_footprint_bytes=original_vertices * graph.vertex_bytes,
+    ).run()
+
+    if verify:
+        _verify_values(graph, spec, algorithm, functional.values, "functional")
+        _verify_values(graph, spec, algorithm, bsp.values, "bsp")
+        _verify_values(graph, spec, algorithm, ligra.values, "ligra")
+
+    return ComparisonResult(
+        dataset=dataset,
+        algorithm=algorithm,
+        graph=graph,
+        functional=functional,
+        graphpulse=graphpulse,
+        graphpulse_baseline=graphpulse_base,
+        graphicionado=graphicionado,
+        ligra=ligra,
+        bsp_iterations=bsp.num_iterations,
+    )
+
+
+def _verify_values(
+    graph: CSRGraph,
+    spec: AlgorithmSpec,
+    algorithm: str,
+    values: np.ndarray,
+    engine: str,
+) -> None:
+    injection = (
+        algorithms.injection_values(graph) if algorithm == "adsorption" else None
+    )
+    # same deterministic default root as prepare_workload
+    root = int(np.argmax(graph.out_degrees()))
+    reference = algorithms.reference_for(
+        algorithm, graph, injection=injection, root=root
+    )
+    finite = np.isfinite(reference)
+    tolerance = max(spec.comparison_tolerance, 1e-12)
+    if not np.allclose(
+        values[finite], reference[finite], atol=tolerance * 100, rtol=1e-4
+    ):
+        worst = float(np.max(np.abs(values[finite] - reference[finite])))
+        raise AssertionError(
+            f"{engine} diverged from reference on {algorithm}: "
+            f"max error {worst:g}"
+        )
+    if not np.all(np.isinf(values[~finite]) | (~np.isfinite(reference[~finite]))):
+        raise AssertionError(
+            f"{engine} marked unreachable vertices reachable on {algorithm}"
+        )

@@ -1,0 +1,78 @@
+"""Formatting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper; these
+helpers render the measured rows/series as aligned text so the harness
+output reads like the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "geometric_mean"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                float_format.format(cell)
+                if isinstance(cell, float)
+                else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    title: Optional[str] = None,
+    float_format: str = "{:.3g}",
+) -> str:
+    """Render named numeric series (a figure's data) as columns."""
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) > 1:
+        raise ValueError("all series must have the same length")
+    length = lengths.pop() if lengths else 0
+    headers = [x_label] + list(series)
+    rows = [
+        [str(i)] + [float_format.format(series[name][i]) for name in series]
+        for i in range(length)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's 'average speedup' convention)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))

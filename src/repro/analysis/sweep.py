@@ -1,0 +1,145 @@
+"""Full evaluation sweep: the paper's 5-algorithms x 5-graphs matrix.
+
+Runs :func:`repro.analysis.experiments.run_comparison` over a workload
+matrix and aggregates the three evaluation figures that share it:
+Figure 10 (speedups), Figure 11 (normalized off-chip traffic) and
+Figure 12 (data utilization).  Library users get the whole evaluation
+in one call::
+
+    from repro.analysis import run_sweep
+
+    sweep = run_sweep(scale=0.2)
+    print(sweep.render_figure10())
+    print(f"geomean speedup vs Ligra: {sweep.geomean_speedup():.1f}x")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..graph import dataset_names
+from .experiments import ALGORITHMS, ComparisonResult, run_comparison
+from .report import format_table, geometric_mean
+
+__all__ = ["SweepResult", "run_sweep"]
+
+WorkloadKey = Tuple[str, str]  # (algorithm, dataset)
+
+
+@dataclass
+class SweepResult:
+    """Aggregated measurements for a workload matrix."""
+
+    results: Dict[WorkloadKey, ComparisonResult] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def workloads(self) -> List[WorkloadKey]:
+        return sorted(self.results)
+
+    def geomean_speedup(self) -> float:
+        """Figure 10 headline: geomean speedup over Ligra."""
+        return geometric_mean(
+            [r.speedup_over_ligra for r in self.results.values()]
+        )
+
+    def geomean_speedup_vs_graphicionado(self) -> float:
+        return geometric_mean(
+            [r.speedup_over_graphicionado for r in self.results.values()]
+        )
+
+    def mean_traffic_ratio(self) -> float:
+        """Figure 11 headline: mean traffic normalized to Graphicionado."""
+        values = [
+            r.traffic_vs_graphicionado for r in self.results.values()
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_utilization(self) -> float:
+        values = [r.data_utilization for r in self.results.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    # ------------------------------------------------------------------
+    def render_figure10(self) -> str:
+        rows = [
+            [
+                algorithm,
+                dataset,
+                result.speedup_over_ligra,
+                result.baseline_speedup_over_ligra,
+                result.speedup_over_graphicionado,
+            ]
+            for (algorithm, dataset), result in sorted(self.results.items())
+        ]
+        return format_table(
+            [
+                "algorithm",
+                "graph",
+                "GP+opt/Ligra",
+                "GP-base/Ligra",
+                "GP/G'nado",
+            ],
+            rows,
+            title=(
+                "Figure 10: speedups "
+                f"(geomean vs Ligra {self.geomean_speedup():.1f}x, "
+                f"vs Graphicionado "
+                f"{self.geomean_speedup_vs_graphicionado():.1f}x)"
+            ),
+        )
+
+    def render_figure11(self) -> str:
+        rows = [
+            [algorithm, dataset, result.traffic_vs_graphicionado]
+            for (algorithm, dataset), result in sorted(self.results.items())
+        ]
+        return format_table(
+            ["algorithm", "graph", "traffic vs Graphicionado"],
+            rows,
+            title=(
+                "Figure 11: off-chip traffic normalized to Graphicionado "
+                f"(mean {self.mean_traffic_ratio():.2f})"
+            ),
+        )
+
+    def render_figure12(self) -> str:
+        rows = [
+            [algorithm, dataset, result.data_utilization]
+            for (algorithm, dataset), result in sorted(self.results.items())
+        ]
+        return format_table(
+            ["algorithm", "graph", "utilized fraction"],
+            rows,
+            title=(
+                "Figure 12: off-chip data utilization "
+                f"(mean {self.mean_utilization():.2f})"
+            ),
+        )
+
+
+def run_sweep(
+    *,
+    datasets: Optional[Sequence[str]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    scale: Union[float, Mapping[str, float]] = 1.0,
+    verify: bool = False,
+) -> SweepResult:
+    """Run the evaluation matrix.
+
+    ``scale`` is either one factor for every dataset or a per-dataset
+    mapping (the benchmark harness shrinks TW more than WG).
+    """
+    datasets = tuple(datasets or dataset_names())
+    algorithms = tuple(algorithms or ALGORITHMS)
+    sweep = SweepResult()
+    for algorithm in algorithms:
+        for dataset in datasets:
+            factor = (
+                scale.get(dataset, 1.0)
+                if isinstance(scale, Mapping)
+                else scale
+            )
+            sweep.results[(algorithm, dataset)] = run_comparison(
+                dataset, algorithm, scale=factor, verify=verify
+            )
+    return sweep

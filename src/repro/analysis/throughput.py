@@ -1,0 +1,213 @@
+"""Throughput timing models for full-proxy-scale experiments (Figure 10).
+
+The detailed cycle model (:mod:`repro.core.accelerator`) times every
+event individually, which in Python limits it to small graphs.  At that
+scale both accelerators are *latency-bound* — there isn't enough work
+per round to cover pipeline latency — whereas the paper's workloads
+(milions of events per round) keep the machines *throughput-bound*.
+
+These models restore the paper's operating regime: they take the exact
+per-round/per-iteration operation counts measured by the functional
+engines (which run at full proxy scale) and convert each round into
+cycles as the maximum over the modelled hardware's throughput bounds —
+drain bandwidth, dispatch rate, processor occupancy, generation-stream
+issue rate, crossbar/coalescer rates, and DRAM bandwidth — plus a
+pipeline-fill latency per round.  This is the classical bound-and-
+bottleneck (roofline) timing used throughout accelerator evaluation; the
+detailed cycle model cross-validates it on small graphs (see tests).
+
+All three compared systems get the same treatment:
+
+- :func:`time_graphpulse` — rounds from :class:`FunctionalGraphPulse`;
+- :func:`time_graphicionado` — iterations from the BSP engine;
+- Ligra's CPU model is already analytic (:mod:`repro.baselines.cpu_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..baselines.bsp import BSPIteration
+from ..core.config import GraphPulseConfig
+from ..core.functional import RoundRecord
+from ..graph import CSRGraph
+
+__all__ = [
+    "TimingBreakdown",
+    "time_graphpulse",
+    "time_graphicionado",
+]
+
+_LINE = 64
+
+
+@dataclass
+class TimingBreakdown:
+    """Cycle estimate with per-bound attribution."""
+
+    total_cycles: float
+    clock_ghz: float
+    #: how many rounds each throughput bound dominated
+    bound_rounds: Dict[str, int] = field(default_factory=dict)
+    #: total off-chip traffic implied by the counts
+    offchip_bytes: float = 0.0
+    num_rounds: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles * 1e-9 / self.clock_ghz
+
+    def dominant_bound(self) -> str:
+        """The bound that limited the most rounds."""
+        if not self.bound_rounds:
+            return "none"
+        return max(self.bound_rounds, key=self.bound_rounds.get)
+
+
+def _round_fill_cycles(config: GraphPulseConfig) -> int:
+    """Latency to fill/drain the pipeline once per round: DRAM access,
+    process pipeline, crossbar traversal and coalescer write-back."""
+    return (
+        config.dram.row_miss_cycles
+        + config.process_pipeline_cycles
+        + config.crossbar_traversal_cycles
+        + config.coalescer_latency_cycles
+        + config.dram.row_hit_cycles
+    )
+
+
+def time_graphpulse(
+    rounds: Sequence[RoundRecord],
+    config: GraphPulseConfig,
+) -> TimingBreakdown:
+    """Convert functional-engine rounds into GraphPulse cycles."""
+    cfg = config
+    bandwidth = cfg.dram.total_bandwidth  # bytes / cycle
+    streams = cfg.total_generation_streams
+    fill = _round_fill_cycles(cfg)
+    bound_rounds: Dict[str, int] = {}
+    total = 0.0
+    total_bytes = 0.0
+
+    for record in rounds:
+        events = record.events_processed
+        edges = record.edges_scanned
+        insertions = record.events_produced
+
+        if cfg.prefetch_enabled:
+            # prefetched blocks: 1-cycle vertex read + apply issue +
+            # hand-off; vertex lines are fetched once per block
+            processor = events * 3 / cfg.num_processors
+            round_bytes = float(record.offchip_bytes)
+            # N-block prefetch hides line latency inside the stream
+            generation = (edges + record.edge_lines) / streams
+        else:
+            # direct memory access per event: latency exposed per
+            # processor (overlapped across the 256 processors), and each
+            # event's read-modify-write moves its own cache line
+            per_event = (
+                cfg.dram.row_miss_cycles + cfg.process_pipeline_cycles
+            )
+            processor = events * per_event / cfg.num_processors
+            round_bytes = float(
+                2 * events * _LINE + record.edge_lines * _LINE
+            )
+            # in-order generation exposes each edge line's access
+            # latency to its stream
+            generation = (
+                edges + record.edge_lines * cfg.dram.row_hit_cycles
+            ) / streams
+        total_bytes += round_bytes
+        bounds = {
+            "drain": events / cfg.drain_events_per_cycle,
+            "dispatch": events / cfg.drain_events_per_cycle
+            if cfg.prefetch_enabled
+            else float(events),
+            "processor": processor,
+            "generation": generation,
+            "memory": round_bytes / bandwidth,
+            "crossbar": insertions / cfg.crossbar_ports,
+            "coalescer": insertions / cfg.num_bins,
+        }
+        limiter = max(bounds, key=bounds.get)
+        bound_rounds[limiter] = bound_rounds.get(limiter, 0) + 1
+        total += bounds[limiter] + fill
+
+    return TimingBreakdown(
+        total_cycles=total,
+        clock_ghz=cfg.clock_ghz,
+        bound_rounds=bound_rounds,
+        offchip_bytes=total_bytes,
+        num_rounds=len(rounds),
+    )
+
+
+def time_graphicionado(
+    iterations: Sequence[BSPIteration],
+    graph: CSRGraph,
+    *,
+    num_streams: int = 8,
+    clock_ghz: float = 1.0,
+    bandwidth_bytes_per_cycle: float = 68.0,
+    pipeline_fill_cycles: int = 80,
+) -> TimingBreakdown:
+    """Convert BSP iterations into Graphicionado cycles.
+
+    Per iteration the pipeline streams each active vertex's property and
+    out-edge slice (line-granular) and applies updates through on-chip
+    shadow memory; the apply phase writes back touched properties.
+    Iteration time is the max of the edge-processing rate
+    (1 edge/cycle/stream) and the memory system, plus pipeline fill.
+    """
+    offsets = graph.offsets
+    bound_rounds: Dict[str, int] = {}
+    total = 0.0
+    total_bytes = 0.0
+
+    for iteration in iterations:
+        active = iteration.active_vertices
+        if len(active):
+            lo = offsets[active]
+            hi = offsets[active + 1]
+            start_lines = (
+                graph.edge_region_base + lo * graph.edge_bytes
+            ) // _LINE
+            stop_lines = (
+                graph.edge_region_base + hi * graph.edge_bytes - 1
+            ) // _LINE
+            nonempty = hi > lo
+            edge_lines = int(
+                np.sum((stop_lines - start_lines + 1)[nonempty])
+            )
+        else:
+            edge_lines = 0
+        # Graphicionado's apply phase streams the whole vertex property
+        # array (read shadow copy + write back), as in Ham et al.; the
+        # paper's generosity (zero-cost active tracking, on-chip shadow)
+        # is preserved, but the apply stream itself is off-chip traffic.
+        apply_bytes = 2 * graph.num_vertices * graph.vertex_bytes
+        iter_bytes = (
+            edge_lines * _LINE
+            + len(active) * graph.vertex_bytes  # source property stream
+            + apply_bytes
+        )
+        total_bytes += iter_bytes
+        bounds = {
+            "pipeline": iteration.edges_scanned / num_streams,
+            "memory": iter_bytes / bandwidth_bytes_per_cycle,
+            "apply": graph.num_vertices / num_streams,
+        }
+        limiter = max(bounds, key=bounds.get)
+        bound_rounds[limiter] = bound_rounds.get(limiter, 0) + 1
+        total += bounds[limiter] + pipeline_fill_cycles
+
+    return TimingBreakdown(
+        total_cycles=total,
+        clock_ghz=clock_ghz,
+        bound_rounds=bound_rounds,
+        offchip_bytes=total_bytes,
+        num_rounds=len(iterations),
+    )

@@ -1,0 +1,22 @@
+"""Comparison baselines: BSP engine, Ligra, Graphicionado, model profiles."""
+
+from .bsp import BSPIteration, BSPResult, SynchronousDeltaEngine
+from .cpu_model import CPUCostModel, CPUModelConfig, OpCounts
+from .edge_centric import ModelAccessProfile, profile_models
+from .graphicionado import GraphicionadoAccelerator, GraphicionadoResult
+from .ligra import LigraEngine, LigraResult
+
+__all__ = [
+    "SynchronousDeltaEngine",
+    "BSPIteration",
+    "BSPResult",
+    "CPUModelConfig",
+    "CPUCostModel",
+    "OpCounts",
+    "LigraEngine",
+    "LigraResult",
+    "GraphicionadoAccelerator",
+    "GraphicionadoResult",
+    "ModelAccessProfile",
+    "profile_models",
+]

@@ -1,0 +1,127 @@
+"""Analytic CPU timing model for the software baseline (Table III).
+
+The paper measures Ligra on a 12-core Intel Xeon E5-2697 v2 @ 2.7 GHz
+with a 12 MB last-level cache and the same 4x17 GB/s DDR3 memory as the
+accelerator.  We reproduce Ligra's *algorithmic behaviour* exactly (see
+:mod:`repro.baselines.ligra`) and convert its measured operation counts
+to time with this model.
+
+The model charges, per iteration:
+
+- sequential traffic (edge streams, frontier arrays) against the
+  aggregate DRAM bandwidth;
+- random accesses (vertex-property gathers/scatters) as cache-missing
+  loads with limited memory-level parallelism per core — the dominant
+  cost on power-law graphs, and 15x dearer still when atomic (the paper
+  cites CAS being >15x slower in RAM than in L1);
+- per-edge/per-vertex compute against the cores' issue rate;
+- a synchronization barrier per iteration.
+
+Cache behaviour is *footprint-based*: the fraction of random vertex
+accesses that hit in the LLC is the fraction of the vertex array that
+fits.  Proxy graphs are small, so by default the footprint of the
+*original* dataset each proxy stands in for should be supplied — the
+miss rate is an intensive property the scaled-down proxy cannot
+reproduce (see DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CPUModelConfig", "CPUCostModel", "OpCounts"]
+
+
+@dataclass
+class OpCounts:
+    """Operation counts accumulated by an instrumented software engine."""
+
+    sequential_bytes: float = 0.0
+    random_reads: float = 0.0
+    random_writes: float = 0.0
+    atomic_updates: float = 0.0
+    edge_work: float = 0.0  #: per-edge compute operations
+    vertex_work: float = 0.0  #: per-vertex compute operations
+    iterations: int = 0
+
+    def merged_with(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            sequential_bytes=self.sequential_bytes + other.sequential_bytes,
+            random_reads=self.random_reads + other.random_reads,
+            random_writes=self.random_writes + other.random_writes,
+            atomic_updates=self.atomic_updates + other.atomic_updates,
+            edge_work=self.edge_work + other.edge_work,
+            vertex_work=self.vertex_work + other.vertex_work,
+            iterations=self.iterations + other.iterations,
+        )
+
+
+@dataclass(frozen=True)
+class CPUModelConfig:
+    """Hardware parameters of the software platform (Table III)."""
+
+    num_cores: int = 12
+    frequency_ghz: float = 2.7
+    llc_bytes: int = 12 * 1024 * 1024
+    dram_bandwidth_bytes_per_s: float = 4 * 17e9
+    dram_latency_ns: float = 80.0
+    llc_latency_ns: float = 12.0
+    #: outstanding misses a core can sustain (MSHRs / run-ahead)
+    memory_level_parallelism: float = 8.0
+    #: CAS on RAM-resident data is >15x slower than cache-resident
+    atomic_penalty: float = 15.0
+    #: cycles of compute per edge operation (gather+apply arithmetic)
+    cycles_per_edge_op: float = 4.0
+    #: cycles of compute per vertex operation
+    cycles_per_vertex_op: float = 6.0
+    barrier_latency_s: float = 5e-6
+    cache_line_bytes: int = 64
+
+
+@dataclass
+class CPUCostModel:
+    """Converts :class:`OpCounts` into seconds on the modelled CPU."""
+
+    config: CPUModelConfig = field(default_factory=CPUModelConfig)
+    #: bytes of randomly-accessed state (the vertex property array at the
+    #: modelled scale); sets the LLC hit fraction
+    random_footprint_bytes: float = 0.0
+
+    def llc_hit_fraction(self) -> float:
+        """Fraction of random accesses served by the LLC."""
+        if self.random_footprint_bytes <= 0:
+            return 1.0
+        return min(1.0, self.config.llc_bytes / self.random_footprint_bytes)
+
+    def seconds(self, counts: OpCounts) -> float:
+        """Total runtime: overlapped streams bound by the slowest, plus
+        non-overlappable atomics and barriers."""
+        cfg = self.config
+        hit = self.llc_hit_fraction()
+        miss = 1.0 - hit
+
+        random_ops = counts.random_reads + counts.random_writes
+        # average latency of one random access, hiding misses behind MLP
+        miss_cost = cfg.dram_latency_ns / cfg.memory_level_parallelism
+        hit_cost = cfg.llc_latency_ns / cfg.memory_level_parallelism
+        random_s = (
+            random_ops * (miss * miss_cost + hit * hit_cost) * 1e-9
+            / cfg.num_cores
+        )
+        # missing random accesses also consume a cache line of bandwidth
+        random_bytes = random_ops * miss * cfg.cache_line_bytes
+        bandwidth_s = (
+            counts.sequential_bytes + random_bytes
+        ) / cfg.dram_bandwidth_bytes_per_s
+        compute_cycles = (
+            counts.edge_work * cfg.cycles_per_edge_op
+            + counts.vertex_work * cfg.cycles_per_vertex_op
+        )
+        compute_s = compute_cycles / (cfg.frequency_ghz * 1e9 * cfg.num_cores)
+
+        atomic_cost = miss_cost * (miss * cfg.atomic_penalty + hit)
+        atomic_s = counts.atomic_updates * atomic_cost * 1e-9 / cfg.num_cores
+
+        overlapped = max(random_s, bandwidth_s, compute_s)
+        barriers = counts.iterations * cfg.barrier_latency_s
+        return overlapped + atomic_s + barriers

@@ -1,0 +1,115 @@
+"""Memory-access-pattern analyses of conventional models (Fig 1, Table I).
+
+The paper's Figure 1 and Table I contrast the access patterns of the
+Vertex-Centric Push/Pull and Edge-Centric paradigms with GraphPulse's
+event-driven pattern.  These analyzers run one synchronous iteration
+schedule of a delta algorithm and count, per model, the random versus
+sequential reads and writes plus atomic operations the model would
+issue — the quantitative backing for Table I that the
+``bench_table1_models`` benchmark prints.
+
+The counts are per-execution totals over the full run to convergence,
+derived from the same BSP iteration trace so the comparison is apples to
+apples (identical active sets and convergence behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..algorithms.base import AlgorithmSpec
+from ..graph import CSRGraph
+from .bsp import BSPIteration, SynchronousDeltaEngine
+
+__all__ = ["ModelAccessProfile", "profile_models"]
+
+
+@dataclass
+class ModelAccessProfile:
+    """Access-pattern totals for one processing paradigm."""
+
+    model: str
+    random_reads: int = 0
+    random_writes: int = 0
+    sequential_reads: int = 0
+    sequential_writes: int = 0
+    atomic_updates: int = 0
+    synchronizations: int = 0
+    #: bookkeeping operations for tracking the active set
+    active_set_ops: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "random_reads": self.random_reads,
+            "random_writes": self.random_writes,
+            "sequential_reads": self.sequential_reads,
+            "sequential_writes": self.sequential_writes,
+            "atomic_updates": self.atomic_updates,
+            "synchronizations": self.synchronizations,
+            "active_set_ops": self.active_set_ops,
+        }
+
+
+def profile_models(graph: CSRGraph, spec: AlgorithmSpec) -> Dict[str, ModelAccessProfile]:
+    """Count per-model access patterns over a full run to convergence.
+
+    Returns profiles for ``push``, ``pull``, ``edge-centric`` and
+    ``event-driven`` (GraphPulse's model).
+    """
+    push = ModelAccessProfile("push")
+    pull = ModelAccessProfile("pull")
+    edge_centric = ModelAccessProfile("edge-centric")
+    event_driven = ModelAccessProfile("event-driven")
+    n, m = graph.num_vertices, graph.num_edges
+
+    def account(iteration: BSPIteration) -> None:
+        frontier = len(iteration.active_vertices)
+        frontier_edges = iteration.edges_scanned
+        touched = iteration.touched_vertices
+
+        # Vertex-centric PUSH: read own value (via active list), stream
+        # out-edges, random atomic read-modify-write per destination.
+        push.sequential_reads += frontier  # frontier + own property
+        push.sequential_reads += frontier_edges  # edge list entries
+        push.random_reads += frontier_edges  # destination values
+        push.random_writes += frontier_edges
+        push.atomic_updates += frontier_edges
+        push.active_set_ops += frontier + touched
+        push.synchronizations += 1
+
+        # Vertex-centric PULL: every vertex scans its in-edges and
+        # randomly reads each in-neighbour's value; writes own value
+        # sequentially.  No atomics, but reads are redundant for
+        # unchanged sources.
+        pull.sequential_reads += m  # full in-edge scan
+        pull.random_reads += m  # source property gathers
+        pull.sequential_writes += n  # own value update
+        pull.active_set_ops += frontier
+        pull.synchronizations += 1
+
+        # EDGE-CENTRIC: stream the whole sorted edge list, read source
+        # (random or redundant) and update destination.
+        edge_centric.sequential_reads += m  # edge records
+        edge_centric.random_reads += m  # source values
+        edge_centric.random_writes += m  # destination values (locked)
+        edge_centric.atomic_updates += m
+        edge_centric.synchronizations += 1
+
+        # EVENT-DRIVEN (GraphPulse): events carry data, so the only
+        # vertex-memory operations are the per-event read-modify-write of
+        # the destination, made sequential by binning; edges stream.
+        event_driven.sequential_reads += frontier  # binned vertex reads
+        event_driven.sequential_writes += frontier
+        event_driven.sequential_reads += frontier_edges  # edge stream
+        # no atomics (coalescing serializes per-vertex events), no
+        # barriers (asynchronous rounds), no explicit active set (the
+        # queue is the active set)
+
+    SynchronousDeltaEngine(graph, spec).run(on_iteration=account)
+    return {
+        "push": push,
+        "pull": pull,
+        "edge-centric": edge_centric,
+        "event-driven": event_driven,
+    }

@@ -1,0 +1,175 @@
+"""Graphicionado accelerator model (Ham et al., MICRO'16) — the paper's
+hardware baseline.
+
+Graphicionado is a pipelined vertex-centric BSP accelerator.  Following
+the paper's methodology (Section VI-A) we model it generously:
+
+- zero-cost active-vertex management;
+- on-chip temporary (shadow) vertex-property memory large enough for the
+  whole graph, so scatter updates never go off-chip;
+- a memory subsystem identical to GraphPulse's (same 4-channel DDR3).
+
+Per BSP iteration the pipeline:
+
+1. streams each active vertex's property (8 B, sequential over the
+   active array) and its out-edge slice from DRAM;
+2. processes edges at 1 edge/cycle/stream across ``num_streams``
+   parallel streams (8, matching GraphPulse's processor count);
+3. runs an apply phase reading the shadow updates and writing changed
+   vertex properties back to DRAM.
+
+Iteration time is the slower of the memory system and the processing
+pipeline, plus the apply phase — the standard throughput model for this
+class of accelerator.  Off-chip bytes come out of the shared DRAM model,
+giving the Figure 11 denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..algorithms.base import AlgorithmSpec
+from ..graph import CSRGraph
+from ..memory.dram import DRAMConfig, DRAMSystem
+from ..memory.request import MemoryRequest
+from ..sim.stats import StatSet
+from .bsp import BSPIteration, SynchronousDeltaEngine
+
+__all__ = ["GraphicionadoAccelerator", "GraphicionadoResult"]
+
+_LINE = 64
+
+
+@dataclass
+class GraphicionadoResult:
+    values: np.ndarray
+    total_cycles: int
+    num_iterations: int
+    edges_processed: int
+    dram_stats: Dict[str, float]
+    clock_ghz: float
+    converged: bool
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles * 1e-9 / self.clock_ghz
+
+    @property
+    def offchip_bytes(self) -> float:
+        return self.dram_stats.get("bytes", 0.0)
+
+
+class GraphicionadoAccelerator:
+    """Throughput/bandwidth model of the Graphicionado pipeline."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: AlgorithmSpec,
+        *,
+        num_streams: int = 8,
+        clock_ghz: float = 1.0,
+        dram_config: Optional[DRAMConfig] = None,
+        #: pipeline depth: cycles from issue to update for one element
+        pipeline_fill_cycles: int = 20,
+        max_iterations: int = 100_000,
+    ):
+        self.graph = graph
+        self.spec = spec
+        self.num_streams = num_streams
+        self.clock_ghz = clock_ghz
+        self.pipeline_fill_cycles = pipeline_fill_cycles
+        self.engine = SynchronousDeltaEngine(
+            graph, spec, max_iterations=max_iterations
+        )
+        self.dram = DRAMSystem(dram_config or DRAMConfig())
+        self.stats = StatSet("graphicionado")
+
+    # ------------------------------------------------------------------
+    def run(self) -> GraphicionadoResult:
+        graph = self.graph
+        cursor = 0
+        edges_total = 0
+        iterations = 0
+
+        def time_iteration(iteration: BSPIteration) -> None:
+            nonlocal cursor, edges_total, iterations
+            iterations += 1
+            start = cursor
+            active = iteration.active_vertices
+            edges = iteration.edges_scanned
+            edges_total += edges
+
+            # --- processing phase: stream properties + edge slices ----
+            # Active vertices are distributed over the parallel streams;
+            # each stream double-buffers: it fetches its next vertex's
+            # edge slice while processing the current one, and consumes
+            # edges at one per cycle.
+            mem_done = start
+            if len(active):
+                # active source properties stream as one dense run
+                result = self.dram.access(
+                    MemoryRequest(
+                        graph.vertex_address(int(active[0])),
+                        max(len(active) * graph.vertex_bytes, 1),
+                        kind="vertex",
+                    ),
+                    start,
+                )
+                mem_done = max(mem_done, result.done_cycle)
+            fetch_cursor = [start] * self.num_streams
+            process_cursor = [start] * self.num_streams
+            for idx, v in enumerate(active.tolist()):
+                lo = int(graph.offsets[v])
+                hi = int(graph.offsets[v + 1])
+                if hi == lo:
+                    continue
+                s = idx % self.num_streams
+                fetched = self.dram.access(
+                    MemoryRequest(
+                        graph.edge_address(lo),
+                        (hi - lo) * graph.edge_bytes,
+                        kind="edge",
+                    ),
+                    fetch_cursor[s],
+                ).done_cycle
+                begin = max(process_cursor[s], fetched)
+                process_cursor[s] = begin + (hi - lo)  # 1 edge/cycle
+                # next fetch may start once this slice enters processing
+                fetch_cursor[s] = begin
+            processing_end = (
+                max(max(process_cursor), mem_done) + self.pipeline_fill_cycles
+            )
+
+            # --- apply phase: write back touched properties ------------
+            touched = iteration.touched_vertices
+            apply_mem_done = processing_end
+            if touched:
+                result = self.dram.access(
+                    MemoryRequest(
+                        0,
+                        max(touched * graph.vertex_bytes, 1),
+                        is_write=True,
+                        kind="vertex",
+                    ),
+                    processing_end,
+                )
+                apply_mem_done = result.done_cycle
+            apply_cycles = -(-touched // self.num_streams) if touched else 0
+            cursor = max(apply_mem_done, processing_end + apply_cycles)
+            self.stats.add("iterations")
+            self.stats.add("active_vertices", len(active))
+
+        result = self.engine.run(on_iteration=time_iteration)
+        return GraphicionadoResult(
+            values=result.values,
+            total_cycles=cursor,
+            num_iterations=iterations,
+            edges_processed=edges_total,
+            dram_stats=self.dram.stats.snapshot(),
+            clock_ghz=self.clock_ghz,
+            converged=result.converged,
+        )

@@ -1,0 +1,139 @@
+"""Ligra-like direction-optimizing software framework (the paper's
+software baseline, Shun & Blelloch PPoPP'13).
+
+Ligra's core primitive is ``edgeMap`` over a frontier with automatic
+direction selection: a *sparse* (push) traversal when the frontier is
+small, a *dense* (pull) traversal when the frontier's out-edge count
+exceeds a threshold fraction of the graph (|F| + outdeg(F) > (n+m)/20 in
+Ligra).  We reproduce that scheduling decision per iteration on top of
+the BSP delta engine and count the memory operations each direction
+performs — the counts the CPU cost model converts into the runtime used
+for Figure 10's speedup denominators.
+
+Operation accounting per iteration:
+
+sparse/push: the frontier array streams sequentially; each active
+vertex's out-edge list streams sequentially; every out-edge performs a
+random read-modify-write (an atomic CAS in Ligra) on the destination's
+accumulator.
+
+dense/pull: every vertex scans its in-edge list (the whole edge array
+streams); each in-edge checks the source's frontier membership and
+change value — a random read; destination-side accumulation is local,
+so no atomics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..algorithms.base import AlgorithmSpec
+from ..graph import CSRGraph
+from .bsp import BSPIteration, SynchronousDeltaEngine
+from .cpu_model import CPUCostModel, CPUModelConfig, OpCounts
+
+__all__ = ["LigraEngine", "LigraResult"]
+
+#: Ligra's dense/sparse switch: dense when |F| + outdeg(F) > (n + m) / 20
+DENSE_THRESHOLD_DIVISOR = 20
+
+
+@dataclass
+class LigraResult:
+    values: np.ndarray
+    num_iterations: int
+    counts: OpCounts
+    seconds: float
+    #: per-iteration direction decisions ("push" / "pull")
+    directions: List[str] = field(default_factory=list)
+    converged: bool = True
+
+    @property
+    def pull_fraction(self) -> float:
+        if not self.directions:
+            return 0.0
+        return self.directions.count("pull") / len(self.directions)
+
+
+class LigraEngine:
+    """Direction-optimizing BSP framework with CPU cost accounting."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: AlgorithmSpec,
+        *,
+        cpu_config: Optional[CPUModelConfig] = None,
+        random_footprint_bytes: Optional[float] = None,
+        max_iterations: int = 100_000,
+    ):
+        """
+        Parameters
+        ----------
+        random_footprint_bytes:
+            Size of the randomly-accessed working set for the cache
+            model.  Defaults to this graph's vertex array; pass the
+            *original* dataset's footprint when the graph is a scaled
+            proxy (see DESIGN.md).
+        """
+        self.graph = graph
+        self.spec = spec
+        self.engine = SynchronousDeltaEngine(
+            graph, spec, max_iterations=max_iterations
+        )
+        footprint = (
+            random_footprint_bytes
+            if random_footprint_bytes is not None
+            else graph.num_vertices * graph.vertex_bytes
+        )
+        self.cost_model = CPUCostModel(
+            config=cpu_config or CPUModelConfig(),
+            random_footprint_bytes=footprint,
+        )
+        self._dense_threshold = (
+            graph.num_vertices + graph.num_edges
+        ) // DENSE_THRESHOLD_DIVISOR
+
+    # ------------------------------------------------------------------
+    def run(self) -> LigraResult:
+        graph = self.graph
+        counts = OpCounts()
+        directions: List[str] = []
+
+        def account(iteration: BSPIteration) -> None:
+            frontier_size = len(iteration.active_vertices)
+            frontier_edges = iteration.edges_scanned
+            counts.iterations += 1
+            counts.vertex_work += frontier_size
+            # apply phase reads+writes the frontier's states (random
+            # within the vertex array, gathered by the frontier order)
+            counts.random_reads += frontier_size
+            counts.random_writes += frontier_size
+            if frontier_size + frontier_edges > self._dense_threshold:
+                directions.append("pull")
+                # dense: scan every in-edge list once
+                counts.sequential_bytes += graph.num_edges * graph.edge_bytes
+                counts.sequential_bytes += graph.num_vertices * graph.vertex_bytes
+                counts.random_reads += graph.num_edges  # source lookups
+                counts.edge_work += graph.num_edges
+            else:
+                directions.append("push")
+                counts.sequential_bytes += frontier_size * 8  # frontier array
+                counts.sequential_bytes += frontier_edges * graph.edge_bytes
+                counts.random_reads += frontier_edges
+                counts.atomic_updates += frontier_edges
+                counts.edge_work += frontier_edges
+
+        result = self.engine.run(on_iteration=account)
+        seconds = self.cost_model.seconds(counts)
+        return LigraResult(
+            values=result.values,
+            num_iterations=result.num_iterations,
+            counts=counts,
+            seconds=seconds,
+            directions=directions,
+            converged=result.converged,
+        )

@@ -1,0 +1,233 @@
+"""Command-line interface for the GraphPulse reproduction.
+
+Three subcommands:
+
+``datasets``
+    List the Table IV proxy datasets and their shapes.
+
+``run``
+    Run one algorithm on one dataset proxy through a chosen engine
+    (functional event model, cycle-level accelerator, BSP, or the Ligra
+    baseline) and print convergence and event statistics.
+
+``compare``
+    Run the full cross-system comparison (the Figure 10/11/12 pipeline)
+    for one workload and print the speedup/traffic summary.
+
+Examples::
+
+    python -m repro datasets
+    python -m repro run pagerank --dataset LJ --scale 0.2
+    python -m repro run sssp --dataset WG --engine cycle --scale 0.05
+    python -m repro compare cc --dataset FB --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import algorithms
+from .analysis import ALGORITHMS, prepare_workload, run_comparison
+from .analysis.report import format_table
+from .baselines import LigraEngine, SynchronousDeltaEngine
+from .core import FunctionalGraphPulse, GraphPulseAccelerator
+from .graph import DATASETS, dataset_names
+
+__all__ = ["main", "build_parser"]
+
+ENGINES = ("functional", "cycle", "bsp", "ligra")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphPulse (MICRO 2020) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "datasets", help="list the Table IV proxy datasets"
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one workload on one engine"
+    )
+    run_parser.add_argument(
+        "algorithm", choices=sorted(ALGORITHMS) + ["bfs-reachability"]
+    )
+    run_parser.add_argument(
+        "--dataset", default="LJ", choices=dataset_names()
+    )
+    run_parser.add_argument("--scale", type=float, default=0.2)
+    run_parser.add_argument(
+        "--engine", default="functional", choices=ENGINES
+    )
+    run_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the result against the golden reference",
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="cross-system comparison for one workload"
+    )
+    compare_parser.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    compare_parser.add_argument(
+        "--dataset", default="LJ", choices=dataset_names()
+    )
+    compare_parser.add_argument("--scale", type=float, default=0.2)
+    return parser
+
+
+def _command_datasets() -> int:
+    rows = [
+        [
+            spec.name,
+            spec.num_vertices,
+            spec.num_edges,
+            f"{spec.original_vertices:,}",
+            f"{spec.original_edges:,}",
+            spec.description,
+        ]
+        for spec in DATASETS.values()
+    ]
+    print(
+        format_table(
+            [
+                "name",
+                "proxy |V|",
+                "proxy |E|",
+                "original |V|",
+                "original |E|",
+                "description",
+            ],
+            rows,
+            title="Table IV workload proxies",
+        )
+    )
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    graph, spec = prepare_workload(
+        args.dataset, args.algorithm, scale=args.scale
+    )
+    print(f"workload: {args.algorithm} on {graph}")
+
+    if args.engine == "functional":
+        result = FunctionalGraphPulse(graph, spec).run()
+        values = result.values
+        print(
+            f"rounds: {result.num_rounds}   events processed: "
+            f"{result.total_events_processed:,}   coalesced away: "
+            f"{result.coalesce_rate():.1%}"
+        )
+    elif args.engine == "cycle":
+        result = GraphPulseAccelerator(graph, spec).run()
+        values = result.values
+        print(
+            f"cycles: {result.total_cycles:,} "
+            f"({result.seconds * 1e6:.1f} us at "
+            f"{result.config.clock_ghz:g} GHz)   rounds: "
+            f"{result.num_rounds}   off-chip: "
+            f"{result.offchip_bytes / 1e6:.2f} MB"
+        )
+    elif args.engine == "bsp":
+        result = SynchronousDeltaEngine(graph, spec).run()
+        values = result.values
+        print(
+            f"iterations: {result.num_iterations}   edges scanned: "
+            f"{result.total_edges_scanned:,}"
+        )
+    else:  # ligra
+        result = LigraEngine(graph, spec).run()
+        values = result.values
+        print(
+            f"iterations: {result.num_iterations}   modelled time: "
+            f"{result.seconds * 1e3:.3f} ms   pull fraction: "
+            f"{result.pull_fraction:.0%}"
+        )
+
+    finite = values[np.isfinite(values)]
+    print(
+        f"values: {len(finite):,} finite of {len(values):,}; "
+        f"min {finite.min():.4g}  max {finite.max():.4g}"
+        if len(finite)
+        else "values: none finite"
+    )
+
+    if args.verify:
+        root = int(np.argmax(graph.out_degrees()))
+        injection = (
+            algorithms.injection_values(graph)
+            if args.algorithm == "adsorption"
+            else None
+        )
+        reference = algorithms.reference_for(
+            args.algorithm, graph, root=root, injection=injection
+        )
+        mask = np.isfinite(reference)
+        error = (
+            float(np.max(np.abs(values[mask] - reference[mask])))
+            if mask.any()
+            else 0.0
+        )
+        ok = error < max(spec.comparison_tolerance * 100, 1e-6)
+        print(f"verification: max error {error:.3g} -> "
+              f"{'OK' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    result = run_comparison(
+        args.dataset, args.algorithm, scale=args.scale, verify=False
+    )
+    summary = result.summary()
+    rows = [
+        ["GraphPulse+opt vs Ligra", f"{summary['speedup_vs_ligra']:.2f}x"],
+        [
+            "GraphPulse-base vs Ligra",
+            f"{summary['baseline_speedup_vs_ligra']:.2f}x",
+        ],
+        [
+            "GraphPulse vs Graphicionado",
+            f"{summary['speedup_vs_graphicionado']:.2f}x",
+        ],
+        [
+            "off-chip traffic vs Graphicionado",
+            f"{summary['traffic_vs_graphicionado']:.2f}",
+        ],
+        ["off-chip data utilization", f"{summary['data_utilization']:.2f}"],
+        ["GraphPulse rounds", int(summary["graphpulse_rounds"])],
+        ["BSP iterations", int(summary["bsp_iterations"])],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.algorithm} on {args.dataset} "
+            f"(scale {args.scale:g})",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""GraphPulse core: events, coalescing queue, functional + cycle engines."""
+
+from .accelerator import (
+    CycleResult,
+    GraphPulseAccelerator,
+    OccupancyProfile,
+    StageProfile,
+)
+from .config import GraphPulseConfig, baseline_config, optimized_config
+from .event import Event
+from .functional import (
+    LOOKAHEAD_BUCKETS,
+    FunctionalGraphPulse,
+    FunctionalResult,
+    RoundRecord,
+    TrafficCounters,
+)
+from .queue import CoalescingQueue, QueueStats, VertexBinMap
+from .rowqueue import BinGeometry, BinStorage
+from .slicing import (
+    ParallelSlicedGraphPulse,
+    ParallelSlicedResult,
+    SliceActivation,
+    SlicedGraphPulse,
+    SlicedResult,
+    SuperRound,
+)
+
+__all__ = [
+    "Event",
+    "CoalescingQueue",
+    "QueueStats",
+    "VertexBinMap",
+    "BinGeometry",
+    "BinStorage",
+    "FunctionalGraphPulse",
+    "FunctionalResult",
+    "RoundRecord",
+    "TrafficCounters",
+    "LOOKAHEAD_BUCKETS",
+    "GraphPulseConfig",
+    "baseline_config",
+    "optimized_config",
+    "GraphPulseAccelerator",
+    "CycleResult",
+    "StageProfile",
+    "OccupancyProfile",
+    "SlicedGraphPulse",
+    "SlicedResult",
+    "SliceActivation",
+    "ParallelSlicedGraphPulse",
+    "ParallelSlicedResult",
+    "SuperRound",
+]

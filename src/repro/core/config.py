@@ -1,0 +1,112 @@
+"""Accelerator configuration (paper Table III and Sections IV-V).
+
+Two standard configurations are provided:
+
+- :func:`baseline_config` — the Section IV baseline: 256 simple event
+  processors reading memory directly, no prefetcher, in-order event
+  generation inside each processor.
+- :func:`optimized_config` — the Section V design evaluated in Table
+  III: 8 processors at 1 GHz fed by a vertex prefetcher + scratchpad,
+  each coupled to 4 decoupled generation streams with an edge cache.
+
+Both share the 64 MB on-chip coalescing queue (64 bins) and the 4-channel
+DDR3 memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..memory.dram import DRAMConfig
+
+__all__ = ["GraphPulseConfig", "baseline_config", "optimized_config"]
+
+
+@dataclass(frozen=True)
+class GraphPulseConfig:
+    """All knobs of the GraphPulse accelerator model."""
+
+    # --- clocking -----------------------------------------------------
+    clock_ghz: float = 1.0
+
+    # --- event processors (Section IV-E / V) --------------------------
+    num_processors: int = 8
+    #: reduce/apply pipeline depth ("4-stage FPA unit")
+    process_pipeline_cycles: int = 4
+
+    # --- optimizations (Section V) -------------------------------------
+    prefetch_enabled: bool = True
+    parallel_generation_enabled: bool = True
+    #: decoupled generation streams per processing unit
+    generation_streams_per_processor: int = 4
+    #: per-stream input-buffer entries (processor stalls when all full)
+    generation_buffer_entries: int = 4
+    #: input-buffer block size: vertices adjacent in memory streamed
+    #: together to one processor (128 in the paper)
+    prefetch_block_size: int = 128
+    #: per-processor scratchpad for prefetched vertex lines (1 KB)
+    scratchpad_bytes: int = 1024
+    #: edge-reader cache (shared per generation unit)
+    edge_cache_bytes: int = 16 * 1024
+    #: N-block edge prefetch depth
+    edge_prefetch_blocks: int = 4
+
+    # --- coalescing event queue (Section IV-B/IV-D) -------------------
+    num_bins: int = 64
+    queue_block_size: int = 128
+    #: coalescer pipeline: one insertion accepted per cycle per bin,
+    #: combined result written 4 cycles later
+    coalescer_latency_cycles: int = 4
+    #: events read out of a bin per cycle during a drain sweep
+    drain_events_per_cycle: int = 8
+    #: queue storage capacity in events (64 MB / 16 B per entry);
+    #: graphs with more vertices than this must be sliced (Section IV-F)
+    queue_capacity_events: int = 4 * 1024 * 1024
+
+    # --- interconnect (Section IV-E) -----------------------------------
+    crossbar_ports: int = 16
+    crossbar_sources_per_port: int = 16
+    crossbar_traversal_cycles: int = 2
+    scheduler_arbiter_fan_in: int = 16
+
+    # --- memory system (Table III) -------------------------------------
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+        if self.generation_streams_per_processor < 1:
+            raise ValueError("generation_streams_per_processor must be >= 1")
+        if self.num_bins < 1:
+            raise ValueError("num_bins must be >= 1")
+        if self.drain_events_per_cycle < 1:
+            raise ValueError("drain_events_per_cycle must be >= 1")
+
+    @property
+    def total_generation_streams(self) -> int:
+        if not self.parallel_generation_enabled:
+            return self.num_processors
+        return self.num_processors * self.generation_streams_per_processor
+
+    def seconds_per_cycle(self) -> float:
+        return 1e-9 / self.clock_ghz
+
+    def with_overrides(self, **kwargs) -> "GraphPulseConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def baseline_config(**overrides) -> GraphPulseConfig:
+    """Section IV baseline: 256 processors, no prefetch, no decoupling."""
+    config = GraphPulseConfig(
+        num_processors=256,
+        prefetch_enabled=False,
+        parallel_generation_enabled=False,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def optimized_config(**overrides) -> GraphPulseConfig:
+    """Section V optimized design (Table III: 8 processors @ 1 GHz)."""
+    config = GraphPulseConfig()
+    return config.with_overrides(**overrides) if overrides else config

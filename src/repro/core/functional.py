@@ -1,0 +1,379 @@
+"""Functional GraphPulse engine: Algorithm 1 with exact event semantics.
+
+This engine executes the paper's event-driven model (Algorithm 1) with
+the real binned coalescing queue but *without* cycle timing, so it scales
+to the 10^5-10^6-edge proxy graphs.  It is the measurement vehicle for:
+
+- correctness of the event model against the golden references;
+- Figure 4 (events produced vs remaining after coalescing, per round);
+- Figure 8 (lookahead-degree distribution per round);
+- event/traffic accounting feeding Figures 11-12 and Table I.
+
+Scheduling follows Section IV-C: bins are drained round-robin; one
+complete pass over all bins is a *round*.  Events generated while a round
+is in progress land in their destination bin — if that bin is later in
+the current round they are processed this round (the source of the
+paper's *lookahead* effect), otherwise they wait for the next round.
+Coalescing-at-insertion guarantees at most one event per vertex per
+round, which is what makes vertex updates race-free without atomics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.base import AlgorithmSpec
+from ..graph import CSRGraph
+from .event import Event
+from .queue import CoalescingQueue
+
+__all__ = [
+    "FunctionalGraphPulse",
+    "FunctionalResult",
+    "RoundRecord",
+    "TrafficCounters",
+    "LOOKAHEAD_BUCKETS",
+]
+
+#: Histogram bucket upper bounds for Figure 8 (the paper buckets lookahead
+#: as 0, <100, <200, <300, <400, >400).
+LOOKAHEAD_BUCKETS = (0, 100, 200, 300, 400)
+
+_CACHE_LINE = 64
+
+
+@dataclass
+class TrafficCounters:
+    """Memory-operation and byte-level traffic accounting.
+
+    Byte counts model a cache-line (64 B) granular off-chip interface:
+    a drain batch touches the unique lines covering the vertices it
+    processes (binning makes those dense), and each propagating vertex
+    streams the lines covering its contiguous CSR edge slice.
+    ``useful`` bytes are the bytes the computation actually consumed, so
+    ``utilization()`` reproduces the Figure 12 metric.
+    """
+
+    vertex_reads: int = 0
+    vertex_writes: int = 0
+    edge_reads: int = 0
+    vertex_bytes_fetched: int = 0
+    vertex_bytes_useful: int = 0
+    edge_bytes_fetched: int = 0
+    edge_bytes_useful: int = 0
+
+    @property
+    def total_bytes_fetched(self) -> int:
+        return self.vertex_bytes_fetched + self.edge_bytes_fetched
+
+    @property
+    def total_bytes_useful(self) -> int:
+        return self.vertex_bytes_useful + self.edge_bytes_useful
+
+    def utilization(self) -> float:
+        """Fraction of fetched off-chip bytes consumed by computation."""
+        fetched = self.total_bytes_fetched
+        return self.total_bytes_useful / fetched if fetched else 1.0
+
+
+@dataclass
+class RoundRecord:
+    """Per-round measurements (Figures 4 and 8, and the inputs the
+    throughput timing model needs to convert a round into cycles)."""
+
+    round_index: int
+    events_processed: int
+    events_produced: int
+    events_coalesced: int
+    queue_size_after: int
+    progress: float  #: sum of |change| applied this round (termination)
+    lookahead_histogram: Dict[str, int] = field(default_factory=dict)
+    #: events that changed state and propagated along their edges
+    propagating_events: int = 0
+    #: out-edges scanned by this round's propagations
+    edges_scanned: int = 0
+    #: unique 64 B vertex-property lines touched by the drain batches
+    vertex_lines: int = 0
+    #: 64 B lines covering the scanned edge slices
+    edge_lines: int = 0
+
+    @property
+    def events_remaining(self) -> int:
+        """Alias matching Figure 4's 'remaining after coalescing' series."""
+        return self.queue_size_after
+
+    @property
+    def offchip_bytes(self) -> int:
+        """Off-chip traffic of this round (vertex lines read+written plus
+        edge lines read), at cache-line granularity."""
+        return (2 * self.vertex_lines + self.edge_lines) * 64
+
+
+@dataclass
+class FunctionalResult:
+    """Output of a functional run."""
+
+    values: np.ndarray
+    rounds: List[RoundRecord]
+    traffic: TrafficCounters
+    total_events_processed: int
+    total_events_produced: int
+    converged: bool
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def coalesce_rate(self) -> float:
+        produced = self.total_events_produced
+        if not produced:
+            return 0.0
+        absorbed = produced - self.total_events_processed
+        return max(absorbed, 0) / produced
+
+
+def _lookahead_bucket(lookahead: int) -> str:
+    """Bucket label in the paper's Figure 8 style."""
+    if lookahead <= 0:
+        return "0"
+    for bound in LOOKAHEAD_BUCKETS[1:]:
+        if lookahead < bound:
+            return f"<{bound}"
+    return f">{LOOKAHEAD_BUCKETS[-1]}"
+
+
+class FunctionalGraphPulse:
+    """Event-faithful, untimed GraphPulse engine."""
+
+    #: bin-visit orders the scheduler supports (Section IV-C notes that
+    #: policies other than round-robin are possible):
+    #: - ``round-robin``: the paper's default, bins in index order;
+    #: - ``occupancy``: fullest bins first (drains the bulk of the
+    #:   active set before stragglers, increasing coalescing windows);
+    #: - ``reverse``: bins in descending index order (an adversarial
+    #:   order — useful to demonstrate schedule independence).
+    SCHEDULING_POLICIES = ("round-robin", "occupancy", "reverse")
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: AlgorithmSpec,
+        *,
+        num_bins: int = 64,
+        block_size: int = 128,
+        track_lookahead: bool = False,
+        global_threshold: Optional[float] = None,
+        max_rounds: int = 100_000,
+        scheduling: str = "round-robin",
+    ):
+        """
+        Parameters
+        ----------
+        graph, spec:
+            The workload.
+        num_bins, block_size:
+            Queue geometry (Section IV-B/V defaults).
+        track_lookahead:
+            Record the Figure 8 histogram (small extra cost).
+        global_threshold:
+            Optional global termination: stop once a full round's summed
+            |progress| drops below this (Section IV-C's accumulator).
+            ``None`` runs until the queue empties.
+        max_rounds:
+            Safety bound; exceeded only by diverging configurations.
+        scheduling:
+            Bin-visit policy, one of :data:`SCHEDULING_POLICIES`.  The
+            fixed point is policy-independent (the Reordering property);
+            the amount of work is not.
+        """
+        if scheduling not in self.SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {scheduling!r}; "
+                f"expected one of {self.SCHEDULING_POLICIES}"
+            )
+        self.graph = graph
+        self.spec = spec
+        self.queue = CoalescingQueue(
+            graph.num_vertices,
+            spec.reduce,
+            num_bins=num_bins,
+            block_size=block_size,
+        )
+        self.track_lookahead = track_lookahead
+        self.global_threshold = global_threshold
+        self.max_rounds = max_rounds
+        self.scheduling = scheduling
+        self.state = spec.initial_state(graph)
+        self._out_degrees = graph.out_degrees()
+
+    def _bin_visit_order(self) -> List[int]:
+        """Bin indices in this round's drain order, per the policy."""
+        queue = self.queue
+        indices = range(queue.num_bins)
+        if self.scheduling == "round-robin":
+            return list(indices)
+        if self.scheduling == "reverse":
+            return list(reversed(indices))
+        # occupancy: fullest first, index as tie-break for determinism
+        return sorted(indices, key=lambda b: (-queue.bin_occupancy(b), b))
+
+    # ------------------------------------------------------------------
+    def run(self) -> FunctionalResult:
+        """Execute until convergence; returns values plus measurements."""
+        graph, spec, queue = self.graph, self.spec, self.queue
+        state = self.state
+        traffic = TrafficCounters()
+        rounds: List[RoundRecord] = []
+        total_processed = 0
+        total_produced = 0
+
+        for vertex, delta in spec.initial_events(graph).items():
+            queue.insert(Event(vertex=vertex, delta=delta, generation=0))
+            total_produced += 1
+
+        converged = False
+        round_index = 0
+        while not queue.is_empty:
+            if round_index >= self.max_rounds:
+                raise RuntimeError(
+                    f"{spec.name} did not converge within "
+                    f"{self.max_rounds} rounds"
+                )
+            record = self._run_round(round_index, state, traffic)
+            rounds.append(record)
+            total_processed += record.events_processed
+            total_produced += record.events_produced
+            round_index += 1
+            if (
+                self.global_threshold is not None
+                and record.progress < self.global_threshold
+            ):
+                converged = True
+                break
+        if queue.is_empty:
+            converged = True
+
+        return FunctionalResult(
+            values=state,
+            rounds=rounds,
+            traffic=traffic,
+            total_events_processed=total_processed,
+            total_events_produced=total_produced,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_round(
+        self,
+        round_index: int,
+        state: np.ndarray,
+        traffic: TrafficCounters,
+    ) -> RoundRecord:
+        graph, spec, queue = self.graph, self.spec, self.queue
+        inserted_before = queue.stats.inserted
+        coalesced_before = queue.stats.coalesced
+        edge_reads_before = traffic.edge_reads
+        vertex_lines_before = traffic.vertex_bytes_fetched
+        edge_lines_before = traffic.edge_bytes_fetched
+        writes_before = traffic.vertex_writes
+        processed = 0
+        progress = 0.0
+        histogram: Dict[str, int] = {}
+
+        for bin_index in self._bin_visit_order():
+            batch = queue.drain_bin(bin_index)
+            if not batch:
+                continue
+            processed += len(batch)
+            self._account_vertex_batch(batch, traffic)
+            for event in batch:
+                if self.track_lookahead:
+                    bucket = _lookahead_bucket(event.generation - round_index)
+                    histogram[bucket] = histogram.get(bucket, 0) + 1
+                progress += self._process_event(event, state, traffic)
+
+        return RoundRecord(
+            round_index=round_index,
+            events_processed=processed,
+            events_produced=queue.stats.inserted - inserted_before,
+            events_coalesced=queue.stats.coalesced - coalesced_before,
+            queue_size_after=len(queue),
+            progress=progress,
+            lookahead_histogram=histogram,
+            propagating_events=traffic.vertex_writes - writes_before,
+            edges_scanned=traffic.edge_reads - edge_reads_before,
+            vertex_lines=(traffic.vertex_bytes_fetched - vertex_lines_before)
+            // (2 * _CACHE_LINE),
+            edge_lines=(traffic.edge_bytes_fetched - edge_lines_before)
+            // _CACHE_LINE,
+        )
+
+    def _process_event(
+        self,
+        event: Event,
+        state: np.ndarray,
+        traffic: TrafficCounters,
+    ) -> float:
+        """Algorithm 1 lines 4-14 for one event; returns |change|."""
+        graph, spec = self.graph, self.spec
+        u = event.vertex
+        traffic.vertex_reads += 1
+        result = spec.apply(float(state[u]), event.delta)
+        if not result.changed:
+            return 0.0
+        state[u] = result.state
+        traffic.vertex_writes += 1
+        magnitude = (
+            abs(result.change) if np.isfinite(result.change) else 0.0
+        )
+        if not spec.should_propagate(result.change):
+            return magnitude
+
+        degree = int(self._out_degrees[u])
+        if degree == 0:
+            return magnitude
+        traffic.edge_reads += degree
+        self._account_edge_slice(u, degree, traffic)
+        neighbors = graph.neighbors(u)
+        weights = (
+            graph.edge_weights(u)
+            if spec.uses_weights
+            else None
+        )
+        generation = event.generation + 1
+        for index in range(degree):
+            dst = int(neighbors[index])
+            weight = float(weights[index]) if weights is not None else 1.0
+            delta = spec.propagate(result.change, u, dst, weight, degree)
+            if delta == spec.identity:
+                continue  # Simplification property: identity is a no-op
+            self.queue.insert(Event(vertex=dst, delta=delta, generation=generation))
+        return magnitude
+
+    # ------------------------------------------------------------------
+    # Byte-level accounting helpers
+    # ------------------------------------------------------------------
+    def _account_vertex_batch(
+        self, batch: List[Event], traffic: TrafficCounters
+    ) -> None:
+        graph = self.graph
+        lines = {
+            graph.vertex_address(e.vertex) // _CACHE_LINE for e in batch
+        }
+        # read + write-back of the touched lines
+        traffic.vertex_bytes_fetched += 2 * len(lines) * _CACHE_LINE
+        traffic.vertex_bytes_useful += 2 * len(batch) * graph.vertex_bytes
+
+    def _account_edge_slice(
+        self, vertex: int, degree: int, traffic: TrafficCounters
+    ) -> None:
+        graph = self.graph
+        start = graph.edge_address(int(graph.offsets[vertex]))
+        stop = graph.edge_address(int(graph.offsets[vertex + 1]))
+        first_line = start // _CACHE_LINE
+        last_line = (stop - 1) // _CACHE_LINE
+        traffic.edge_bytes_fetched += (last_line - first_line + 1) * _CACHE_LINE
+        traffic.edge_bytes_useful += degree * graph.edge_bytes

@@ -1,0 +1,229 @@
+"""In-place coalescing event queue (paper Section IV-B/IV-D).
+
+The queue is the centerpiece of GraphPulse.  It is organised as a group
+of *bins*, each structured like a direct-mapped cache: one storage slot
+per vertex, so at most one in-flight event per vertex ever exists.
+Inserting an event whose slot is occupied *coalesces* the two payloads
+with the algorithm's reduce operator instead of growing the queue —
+"compressing the storage of events destined to the same vertex".
+
+Vertex→slot mapping.  The paper maps a *block* of vertices adjacent in
+graph memory to adjacent slots of the same bin (blocks of 128 in
+Section V, enabling accurate prefetch), while consecutive blocks spread
+over different bins (so graph clusters don't overload one bin):
+
+    block(v) = v // block_size
+    bin(v)   = block(v) % num_bins
+    slot     = within-block offset + (block(v) // num_bins) * block_size
+
+Draining a bin therefore yields events sorted by vertex id in blocks of
+spatially-adjacent vertices — the property the scheduler and prefetcher
+exploit ("when events from a bin are scheduled, the set of vertices
+activated over a short period of time are closely placed in memory").
+
+This class models the queue's *semantics and occupancy*; the cycle-level
+wrapper in :mod:`repro.core.accelerator` adds the 4-stage coalescer
+pipeline timing, row-port conflicts and drain bandwidth on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .event import Event
+
+__all__ = ["CoalescingQueue", "QueueStats", "VertexBinMap"]
+
+
+@dataclass
+class QueueStats:
+    """Counters used by the Figure 4 experiment and capacity planning."""
+
+    inserted: int = 0  #: events pushed into the queue (pre-coalescing)
+    coalesced: int = 0  #: insertions absorbed into an existing event
+    drained: int = 0  #: events handed to the scheduler
+    peak_occupancy: int = 0  #: max simultaneous unique events
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of insertions eliminated by coalescing."""
+        return self.coalesced / self.inserted if self.inserted else 0.0
+
+
+class VertexBinMap:
+    """Pure mapping from vertex ids to (bin, slot) pairs."""
+
+    def __init__(self, num_vertices: int, num_bins: int, block_size: int):
+        if num_bins < 1:
+            raise ValueError("num_bins must be >= 1")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.num_vertices = num_vertices
+        self.num_bins = num_bins
+        self.block_size = block_size
+
+    def bin_of(self, vertex: int) -> int:
+        return (vertex // self.block_size) % self.num_bins
+
+    def slot_of(self, vertex: int) -> int:
+        block = vertex // self.block_size
+        return (block // self.num_bins) * self.block_size + (
+            vertex % self.block_size
+        )
+
+    def vertices_of_bin(self, bin_index: int) -> Iterator[int]:
+        """All vertices mapped to a bin, in slot (sweep) order."""
+        block = bin_index
+        while block * self.block_size < self.num_vertices:
+            start = block * self.block_size
+            stop = min(start + self.block_size, self.num_vertices)
+            yield from range(start, stop)
+            block += self.num_bins
+
+
+class CoalescingQueue:
+    """Binned, direct-mapped, in-place coalescing event store."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        reduce_fn: Callable[[float, float], float],
+        *,
+        num_bins: int = 64,
+        block_size: int = 128,
+        capacity_vertices: Optional[int] = None,
+    ):
+        """
+        Parameters
+        ----------
+        num_vertices:
+            Size of the vertex space the queue must cover.
+        reduce_fn:
+            The algorithm's reduce operator, used to coalesce payloads.
+        num_bins:
+            Number of collector bins (64 in the paper's 64MB queue; the
+            Figure 8 experiment uses 256).
+        block_size:
+            Vertices per spatial block (128 in Section V).
+        capacity_vertices:
+            Maximum vertex ids representable — the direct-mapped storage
+            limit that forces slicing for large graphs (Section IV-F).
+            Defaults to unlimited (functional modelling).
+        """
+        if capacity_vertices is not None and num_vertices > capacity_vertices:
+            raise ValueError(
+                f"graph has {num_vertices} vertices but the queue can map "
+                f"only {capacity_vertices}; partition the graph into slices"
+            )
+        self.mapping = VertexBinMap(num_vertices, num_bins, block_size)
+        self.reduce_fn = reduce_fn
+        # slot -> pending entries; normally one per vertex (coalesced),
+        # transiently more when an insertion lands while a drain sweep
+        # passes (the entries merge at the next drain).
+        self._bins: List[Dict[int, List[Event]]] = [
+            dict() for _ in range(num_bins)
+        ]
+        self._size = 0
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_bins(self) -> int:
+        return self.mapping.num_bins
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    def bin_occupancy(self, bin_index: int) -> int:
+        return len(self._bins[bin_index])
+
+    def insert(self, event: Event) -> bool:
+        """Insert an event, coalescing in place.
+
+        Returns True when the event coalesced into an occupied slot (no
+        occupancy growth), False when it claimed an empty slot.  The
+        merge itself is performed lazily at drain time so that the
+        cycle-level model can split a slot's contents by insertion
+        completion time (an insertion racing a drain sweep lands *after*
+        the sweep and waits for the next round).
+        """
+        self.stats.inserted += 1
+        bucket = self._bins[self.mapping.bin_of(event.vertex)]
+        entries = bucket.get(event.vertex)
+        if entries is not None:
+            entries.append(event)
+            self.stats.coalesced += 1
+            return True
+        bucket[event.vertex] = [event]
+        self._size += 1
+        if self._size > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = self._size
+        return False
+
+    def _merge(self, entries: List[Event]) -> Event:
+        merged = entries[0]
+        for entry in entries[1:]:
+            merged = merged.coalesced_with(entry, self.reduce_fn)
+        return merged
+
+    def peek_bin(self, bin_index: int) -> List[Event]:
+        """Coalesced events of a bin, in sweep (slot) order, not removed."""
+        bucket = self._bins[bin_index]
+        return [
+            self._merge(bucket[v])
+            for v in sorted(bucket, key=self.mapping.slot_of)
+        ]
+
+    def drain_bin(
+        self, bin_index: int, before: Optional[int] = None
+    ) -> List[Event]:
+        """Remove and return a bin's events in sweep order.
+
+        Models the row-sweep removal: "a full row is read in each cycle
+        and the events are placed in an output buffer", bins visited
+        round-robin.  Because slots coalesce, at most one event per
+        vertex is ever returned per drain — the guarantee that makes
+        vertex updates atomic without locks.
+
+        When ``before`` is given (cycle-level model), only contributions
+        whose insertion completed by that cycle are taken; a
+        contribution still in flight when the sweep passes stays in the
+        slot and is picked up next round, matching the hardware race
+        semantics ("insertion to the same bin is stalled in the cycles
+        in which a removal operation is active").
+        """
+        bucket = self._bins[bin_index]
+        events: List[Event] = []
+        for vertex in sorted(bucket, key=self.mapping.slot_of):
+            entries = bucket[vertex]
+            if before is None:
+                taken, left = entries, []
+            else:
+                taken = [e for e in entries if e.ready <= before]
+                left = [e for e in entries if e.ready > before]
+            if not taken:
+                continue
+            events.append(self._merge(taken))
+            if left:
+                bucket[vertex] = left
+            else:
+                del bucket[vertex]
+                self._size -= 1
+        self.stats.drained += len(events)
+        return events
+
+    def drain_all(self) -> List[Event]:
+        """Drain every bin in order (used when swapping slices out)."""
+        out: List[Event] = []
+        for b in range(self.num_bins):
+            out.extend(self.drain_bin(b))
+        return out
+
+    def __iter__(self) -> Iterator[Event]:
+        for b in range(self.num_bins):
+            yield from self.peek_bin(b)

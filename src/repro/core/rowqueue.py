@@ -1,0 +1,175 @@
+"""Bit-level model of one coalescing-queue bin (paper Section IV-D).
+
+The higher-level :class:`repro.core.queue.CoalescingQueue` models the
+queue's *semantics*; this module models one bin's *storage organisation*
+exactly as Figure 6 describes it:
+
+- the bin is a direct-mapped RAM split into **rows** and **columns**;
+  "only one vertex ID maps to a bin-row-column tuple so that there is no
+  collision" and "vertex ID isn't stored since the events are direct
+  mapped";
+- "the number of rows is based on the on-chip RAM block granularity
+  (usually 4096)" and rows are wide, "so that many events can be read in
+  one cycle" during a drain sweep;
+- a per-row **occupancy bit-vector** with a priority encoder "gives fast
+  look-up capability of occupied rows during sweeping", skipping empty
+  rows;
+- insertion reads the mapped slot, runs the 4-stage combiner pipeline,
+  and writes back; "when insertions contend for the same row, the later
+  events are stalled until the first event is written";
+- "insertion to the same bin is stalled in the cycles in which a removal
+  operation is active".
+
+The model tracks those row-port conflicts and sweep costs cycle by
+cycle, providing the microarchitectural statistics (row conflicts,
+sweep efficiency, occupancy) that size the design — and it lets tests
+verify the capacity arithmetic behind
+``GraphPulseConfig.queue_capacity_events``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.stats import StatSet
+
+__all__ = ["BinStorage", "BinGeometry"]
+
+
+@dataclass(frozen=True)
+class BinGeometry:
+    """Shape of one bin's RAM block (Figure 6a)."""
+
+    num_rows: int = 4096
+    num_columns: int = 16
+    #: combiner pipeline depth (read + 4-stage FPA + write)
+    coalescer_latency: int = 4
+
+    @property
+    def capacity(self) -> int:
+        return self.num_rows * self.num_columns
+
+    def locate(self, slot: int) -> Tuple[int, int]:
+        """Map a bin-local slot id to its (row, column)."""
+        if not 0 <= slot < self.capacity:
+            raise ValueError(
+                f"slot {slot} outside bin capacity {self.capacity}"
+            )
+        return slot // self.num_columns, slot % self.num_columns
+
+
+class BinStorage:
+    """One direct-mapped bin with row-conflict and sweep timing."""
+
+    def __init__(self, geometry: BinGeometry = BinGeometry(), name: str = "bin"):
+        self.geometry = geometry
+        self.name = name
+        # payload storage; None = empty slot (the RAM plus its valid bit)
+        self._payloads: List[Optional[float]] = [None] * geometry.capacity
+        #: per-row occupancy counters backing the occupancy bit-vector
+        self._row_counts = [0] * geometry.num_rows
+        #: cycle until which each row's write port is busy (in-flight
+        #: insertion write-back)
+        self._row_busy_until = [0] * geometry.num_rows
+        #: cycle until which the whole bin is locked by a removal sweep
+        self._removal_until = 0
+        self.stats = StatSet(name)
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return sum(self._row_counts)
+
+    def occupied_rows(self) -> List[int]:
+        """Indices of non-empty rows (the occupancy bit-vector's ones)."""
+        return [r for r, count in enumerate(self._row_counts) if count]
+
+    def payload(self, slot: int) -> Optional[float]:
+        return self._payloads[slot]
+
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        slot: int,
+        delta: float,
+        at: int,
+        reduce_fn,
+    ) -> Tuple[int, bool]:
+        """Insert one event payload at ``at``.
+
+        Returns ``(write_back_cycle, coalesced)``.  The insertion stalls
+        while a removal sweep is active and while an earlier insertion
+        to the *same row* is still in flight (different rows pipeline
+        freely through the combiner).
+        """
+        geometry = self.geometry
+        row, __ = geometry.locate(slot)
+        start = max(at, self._removal_until, self._row_busy_until[row])
+        self.stats.add("insert_stall_cycles", start - at)
+        if start > at and self._row_busy_until[row] > max(
+            at, self._removal_until
+        ):
+            self.stats.add("row_conflicts")
+
+        existing = self._payloads[slot]
+        coalesced = existing is not None
+        if coalesced:
+            self._payloads[slot] = reduce_fn(existing, delta)
+            self.stats.add("coalesced")
+        else:
+            self._payloads[slot] = delta
+            self._row_counts[row] += 1
+        done = start + geometry.coalescer_latency
+        self._row_busy_until[row] = done
+        self.stats.add("inserted")
+        return done, coalesced
+
+    # ------------------------------------------------------------------
+    def sweep(self, at: int) -> Tuple[List[Tuple[int, float]], int]:
+        """Drain the whole bin starting at cycle ``at``.
+
+        Reads one full row per cycle, visiting only occupied rows (the
+        priority encoder skips empty ones).  Insertions are stalled for
+        the duration.  Returns ``(drained slot/payload pairs,
+        completion_cycle)``.
+        """
+        # wait for in-flight insertions to commit so the sweep reads
+        # consistent rows
+        start = max(
+            [at] + [self._row_busy_until[r] for r in self.occupied_rows()]
+        )
+        drained: List[Tuple[int, float]] = []
+        cycles = 0
+        for row in self.occupied_rows():
+            cycles += 1  # one wide-row read per cycle
+            base = row * self.geometry.num_columns
+            for column in range(self.geometry.num_columns):
+                slot = base + column
+                payload = self._payloads[slot]
+                if payload is not None:
+                    drained.append((slot, payload))
+                    self._payloads[slot] = None
+            self._row_counts[row] = 0
+        done = start + cycles
+        self._removal_until = done
+        self.stats.add("sweeps")
+        self.stats.add("sweep_cycles", cycles)
+        self.stats.add("drained", len(drained))
+        return drained, done
+
+    # ------------------------------------------------------------------
+    def sweep_efficiency(self) -> float:
+        """Events drained per sweep cycle, normalized to row width.
+
+        1.0 means every read row was completely full — the benefit of
+        the occupancy bit-vector plus dense vertex blocks; low values
+        indicate sparse rows ("towards the beginning or the end of an
+        application, the queue is sparsely occupied").
+        """
+        cycles = self.stats.get("sweep_cycles")
+        if not cycles:
+            return 1.0
+        return self.stats.get("drained") / (
+            cycles * self.geometry.num_columns
+        )

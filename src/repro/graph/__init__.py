@@ -1,0 +1,49 @@
+"""Graph substrate: CSR storage, generators, dataset proxies, partitioning."""
+
+from .csr import CSRGraph
+from .datasets import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .generators import (
+    binary_tree_graph,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    random_weights,
+    rmat_graph,
+    small_world_graph,
+    star_graph,
+)
+from .io import load_csr, load_edge_list, save_csr, save_edge_list
+from .partition import (
+    GraphSlice,
+    Partition,
+    contiguous_partition,
+    greedy_edge_cut_partition,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "rmat_graph",
+    "erdos_renyi_graph",
+    "small_world_graph",
+    "chain_graph",
+    "cycle_graph",
+    "grid_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree_graph",
+    "random_weights",
+    "load_edge_list",
+    "save_edge_list",
+    "save_csr",
+    "load_csr",
+    "GraphSlice",
+    "Partition",
+    "contiguous_partition",
+    "greedy_edge_cut_partition",
+]

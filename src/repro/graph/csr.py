@@ -1,0 +1,251 @@
+"""Compressed Sparse Row graph storage.
+
+This is the in-memory graph format used by every engine in the
+reproduction, mirroring the paper's statement that "the graph is stored in
+a Compressed Sparse Row format in memory" (Section IV-E).  Vertex ids are
+dense integers in ``[0, num_vertices)``.  Out-edges of vertex ``v`` occupy
+``adjacency[offsets[v]:offsets[v + 1]]`` and the matching entries of
+``weights`` (when the graph is weighted).
+
+The class also exposes the *byte layout* of the structure (`vertex_bytes`,
+`edge_bytes`, address helpers) because the cycle-level simulator issues
+memory requests against concrete addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass
+class CSRGraph:
+    """A directed graph in Compressed Sparse Row form.
+
+    Parameters
+    ----------
+    offsets:
+        ``int64`` array of length ``num_vertices + 1``; monotonically
+        non-decreasing, ``offsets[0] == 0`` and
+        ``offsets[-1] == num_edges``.
+    adjacency:
+        ``int32``/``int64`` array of destination vertex ids, grouped by
+        source vertex.
+    weights:
+        Optional ``float64`` per-edge weights, same length as
+        ``adjacency``.  ``None`` models an unweighted graph.
+    name:
+        Human-readable label used in benchmark reports.
+    """
+
+    offsets: np.ndarray
+    adjacency: np.ndarray
+    weights: Optional[np.ndarray] = None
+    name: str = "graph"
+
+    #: bytes occupied by one vertex property (double-precision rank etc.)
+    vertex_bytes: int = field(default=8, repr=False)
+    #: bytes occupied by one edge record (destination id, 4 bytes in the
+    #: paper's graphs; weighted graphs carry 4 more for the weight)
+    edge_bytes: int = field(default=4, repr=False)
+
+    def __post_init__(self) -> None:
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        self.adjacency = np.asarray(self.adjacency, dtype=np.int64)
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+        self._validate()
+        self._in_degrees: Optional[np.ndarray] = None
+        self._reverse: Optional["CSRGraph"] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        weights: Optional[Sequence[float]] = None,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from an iterable of ``(src, dst)`` pairs.
+
+        Edge order within a vertex's adjacency list follows the sorted
+        order of ``(src, dst)``, which keeps layouts deterministic across
+        runs regardless of input ordering.
+        """
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise ValueError("edges must be (src, dst) pairs")
+        if edge_array.size and (
+            edge_array.min() < 0 or edge_array.max() >= num_vertices
+        ):
+            raise ValueError("edge endpoint out of range")
+
+        weight_array = None
+        if weights is not None:
+            weight_array = np.asarray(weights, dtype=np.float64)
+            if weight_array.shape[0] != edge_array.shape[0]:
+                raise ValueError("weights length must match edges length")
+
+        order = np.lexsort((edge_array[:, 1], edge_array[:, 0]))
+        edge_array = edge_array[order]
+        if weight_array is not None:
+            weight_array = weight_array[order]
+
+        counts = np.bincount(edge_array[:, 0], minlength=num_vertices)
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(
+            offsets=offsets,
+            adjacency=edge_array[:, 1],
+            weights=weight_array,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def out_degree(self, vertex: int) -> int:
+        return int(self.offsets[vertex + 1] - self.offsets[vertex])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees for every vertex."""
+        return np.diff(self.offsets)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees for every vertex (cached)."""
+        if self._in_degrees is None:
+            self._in_degrees = np.bincount(
+                self.adjacency, minlength=self.num_vertices
+            ).astype(np.int64)
+        return self._in_degrees
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Destination ids of ``vertex``'s out-edges (a CSR slice view)."""
+        return self.adjacency[self.offsets[vertex]: self.offsets[vertex + 1]]
+
+    def edge_weights(self, vertex: int) -> np.ndarray:
+        """Weights of ``vertex``'s out-edges; ones when unweighted."""
+        if self.weights is None:
+            return np.ones(self.out_degree(vertex), dtype=np.float64)
+        return self.weights[self.offsets[vertex]: self.offsets[vertex + 1]]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all ``(src, dst)`` pairs in CSR order."""
+        for src in range(self.num_vertices):
+            for dst in self.neighbors(src):
+                yield src, int(dst)
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every edge, aligned with ``adjacency``."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), self.out_degrees()
+        )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (in-edges become out-edges), cached.
+
+        Pull-style baselines iterate a vertex's *incoming* neighbours,
+        which in CSR terms is the adjacency of the reversed graph.
+        """
+        if self._reverse is None:
+            sources = self.edge_sources()
+            self._reverse = CSRGraph.from_edges(
+                self.num_vertices,
+                zip(self.adjacency.tolist(), sources.tolist()),
+                weights=None if self.weights is None else self.weights.tolist(),
+                name=f"{self.name}^T",
+            )
+        return self._reverse
+
+    def with_weights(self, weights: np.ndarray) -> "CSRGraph":
+        """A copy of this graph carrying the given per-edge weights."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape[0] != self.num_edges:
+            raise ValueError("weights length must equal num_edges")
+        return CSRGraph(
+            offsets=self.offsets.copy(),
+            adjacency=self.adjacency.copy(),
+            weights=weights,
+            name=self.name,
+        )
+
+    def with_unit_weights(self) -> "CSRGraph":
+        """A copy with all-ones weights (for SSSP on unweighted inputs)."""
+        return self.with_weights(np.ones(self.num_edges, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Memory layout (used by the cycle-level simulator)
+    # ------------------------------------------------------------------
+    def vertex_address(self, vertex: int) -> int:
+        """Byte address of a vertex property in the simulated memory.
+
+        Vertex properties live at the base of the simulated address
+        space, packed contiguously.
+        """
+        return vertex * self.vertex_bytes
+
+    def edge_address(self, edge_index: int) -> int:
+        """Byte address of an edge record (edges follow the vertices)."""
+        return self.edge_region_base + edge_index * self.edge_bytes
+
+    @property
+    def edge_region_base(self) -> int:
+        return self.num_vertices * self.vertex_bytes
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total simulated memory footprint of properties plus structure."""
+        return (
+            self.num_vertices * self.vertex_bytes
+            + self.num_edges * self.edge_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.offsets.ndim != 1 or len(self.offsets) < 1:
+            raise ValueError("offsets must be a 1-D array of length >= 1")
+        if self.offsets[0] != 0:
+            raise ValueError("offsets[0] must be 0")
+        if np.any(np.diff(self.offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if int(self.offsets[-1]) != len(self.adjacency):
+            raise ValueError("offsets[-1] must equal len(adjacency)")
+        if self.adjacency.size and (
+            self.adjacency.min() < 0
+            or self.adjacency.max() >= len(self.offsets) - 1
+        ):
+            raise ValueError("adjacency entry out of range")
+        if self.weights is not None and len(self.weights) != len(self.adjacency):
+            raise ValueError("weights must align with adjacency")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, weighted={self.is_weighted})"
+        )

@@ -1,0 +1,122 @@
+"""Graph persistence: plain edge-list text files and binary CSR bundles.
+
+Real deployments would load SNAP/Network-Repository files (Table IV); the
+same loaders here read the standard whitespace-separated edge-list format
+those collections use, so a user with the original datasets can drop them
+in directly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "save_csr",
+    "load_csr",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_edge_list(
+    path: PathLike,
+    *,
+    num_vertices: Optional[int] = None,
+    weighted: bool = False,
+    comment: str = "#",
+    name: Optional[str] = None,
+) -> CSRGraph:
+    """Load a whitespace-separated ``src dst [weight]`` edge-list file.
+
+    Lines starting with ``comment`` are skipped (SNAP convention).  When
+    ``num_vertices`` is omitted it is inferred as ``max id + 1``.
+    """
+    path = Path(path)
+    sources: List[int] = []
+    targets: List[int] = []
+    weights: List[float] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'src dst [w]'")
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+            if weighted:
+                weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if num_vertices is None:
+        highest = max(max(sources, default=-1), max(targets, default=-1))
+        num_vertices = highest + 1
+    return CSRGraph.from_edges(
+        num_vertices,
+        zip(sources, targets),
+        weights=weights if weighted else None,
+        name=name or path.stem,
+    )
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write a graph as a ``src dst [weight]`` text file."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        handle.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                     f"{graph.num_edges} edges\n")
+        for index, (src, dst) in enumerate(graph.edges()):
+            if graph.weights is not None:
+                handle.write(f"{src} {dst} {graph.weights[index]:g}\n")
+            else:
+                handle.write(f"{src} {dst}\n")
+
+
+def save_csr(graph: CSRGraph, path: PathLike) -> None:
+    """Persist a graph as a compressed ``.npz`` CSR bundle."""
+    arrays = {
+        "offsets": graph.offsets,
+        "adjacency": graph.adjacency,
+        "name": np.array(graph.name),
+    }
+    if graph.weights is not None:
+        arrays["weights"] = graph.weights
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_csr(path: PathLike) -> CSRGraph:
+    """Load a graph previously saved with :func:`save_csr`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        weights = data["weights"] if "weights" in data.files else None
+        return CSRGraph(
+            offsets=data["offsets"],
+            adjacency=data["adjacency"],
+            weights=weights,
+            name=str(data["name"]),
+        )
+
+
+def edge_list_round_trip(graph: CSRGraph, path: PathLike) -> Tuple[CSRGraph, bool]:
+    """Save + reload a graph, returning the reloaded graph and equality.
+
+    Convenience used by tests and by users validating dataset ingest.
+    """
+    save_edge_list(graph, path)
+    reloaded = load_edge_list(
+        path,
+        num_vertices=graph.num_vertices,
+        weighted=graph.is_weighted,
+        name=graph.name,
+    )
+    same = bool(
+        np.array_equal(graph.offsets, reloaded.offsets)
+        and np.array_equal(graph.adjacency, reloaded.adjacency)
+    )
+    return reloaded, same

@@ -1,0 +1,18 @@
+"""Memory substrate: DRAM timing, caches, scratchpads (DRAMSim2 stand-in)."""
+
+from .cache import Cache, CacheConfig
+from .dram import DRAMBank, DRAMChannel, DRAMConfig, DRAMSystem
+from .request import AccessResult, MemoryRequest
+from .scratchpad import Scratchpad
+
+__all__ = [
+    "MemoryRequest",
+    "AccessResult",
+    "DRAMConfig",
+    "DRAMBank",
+    "DRAMChannel",
+    "DRAMSystem",
+    "Cache",
+    "CacheConfig",
+    "Scratchpad",
+]

@@ -1,0 +1,131 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for the edge-reader caching buffer ("We include a small caching
+buffer with the edge memory reader to enhance the throughput",
+Section V) and for the CPU cache hierarchy in the software-baseline cost
+model.  Misses are filled from a backing :class:`DRAMSystem`; dirty
+evictions write back.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..sim.stats import StatSet
+from .dram import DRAMSystem
+from .request import AccessResult, MemoryRequest
+
+__all__ = ["Cache", "CacheConfig"]
+
+
+class CacheConfig:
+    """Geometry of a cache (capacity must be line*assoc aligned)."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        line_bytes: int = 64,
+        associativity: int = 4,
+        hit_cycles: int = 2,
+    ):
+        if capacity_bytes % (line_bytes * associativity):
+            raise ValueError("capacity must be a multiple of line*assoc")
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.hit_cycles = hit_cycles
+        self.num_sets = capacity_bytes // (line_bytes * associativity)
+        if self.num_sets < 1:
+            raise ValueError("cache too small for its associativity")
+
+
+class Cache:
+    """LRU set-associative cache in front of a DRAM system."""
+
+    def __init__(self, name: str, config: CacheConfig, backing: DRAMSystem):
+        self.name = name
+        self.config = config
+        self.backing = backing
+        # set index -> OrderedDict {tag: dirty}; LRU at the front
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.stats = StatSet(name)
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def access(
+        self,
+        address: int,
+        at: int,
+        *,
+        is_write: bool = False,
+        kind: str = "data",
+    ) -> AccessResult:
+        """Access one address (within a single line); returns timing."""
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            if is_write:
+                ways[tag] = True
+            self.stats.add("hits")
+            self.stats.add(f"{kind}_hits")
+            done = at + self.config.hit_cycles
+            return AccessResult(start_cycle=at, done_cycle=done, row_hit=True)
+
+        self.stats.add("misses")
+        self.stats.add(f"{kind}_misses")
+        line_base = (address // self.config.line_bytes) * self.config.line_bytes
+        if len(ways) >= self.config.associativity:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            if victim_dirty:
+                victim_line = victim_tag * self.config.num_sets + set_index
+                self.backing.access(
+                    MemoryRequest(
+                        address=victim_line * self.config.line_bytes,
+                        size=self.config.line_bytes,
+                        is_write=True,
+                        kind=f"{kind}_writeback",
+                    ),
+                    at,
+                )
+                self.stats.add("writebacks")
+        fill = self.backing.access(
+            MemoryRequest(
+                address=line_base,
+                size=self.config.line_bytes,
+                is_write=False,
+                kind=kind,
+            ),
+            at,
+        )
+        ways[tag] = is_write
+        done = fill.done_cycle + self.config.hit_cycles
+        return AccessResult(start_cycle=at, done_cycle=done, row_hit=False)
+
+    def hit_rate(self) -> float:
+        total = self.stats.get("hits") + self.stats.get("misses")
+        return self.stats.get("hits") / total if total else 0.0
+
+    def flush(self, at: int = 0) -> int:
+        """Write back all dirty lines; returns number written."""
+        written = 0
+        for set_index, ways in self._sets.items():
+            for tag, dirty in ways.items():
+                if dirty:
+                    line = tag * self.config.num_sets + set_index
+                    self.backing.access(
+                        MemoryRequest(
+                            address=line * self.config.line_bytes,
+                            size=self.config.line_bytes,
+                            is_write=True,
+                            kind="flush",
+                        ),
+                        at,
+                    )
+                    written += 1
+        self._sets.clear()
+        return written

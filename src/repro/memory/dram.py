@@ -1,0 +1,205 @@
+"""DDR3-style DRAM timing model (stand-in for DRAMSim2).
+
+Models the memory subsystem of Table III: 4 DDR3 channels at 17 GB/s
+each.  Each channel has a set of banks with open-row (row-buffer) state
+and a shared data bus.  An access decomposes into cache-line bursts; a
+burst pays row-hit or row-miss latency at its bank, then serializes on
+the channel's data bus.  All times are in accelerator clock cycles
+(1 GHz, Table III), so 17 GB/s is 17 bytes/cycle.
+
+Address mapping (low bits to high): byte-in-line, channel, column,
+bank, row — the standard interleave that spreads consecutive lines over
+channels and keeps a sequential stream inside one row per bank, so
+streaming accesses enjoy row hits and random accesses mostly miss, the
+asymmetry the paper's locality optimizations exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.kernel import BandwidthResource, Resource
+from ..sim.stats import StatSet, merge_stats
+from .request import AccessResult, MemoryRequest
+
+__all__ = ["DRAMConfig", "DRAMBank", "DRAMChannel", "DRAMSystem"]
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Timing/geometry knobs for the DRAM system (Table III defaults)."""
+
+    num_channels: int = 4
+    banks_per_channel: int = 8
+    row_bytes: int = 2048
+    line_bytes: int = 64
+    #: cycles from column command to data for an open row (CAS)
+    row_hit_cycles: int = 22
+    #: cycles for precharge + activate + CAS on a row-buffer miss
+    row_miss_cycles: int = 48
+    #: minimum gap between column commands to the same bank
+    column_gap_cycles: int = 4
+    #: per-channel data-bus bandwidth (17 GB/s at 1 GHz)
+    bytes_per_cycle: float = 17.0
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_bytes // self.line_bytes
+
+    @property
+    def total_bandwidth(self) -> float:
+        return self.num_channels * self.bytes_per_cycle
+
+
+class DRAMBank:
+    """One bank: open-row state plus a command-occupancy resource."""
+
+    def __init__(self, name: str, config: DRAMConfig):
+        self.config = config
+        self.open_row: int = -1
+        self.resource = Resource(name)
+        self.stats = self.resource.stats
+
+    def access(self, row: int, at: int) -> Tuple[int, bool]:
+        """Issue one burst to ``row``; returns (data_ready_cycle, hit)."""
+        hit = row == self.open_row
+        if hit:
+            occupancy = self.config.column_gap_cycles
+            latency = self.config.row_hit_cycles
+            self.stats.add("row_hits")
+        else:
+            occupancy = self.config.row_miss_cycles
+            latency = self.config.row_miss_cycles
+            self.open_row = row
+            self.stats.add("row_misses")
+        start = self.resource.acquire(at, occupancy)
+        return start + latency, hit
+
+
+class DRAMChannel:
+    """One channel: banks plus the shared data bus."""
+
+    def __init__(self, index: int, config: DRAMConfig):
+        self.index = index
+        self.config = config
+        self.banks: List[DRAMBank] = [
+            DRAMBank(f"ch{index}.bank{b}", config)
+            for b in range(config.banks_per_channel)
+        ]
+        self.bus = BandwidthResource(f"ch{index}.bus", config.bytes_per_cycle)
+        self.stats = StatSet(f"channel{index}")
+
+    def access_line(self, channel_line: int, at: int, is_write: bool) -> AccessResult:
+        """One line-sized burst; ``channel_line`` is the line index local
+        to this channel (already stripped of the channel interleave)."""
+        cfg = self.config
+        column = channel_line % cfg.lines_per_row
+        bank_index = (channel_line // cfg.lines_per_row) % cfg.banks_per_channel
+        row = channel_line // (cfg.lines_per_row * cfg.banks_per_channel)
+        ready, hit = self.banks[bank_index].access(row, at)
+        start, done = self.bus.transfer(ready, cfg.line_bytes)
+        self.stats.add("bursts")
+        self.stats.add("bytes", cfg.line_bytes)
+        if is_write:
+            self.stats.add("write_bursts")
+        else:
+            self.stats.add("read_bursts")
+        return AccessResult(start_cycle=min(at, start), done_cycle=done, row_hit=hit)
+
+    def bank_stats(self) -> StatSet:
+        return merge_stats((b.stats for b in self.banks), f"ch{self.index}.banks")
+
+
+class DRAMSystem:
+    """All channels behind a line-interleaved address map."""
+
+    def __init__(self, config: DRAMConfig = DRAMConfig()):
+        self.config = config
+        self.channels: List[DRAMChannel] = [
+            DRAMChannel(c, config) for c in range(config.num_channels)
+        ]
+        self.stats = StatSet("dram")
+
+    def lines_of(self, request: MemoryRequest) -> range:
+        """Global line indices covered by a request."""
+        first = request.address // self.config.line_bytes
+        last = (request.address + request.size - 1) // self.config.line_bytes
+        return range(first, last + 1)
+
+    def access(self, request: MemoryRequest, at: int) -> AccessResult:
+        """Perform a (possibly multi-line) access; returns overall timing."""
+        start = None
+        done = at
+        hits = 0
+        lines = self.lines_of(request)
+        for line in lines:
+            channel = self.channels[line % self.config.num_channels]
+            result = channel.access_line(
+                line // self.config.num_channels, at, request.is_write
+            )
+            start = result.start_cycle if start is None else min(start, result.start_cycle)
+            done = max(done, result.done_cycle)
+            hits += int(result.row_hit)
+        self.stats.add("accesses")
+        self.stats.add(f"{request.kind}_accesses")
+        nbytes = len(lines) * self.config.line_bytes
+        self.stats.add("bytes", nbytes)
+        self.stats.add(f"{request.kind}_bytes", nbytes)
+        if request.is_write:
+            self.stats.add("write_bytes", nbytes)
+        else:
+            self.stats.add("read_bytes", nbytes)
+        return AccessResult(
+            start_cycle=at if start is None else start,
+            done_cycle=done,
+            row_hit=hits == len(lines),
+        )
+
+    def access_lines(self, request: MemoryRequest, at: int) -> List[AccessResult]:
+        """Like :meth:`access` but returns per-line timing.
+
+        Used by streaming consumers (the edge readers) that pace their
+        work on individual line arrivals rather than the whole request.
+        """
+        results: List[AccessResult] = []
+        lines = self.lines_of(request)
+        for line in lines:
+            channel = self.channels[line % self.config.num_channels]
+            results.append(
+                channel.access_line(
+                    line // self.config.num_channels, at, request.is_write
+                )
+            )
+        self.stats.add("accesses")
+        self.stats.add(f"{request.kind}_accesses")
+        nbytes = len(lines) * self.config.line_bytes
+        self.stats.add("bytes", nbytes)
+        self.stats.add(f"{request.kind}_bytes", nbytes)
+        if request.is_write:
+            self.stats.add("write_bytes", nbytes)
+        else:
+            self.stats.add("read_bytes", nbytes)
+        return results
+
+    def row_hit_rate(self) -> float:
+        """Row-buffer hit fraction across all banks."""
+        merged = merge_stats(
+            (bank.stats for ch in self.channels for bank in ch.banks), "banks"
+        )
+        total = merged.get("row_hits") + merged.get("row_misses")
+        return merged.get("row_hits") / total if total else 0.0
+
+    def busy_horizon(self) -> int:
+        """Cycle when the last scheduled burst completes."""
+        return max((ch.bus.next_free for ch in self.channels), default=0)
+
+    def bandwidth_utilization(self, horizon: int) -> float:
+        """Aggregate data-bus utilization over ``horizon`` cycles."""
+        if horizon <= 0:
+            return 0.0
+        busy = sum(ch.bus.stats.get("busy_cycles") for ch in self.channels)
+        return min(busy / (horizon * self.config.num_channels), 1.0)
+
+    def total_bytes(self) -> float:
+        return self.stats.get("bytes")

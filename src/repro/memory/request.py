@@ -1,0 +1,37 @@
+"""Memory request descriptor shared by the DRAM model and caches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryRequest", "AccessResult"]
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A single off-chip access of ``size`` bytes at ``address``."""
+
+    address: int
+    size: int
+    is_write: bool = False
+    #: free-form tag recorded into stats (e.g. "vertex", "edge", "spill")
+    kind: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of a memory access."""
+
+    start_cycle: int
+    done_cycle: int
+    row_hit: bool = False
+
+    @property
+    def latency(self) -> int:
+        return self.done_cycle - self.start_cycle

@@ -1,0 +1,101 @@
+"""Prefetch scratchpad (Section V, Figure 9).
+
+"A small scratchpad memory sits between the processor and the graph
+memory to prefetch and store vertex properties for the events waiting in
+the input buffer."  The scratchpad is explicitly managed: the prefetcher
+fills it with the cache lines covering an upcoming block of events, the
+processor then reads vertex properties at SRAM latency, and the block is
+dropped once its events complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..sim.stats import StatSet
+from .dram import DRAMSystem
+from .request import MemoryRequest
+
+__all__ = ["Scratchpad"]
+
+
+class Scratchpad:
+    """Explicitly-managed line buffer with fixed access latency."""
+
+    def __init__(
+        self,
+        name: str,
+        backing: DRAMSystem,
+        *,
+        capacity_bytes: int = 1024,
+        line_bytes: int = 64,
+        access_cycles: int = 1,
+    ):
+        if capacity_bytes < line_bytes:
+            raise ValueError("scratchpad smaller than one line")
+        self.name = name
+        self.backing = backing
+        self.capacity_lines = capacity_bytes // line_bytes
+        self.line_bytes = line_bytes
+        self.access_cycles = access_cycles
+        self._resident: Set[int] = set()
+        self.stats = StatSet(name)
+
+    def _line_of(self, address: int) -> int:
+        return address // self.line_bytes
+
+    @property
+    def resident_lines(self) -> int:
+        return len(self._resident)
+
+    def prefetch(self, address: int, at: int, *, kind: str = "vertex") -> int:
+        """Fetch the line covering ``address`` into the scratchpad.
+
+        Returns the cycle the line becomes resident.  Already-resident
+        lines return immediately (no duplicate traffic).  When full, the
+        oldest semantics don't matter — the prefetcher drops lines via
+        :meth:`release` as blocks complete — so overflow raises, keeping
+        capacity bugs loud.
+        """
+        line = self._line_of(address)
+        if line in self._resident:
+            self.stats.add("duplicate_prefetches")
+            return at
+        if len(self._resident) >= self.capacity_lines:
+            raise RuntimeError(
+                f"{self.name}: scratchpad overflow "
+                f"({self.capacity_lines} lines); release a block first"
+            )
+        result = self.backing.access(
+            MemoryRequest(
+                address=line * self.line_bytes,
+                size=self.line_bytes,
+                is_write=False,
+                kind=kind,
+            ),
+            at,
+        )
+        self._resident.add(line)
+        self.stats.add("prefetched_lines")
+        return result.done_cycle
+
+    def read(self, address: int, at: int) -> int:
+        """Read a resident word; returns completion cycle.
+
+        Reading a non-resident address is a prefetcher bug — raise
+        rather than silently modelling a stall.
+        """
+        if self._line_of(address) not in self._resident:
+            raise KeyError(f"{self.name}: address {address:#x} not resident")
+        self.stats.add("reads")
+        return at + self.access_cycles
+
+    def contains(self, address: int) -> bool:
+        return self._line_of(address) in self._resident
+
+    def release(self, address: int) -> None:
+        """Drop the line covering ``address`` (block completed)."""
+        self._resident.discard(self._line_of(address))
+
+    def release_all(self) -> None:
+        self._resident.clear()

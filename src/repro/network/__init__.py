@@ -1,0 +1,6 @@
+"""On-chip interconnect: crossbar and arbiter models."""
+
+from .arbiter import Arbiter, ArbiterTree
+from .crossbar import Crossbar
+
+__all__ = ["Arbiter", "ArbiterTree", "Crossbar"]

@@ -1,0 +1,78 @@
+"""Arbiters for shared ports (paper Section IV-E).
+
+The scheduler-to-processor interconnect is "a multi-staged arbiter
+network": many requesters compete for grant slots, one grant per cycle
+per arbiter.  With next-free-cycle semantics an arbiter is a unit
+resource granting one request per cycle; a multi-stage tree composes
+stages with a per-stage hop latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.kernel import Resource
+from ..sim.stats import StatSet
+
+__all__ = ["Arbiter", "ArbiterTree"]
+
+
+class Arbiter:
+    """Grants one request per cycle; extra requests queue."""
+
+    def __init__(self, name: str, grant_latency: int = 1):
+        if grant_latency < 1:
+            raise ValueError("grant_latency must be >= 1")
+        self.name = name
+        self.grant_latency = grant_latency
+        self._slot = Resource(f"{name}.slot")
+        self.stats = StatSet(name)
+
+    def request(self, at: int) -> int:
+        """Request a grant at cycle ``at``; returns the grant cycle."""
+        start = self._slot.acquire(at, 1)
+        self.stats.add("grants")
+        self.stats.add("wait_cycles", start - at)
+        return start + self.grant_latency
+
+    @property
+    def next_free(self) -> int:
+        return self._slot.next_free
+
+
+class ArbiterTree:
+    """A tree of arbiters: ``fan_in`` requesters per first-stage arbiter,
+    winners feed one root arbiter.  Models the paper's multi-stage
+    scheduler network with ``stages = 2`` by default."""
+
+    def __init__(
+        self,
+        name: str,
+        num_requesters: int,
+        *,
+        fan_in: int = 16,
+        grant_latency: int = 1,
+    ):
+        if num_requesters < 1:
+            raise ValueError("num_requesters must be >= 1")
+        if fan_in < 1:
+            raise ValueError("fan_in must be >= 1")
+        self.name = name
+        self.fan_in = fan_in
+        num_leaves = (num_requesters + fan_in - 1) // fan_in
+        self.leaves: List[Arbiter] = [
+            Arbiter(f"{name}.leaf{i}", grant_latency) for i in range(num_leaves)
+        ]
+        self.root = Arbiter(f"{name}.root", grant_latency)
+        self.stats = StatSet(name)
+
+    def request(self, requester: int, at: int) -> int:
+        """Route a request through its leaf then the root; returns grant."""
+        leaf = self.leaves[requester // self.fan_in]
+        granted = leaf.request(at)
+        if len(self.leaves) == 1:
+            self.stats.add("grants")
+            return granted
+        final = self.root.request(granted)
+        self.stats.add("grants")
+        return final

@@ -1,0 +1,19 @@
+"""Power/area/energy model (Table V, Section VI-C)."""
+
+from .energy import (
+    CPU_PACKAGE_WATTS,
+    DEFAULT_COMPONENTS,
+    ComponentPower,
+    PowerModel,
+    PowerReport,
+    energy_efficiency_ratio,
+)
+
+__all__ = [
+    "ComponentPower",
+    "PowerModel",
+    "PowerReport",
+    "energy_efficiency_ratio",
+    "DEFAULT_COMPONENTS",
+    "CPU_PACKAGE_WATTS",
+]

@@ -1,0 +1,13 @@
+"""Simulation kernel: discrete-event core and resource-timing primitives."""
+
+from .kernel import BandwidthResource, PipelinedResource, Resource, Simulator
+from .stats import StatSet, merge_stats
+
+__all__ = [
+    "Simulator",
+    "Resource",
+    "PipelinedResource",
+    "BandwidthResource",
+    "StatSet",
+    "merge_stats",
+]

@@ -1,0 +1,76 @@
+"""Statistics registry for simulator components.
+
+Every modelled component (DRAM channel, crossbar port, processor, queue)
+owns a :class:`StatSet`.  Benchmarks and figures read *only* these stats;
+they never reach into component internals, which keeps the measurement
+surface explicit and stable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Optional
+
+__all__ = ["StatSet", "merge_stats"]
+
+
+class StatSet:
+    """A named bag of counters with a few convenience operations."""
+
+    def __init__(self, name: str = "stats"):
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment a counter (created on first use)."""
+        self._counters[key] += amount
+
+    def set(self, key: str, value: float) -> None:
+        """Overwrite a counter (for gauges like peak occupancy)."""
+        self._counters[key] = value
+
+    def max(self, key: str, value: float) -> None:
+        """Keep the running maximum of a gauge."""
+        if value > self._counters.get(key, float("-inf")):
+            self._counters[key] = value
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self._counters.get(key, default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def keys(self) -> Iterable[str]:
+        return self._counters.keys()
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe counter ratio (0 when the denominator is 0)."""
+        denom = self._counters.get(denominator, 0.0)
+        return self._counters.get(numerator, 0.0) / denom if denom else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy, suitable for reports and assertions."""
+        return dict(self._counters)
+
+    def clear(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(self._counters.items())
+        )
+        return f"StatSet({self.name}: {inner})"
+
+
+def merge_stats(
+    stat_sets: Iterable[StatSet], name: str = "merged"
+) -> StatSet:
+    """Sum counters across several StatSets (e.g. all DRAM channels)."""
+    merged = StatSet(name)
+    for stats in stat_sets:
+        for key, value in stats.snapshot().items():
+            merged.add(key, value)
+    return merged

@@ -1,0 +1,116 @@
+"""Tests for the delta-accumulative linear-equation solver."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.core import FunctionalGraphPulse, GraphPulseAccelerator
+
+
+def make_system(n=12, seed=5):
+    """A random strictly diagonally dominant system."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(-1.0, 1.0, size=(n, n))
+    np.fill_diagonal(matrix, 0.0)
+    dominance = np.sum(np.abs(matrix), axis=1) + rng.uniform(0.5, 1.5, n)
+    for i in range(n):
+        matrix[i, i] = dominance[i]
+    rhs = rng.uniform(-5.0, 5.0, size=n)
+    return matrix, rhs
+
+
+class TestSystemConversion:
+    def test_edge_coefficients(self):
+        matrix = np.array([[2.0, -1.0], [-0.5, 4.0]])
+        rhs = np.array([2.0, 8.0])
+        graph, constants = algorithms.system_from_matrix(matrix, rhs)
+        assert np.allclose(constants, [1.0, 2.0])
+        # edge 1 -> 0 carries -A_01/A_00 = 0.5
+        coefficients = {
+            (src, dst): w
+            for (src, dst), w in zip(graph.edges(), graph.weights)
+        }
+        assert coefficients[(1, 0)] == pytest.approx(0.5)
+        assert coefficients[(0, 1)] == pytest.approx(0.125)
+
+    def test_zero_entries_create_no_edges(self):
+        matrix = np.array([[2.0, 0.0], [0.0, 3.0]])
+        graph, __ = algorithms.system_from_matrix(matrix, np.ones(2))
+        assert graph.num_edges == 0
+
+    def test_rejects_non_dominant(self):
+        matrix = np.array([[1.0, 2.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="dominant"):
+            algorithms.system_from_matrix(matrix, np.ones(2))
+
+    def test_rejects_zero_diagonal(self):
+        matrix = np.array([[0.0, 0.1], [0.1, 1.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            algorithms.system_from_matrix(matrix, np.ones(2))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            algorithms.system_from_matrix(np.ones((2, 3)), np.ones(2))
+        with pytest.raises(ValueError):
+            algorithms.system_from_matrix(np.eye(2) * 2, np.ones(3))
+
+
+class TestSolver:
+    def test_solves_random_system(self):
+        matrix, rhs = make_system()
+        graph, constants = algorithms.system_from_matrix(matrix, rhs)
+        spec = algorithms.make_linear_solver(graph, constants=constants)
+        result = FunctionalGraphPulse(graph, spec).run()
+        exact = np.linalg.solve(matrix, rhs)
+        assert np.allclose(result.values, exact, atol=1e-6)
+
+    def test_matches_jacobi_reference(self):
+        matrix, rhs = make_system(seed=9)
+        graph, constants = algorithms.system_from_matrix(matrix, rhs)
+        spec = algorithms.make_linear_solver(graph, constants=constants)
+        result = FunctionalGraphPulse(graph, spec).run()
+        assert np.allclose(
+            result.values,
+            algorithms.jacobi_reference(matrix, rhs),
+            atol=1e-6,
+        )
+
+    def test_runs_on_cycle_accelerator(self):
+        matrix, rhs = make_system(n=8, seed=11)
+        graph, constants = algorithms.system_from_matrix(matrix, rhs)
+        spec = algorithms.make_linear_solver(graph, constants=constants)
+        result = GraphPulseAccelerator(graph, spec).run()
+        assert np.allclose(
+            result.values, np.linalg.solve(matrix, rhs), atol=1e-6
+        )
+        assert result.total_cycles > 0
+
+    def test_registered(self):
+        assert "linear-solver" in algorithms.algorithm_names()
+
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            algorithms.make_linear_solver()
+
+    def test_requires_weights(self):
+        from repro.graph import chain_graph
+
+        with pytest.raises(ValueError, match="weights"):
+            algorithms.make_linear_solver(
+                chain_graph(3), constants=np.ones(3)
+            )
+
+    def test_constants_length_checked(self):
+        matrix, rhs = make_system(n=4)
+        graph, __ = algorithms.system_from_matrix(matrix, rhs)
+        with pytest.raises(ValueError, match="length"):
+            algorithms.make_linear_solver(graph, constants=np.ones(3))
+
+    def test_diagonal_system_is_trivial(self):
+        matrix = np.diag([2.0, 4.0, 5.0])
+        rhs = np.array([2.0, 8.0, 10.0])
+        graph, constants = algorithms.system_from_matrix(matrix, rhs)
+        spec = algorithms.make_linear_solver(graph, constants=constants)
+        result = FunctionalGraphPulse(graph, spec).run()
+        assert np.allclose(result.values, [1.0, 2.0, 2.0])
+        assert result.num_rounds == 1

@@ -1,0 +1,143 @@
+"""Property-based tests of the delta-accumulative algebra (Section II-B).
+
+The Reordering property requires the reduce operator to be commutative
+and associative with an identity, and the propagate function to be
+distributive over reduce for additive algorithms.  These are exactly the
+preconditions that make event coalescing safe, so they are verified for
+every registered algorithm.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import algorithms
+from repro.graph import rmat_graph
+
+_GRAPH = rmat_graph(32, 120, seed=2)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+non_negative = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+extended = st.one_of(finite, st.just(math.inf))
+#: distances/levels live in [0, inf]
+distance = st.one_of(non_negative, st.just(math.inf))
+
+
+def specs_with_domains():
+    """Each spec paired with a strategy over its *value domain* — the
+    reduce identity is only an identity relative to the values the
+    algorithm actually produces (e.g. CC's -1 versus labels >= 0)."""
+    return [
+        (algorithms.make_pagerank_delta(), finite),
+        (algorithms.make_adsorption(_GRAPH), finite),
+        (algorithms.make_sssp(), distance),
+        (algorithms.make_bfs(), distance),
+        (algorithms.make_bfs_reachability(), distance),
+        (algorithms.make_connected_components(), non_negative),
+    ]
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_reduce_commutative(data):
+    for spec, domain in specs_with_domains():
+        a = data.draw(domain)
+        b = data.draw(domain)
+        assert spec.reduce(a, b) == spec.reduce(b, a), spec.name
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_reduce_associative(data):
+    for spec, domain in specs_with_domains():
+        a, b, c = (data.draw(domain) for _ in range(3))
+        left = spec.reduce(spec.reduce(a, b), c)
+        right = spec.reduce(a, spec.reduce(b, c))
+        if spec.additive:
+            assert math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9), (
+                spec.name
+            )
+        else:
+            assert left == right, spec.name
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_identity_element(data):
+    for spec, domain in specs_with_domains():
+        a = data.draw(domain)
+        assert spec.reduce(a, spec.identity) == a, spec.name
+        assert spec.reduce(spec.identity, a) == a, spec.name
+
+
+@given(x=finite, y=finite, degree=st.integers(min_value=1, max_value=50))
+@settings(max_examples=80, deadline=None)
+def test_propagate_distributive_for_additive_algorithms(x, y, degree):
+    # g(x + y) == g(x) + g(y): the Reordering property for PR/Adsorption
+    for spec in (
+        algorithms.make_pagerank_delta(),
+        algorithms.make_adsorption(_GRAPH),
+    ):
+        combined = spec.propagate(x + y, 0, 1, 0.7, degree)
+        split = spec.propagate(x, 0, 1, 0.7, degree) + spec.propagate(
+            y, 0, 1, 0.7, degree
+        )
+        assert math.isclose(combined, split, rel_tol=1e-9, abs_tol=1e-9), (
+            spec.name
+        )
+
+
+@given(x=extended, y=extended, degree=st.integers(min_value=1, max_value=50))
+@settings(max_examples=80, deadline=None)
+def test_propagate_distributive_for_monotonic_algorithms(x, y, degree):
+    # g(min(x, y)) == min(g(x), g(y)) for monotone non-decreasing g
+    for spec in (algorithms.make_sssp(), algorithms.make_bfs()):
+        combined = spec.propagate(spec.reduce(x, y), 0, 1, 2.0, degree)
+        split = spec.reduce(
+            spec.propagate(x, 0, 1, 2.0, degree),
+            spec.propagate(y, 0, 1, 2.0, degree),
+        )
+        assert combined == split, spec.name
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_apply_identity_is_noop(data):
+    # Simplification property: reducing the identity changes nothing
+    for spec, domain in specs_with_domains():
+        state = data.draw(domain)
+        result = spec.apply(state, spec.identity)
+        assert not result.changed, spec.name
+        assert result.state == state, spec.name
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_apply_reports_consistent_change(data):
+    for spec, domain in specs_with_domains():
+        state = data.draw(domain)
+        delta = data.draw(domain)
+        result = spec.apply(state, delta)
+        if not result.changed:
+            assert result.state == state
+        elif spec.additive:
+            assert math.isclose(
+                result.state, state + delta, rel_tol=1e-9, abs_tol=1e-9
+            )
+            assert math.isclose(
+                result.change,
+                result.state - state,
+                rel_tol=1e-9,
+                abs_tol=1e-9,
+            )
+        else:
+            # monotonic: new state is the delta that won, and it is
+            # re-propagated as the change
+            assert result.state == spec.reduce(state, delta)
+            assert result.change == result.state

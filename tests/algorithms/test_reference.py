@@ -1,0 +1,130 @@
+"""Unit tests for the golden reference implementations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.graph import (
+    CSRGraph,
+    chain_graph,
+    cycle_graph,
+    grid_graph,
+    star_graph,
+)
+
+
+class TestPageRankReference:
+    def test_fixed_point_equation(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        r = algorithms.pagerank_reference(g, alpha=0.85)
+        # each vertex: r = 0.15 + 0.85 * r_pred / 1 -> all equal 1.0
+        assert np.allclose(r, 1.0)
+
+    def test_sink_gets_base_rank(self):
+        g = star_graph(3, outward=False)  # leaves -> hub
+        r = algorithms.pagerank_reference(g, alpha=0.85)
+        assert r[1] == pytest.approx(0.15)
+        assert r[0] == pytest.approx(0.15 + 0.85 * 3 * 0.15)
+
+    def test_dangling_vertices_ok(self):
+        g = chain_graph(3)  # vertex 2 dangles
+        r = algorithms.pagerank_reference(g)
+        assert np.all(np.isfinite(r))
+        assert r[0] == pytest.approx(0.15)
+
+
+class TestSSSPReference:
+    def test_chain_distances(self):
+        g = chain_graph(5).with_weights(np.array([1.0, 2.0, 3.0, 4.0]))
+        d = algorithms.sssp_reference(g, 0)
+        assert list(d) == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+    def test_unreachable_is_inf(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        d = algorithms.sssp_reference(g, 0)
+        assert math.isinf(d[2])
+
+    def test_shorter_path_wins(self):
+        # 0->1->2 cost 2, 0->2 cost 5
+        g = CSRGraph.from_edges(
+            3, [(0, 1), (1, 2), (0, 2)], weights=[1.0, 1.0, 5.0]
+        )
+        assert algorithms.sssp_reference(g, 0)[2] == 2.0
+
+
+class TestBFSReference:
+    def test_grid_levels(self):
+        g = grid_graph(3, 3)
+        levels = algorithms.bfs_reference(g, 0)
+        assert levels[0] == 0
+        assert levels[4] == 2  # center of 3x3
+        assert levels[8] == 4  # far corner
+
+    def test_direction_respected(self):
+        g = chain_graph(3)
+        assert math.isinf(algorithms.bfs_reference(g, 2)[0])
+
+
+class TestCCReference:
+    def test_two_components(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (3, 4)])
+        labels = algorithms.connected_components_reference(g)
+        assert labels[0] == labels[1] == 1
+        assert labels[2] == 2
+        assert labels[3] == labels[4] == 4
+
+    def test_weak_connectivity(self):
+        # direction must not matter for CC
+        g = CSRGraph.from_edges(3, [(1, 0), (1, 2)])
+        labels = algorithms.connected_components_reference(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_label_is_component_max(self):
+        g = cycle_graph(6)
+        labels = algorithms.connected_components_reference(g)
+        assert np.all(labels == 5)
+
+
+class TestAdsorptionReference:
+    def test_isolated_vertex_keeps_injection(self):
+        g = CSRGraph.from_edges(2, []).with_unit_weights()
+        inj = np.array([1.0, 0.5])
+        v = algorithms.adsorption_reference(
+            g, inj, continue_prob=0.8, injection_prob=0.2
+        )
+        assert v[0] == pytest.approx(0.2)
+        assert v[1] == pytest.approx(0.1)
+
+    def test_chain_propagation(self):
+        g = chain_graph(2).with_unit_weights()
+        inj = np.array([1.0, 0.0])
+        v = algorithms.adsorption_reference(
+            g, inj, continue_prob=0.5, injection_prob=1.0
+        )
+        assert v[0] == pytest.approx(1.0)
+        assert v[1] == pytest.approx(0.5)
+
+
+class TestDispatch:
+    def test_reference_for_names(self):
+        g = chain_graph(4)
+        for name in ("pagerank", "sssp", "bfs", "cc"):
+            values = algorithms.reference_for(name, g.with_unit_weights())
+            assert len(values) == 4
+
+    def test_reachability_masking(self):
+        g = chain_graph(3)
+        v = algorithms.reference_for("bfs-reachability", g, root=1)
+        assert math.isinf(v[0])
+        assert v[1] == 0.0
+        assert v[2] == 0.0
+
+    def test_adsorption_requires_injection(self):
+        with pytest.raises(ValueError):
+            algorithms.reference_for("adsorption", chain_graph(3))
+
+    def test_unknown_reference(self):
+        with pytest.raises(ValueError):
+            algorithms.reference_for("mystery", chain_graph(3))

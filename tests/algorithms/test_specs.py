@@ -1,0 +1,187 @@
+"""Unit tests for the Table II algorithm specs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.graph import chain_graph, rmat_graph
+
+
+@pytest.fixture
+def graph():
+    return rmat_graph(64, 300, seed=9)
+
+
+class TestRegistry:
+    def test_all_table_ii_rows_registered(self):
+        names = algorithms.algorithm_names()
+        for expected in ("pagerank", "adsorption", "sssp", "bfs", "cc"):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            algorithms.get_algorithm("pagerank2")
+
+    def test_get_by_name(self, graph):
+        spec = algorithms.get_algorithm("pagerank", graph)
+        assert spec.name == "pagerank"
+
+
+class TestPageRank:
+    def test_table_ii_row(self, graph):
+        spec = algorithms.make_pagerank_delta(alpha=0.85)
+        assert spec.identity == 0.0
+        assert spec.additive
+        assert not spec.uses_weights
+        # propagate = alpha * delta / N(src)
+        assert spec.propagate(1.0, 0, 1, 1.0, 4) == pytest.approx(0.2125)
+        # reduce = +
+        assert spec.reduce(1.0, 0.5) == 1.5
+        # initial delta = 1 - alpha everywhere
+        assert spec.initial_delta(3, graph) == pytest.approx(0.15)
+
+    def test_threshold_gates_propagation(self):
+        spec = algorithms.make_pagerank_delta(threshold=1e-3)
+        assert spec.should_propagate(1e-2)
+        assert spec.should_propagate(-1e-2)
+        assert not spec.should_propagate(1e-4)
+
+    def test_initial_events_cover_all_vertices(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        events = spec.initial_events(graph)
+        assert len(events) == graph.num_vertices
+
+    def test_apply_additive_change(self):
+        spec = algorithms.make_pagerank_delta()
+        result = spec.apply(1.0, 0.25)
+        assert result.changed
+        assert result.state == 1.25
+        assert result.change == pytest.approx(0.25)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            algorithms.make_pagerank_delta(alpha=1.5)
+        with pytest.raises(ValueError):
+            algorithms.make_pagerank_delta(threshold=-1)
+
+
+class TestSSSP:
+    def test_table_ii_row(self, graph):
+        spec = algorithms.make_sssp(root=3)
+        assert math.isinf(spec.identity)
+        assert not spec.additive
+        # propagate = E_ij + delta
+        assert spec.propagate(2.0, 0, 1, 1.5, 4) == 3.5
+        # reduce = min
+        assert spec.reduce(3.0, 2.0) == 2.0
+        assert spec.initial_delta(3, graph) == 0.0
+        assert math.isinf(spec.initial_delta(0, graph))
+
+    def test_initial_events_only_root(self, graph):
+        spec = algorithms.make_sssp(root=5)
+        assert algorithms.make_sssp(root=5).initial_events(graph) == {5: 0.0}
+
+    def test_apply_monotonic(self):
+        spec = algorithms.make_sssp()
+        improve = spec.apply(5.0, 3.0)
+        assert improve.changed and improve.state == 3.0
+        assert improve.change == 3.0  # min/max algorithms re-propagate state
+        worse = spec.apply(3.0, 5.0)
+        assert not worse.changed
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            algorithms.make_sssp(root=-1)
+
+
+class TestBFS:
+    def test_level_variant(self, graph):
+        spec = algorithms.make_bfs(root=0)
+        assert spec.propagate(2.0, 0, 1, 9.0, 4) == 3.0  # ignores weight
+        assert spec.reduce(4.0, 2.0) == 2.0
+
+    def test_reachability_variant_matches_table_ii(self, graph):
+        spec = algorithms.make_bfs_reachability(root=0)
+        # propagate(delta) = 0, literally
+        assert spec.propagate(7.0, 0, 1, 1.0, 3) == 0.0
+
+    def test_initial_events(self, graph):
+        assert algorithms.make_bfs(root=2).initial_events(graph) == {2: 0.0}
+
+
+class TestCC:
+    def test_table_ii_row(self, graph):
+        spec = algorithms.make_connected_components()
+        assert spec.identity == -1.0
+        assert spec.propagate(5.0, 0, 1, 1.0, 2) == 5.0  # identity fn
+        assert spec.reduce(3.0, 7.0) == 7.0  # max
+        assert spec.initial_delta(9, graph) == 9.0
+
+    def test_every_vertex_injects_itself(self, graph):
+        events = algorithms.make_connected_components().initial_events(graph)
+        # vertex 0 injects delta 0.0; but 0.0 != identity (-1), so it is
+        # present — all vertices bootstrap
+        assert len(events) == graph.num_vertices
+        assert events[0] == 0.0
+
+    def test_symmetrize(self):
+        g = chain_graph(3)
+        sym = algorithms.symmetrize(g)
+        assert (1, 0) in set(sym.edges())
+        assert sym.num_edges == 2 * g.num_edges
+
+    def test_symmetrize_preserves_weights(self):
+        g = chain_graph(3).with_weights(np.array([1.0, 2.0]))
+        sym = algorithms.symmetrize(g)
+        assert sym.is_weighted
+        assert sorted(sym.weights.tolist()) == [1.0, 1.0, 2.0, 2.0]
+
+
+class TestAdsorption:
+    def test_table_ii_row(self, graph):
+        inj = np.ones(graph.num_vertices)
+        spec = algorithms.make_adsorption(
+            graph, continue_prob=0.8, injection_prob=0.2, injection=inj
+        )
+        assert spec.identity == 0.0
+        assert spec.uses_weights
+        # propagate = alpha_i * E_ij * delta
+        assert spec.propagate(2.0, 0, 1, 0.5, 4) == pytest.approx(0.8)
+        assert spec.initial_delta(3, graph) == pytest.approx(0.2)
+
+    def test_needs_graph_or_injection(self):
+        with pytest.raises(ValueError):
+            algorithms.make_adsorption()
+
+    def test_normalize_inbound_weights(self, graph):
+        g = algorithms.normalize_inbound_weights(graph)
+        in_sums = np.zeros(g.num_vertices)
+        np.add.at(in_sums, g.adjacency, g.weights)
+        nonzero = in_sums > 0
+        assert np.allclose(in_sums[nonzero], 1.0)
+
+    def test_injection_deterministic(self, graph):
+        a = algorithms.injection_values(graph, seed=3)
+        b = algorithms.injection_values(graph, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_continue_prob(self):
+        with pytest.raises(ValueError):
+            algorithms.make_adsorption(injection=np.ones(4), continue_prob=1.0)
+
+
+class TestInitialState:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("pagerank", 0.0), ("cc", -1.0)],
+    )
+    def test_state_is_identity(self, graph, name, expected):
+        spec = algorithms.get_algorithm(name, graph)
+        state = spec.initial_state(graph)
+        assert np.all(state == expected)
+
+    def test_sssp_state_is_inf(self, graph):
+        spec = algorithms.get_algorithm("sssp", graph)
+        assert np.all(np.isinf(spec.initial_state(graph)))

@@ -1,0 +1,92 @@
+"""Tests for the end-to-end experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ALGORITHMS, prepare_workload, run_comparison
+
+
+class TestPrepareWorkload:
+    def test_roster(self):
+        assert ALGORITHMS == ("pagerank", "adsorption", "sssp", "bfs", "cc")
+
+    def test_sssp_gets_weights(self):
+        graph, spec = prepare_workload("WG", "sssp", scale=0.05)
+        assert graph.is_weighted
+        assert spec.name == "sssp"
+
+    def test_adsorption_normalized(self):
+        graph, __ = prepare_workload("WG", "adsorption", scale=0.05)
+        in_sums = np.zeros(graph.num_vertices)
+        np.add.at(in_sums, graph.adjacency, graph.weights)
+        assert np.allclose(in_sums[in_sums > 0], 1.0)
+
+    def test_cc_symmetrized(self):
+        plain, __ = prepare_workload("WG", "pagerank", scale=0.05)
+        sym, __ = prepare_workload("WG", "cc", scale=0.05)
+        assert sym.num_edges == 2 * plain.num_edges
+
+    def test_default_root_is_hub(self):
+        graph, spec = prepare_workload("WG", "bfs", scale=0.05)
+        hub = int(np.argmax(graph.out_degrees()))
+        assert spec.initial_delta(hub, graph) == 0.0
+
+    def test_explicit_root(self):
+        graph, spec = prepare_workload("WG", "bfs", scale=0.05, root=3)
+        assert spec.initial_delta(3, graph) == 0.0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            prepare_workload("WG", "sorting")
+
+
+class TestRunComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_comparison("WG", "cc", scale=0.2)
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert set(summary) == {
+            "speedup_vs_ligra",
+            "baseline_speedup_vs_ligra",
+            "speedup_vs_graphicionado",
+            "traffic_vs_graphicionado",
+            "data_utilization",
+            "graphpulse_rounds",
+            "bsp_iterations",
+        }
+
+    def test_paper_shape_holds(self, result):
+        # the orderings Figure 10/11 report
+        assert result.speedup_over_ligra > 1.0
+        assert result.speedup_over_graphicionado > 1.0
+        assert result.traffic_vs_graphicionado < 1.0
+
+    def test_optimizations_help(self, result):
+        assert (
+            result.speedup_over_ligra > result.baseline_speedup_over_ligra
+        )
+
+    def test_utilization_unit_range(self, result):
+        assert 0.0 < result.data_utilization <= 1.0
+
+    def test_async_converges_in_fewer_rounds(self, result):
+        assert result.functional.num_rounds <= result.bsp_iterations
+
+    def test_verification_catches_divergence(self, monkeypatch):
+        # sabotage the functional engine and expect the cross-check to fire
+        from repro.core import functional as functional_module
+
+        original = functional_module.FunctionalGraphPulse.run
+
+        def broken(self):
+            result = original(self)
+            result.values[:] = 0.0
+            return result
+
+        monkeypatch.setattr(
+            functional_module.FunctionalGraphPulse, "run", broken
+        )
+        with pytest.raises(AssertionError, match="diverged"):
+            run_comparison("WG", "cc", scale=0.1)

@@ -1,0 +1,60 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.analysis import format_series, format_table, geometric_mean
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.0], ["longer", 12.5]]
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "12.50" in out
+
+    def test_title(self):
+        out = format_table(["x"], [["y"]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_float_format(self):
+        out = format_table(["v"], [[0.123456]], float_format="{:.4f}")
+        assert "0.1235" in out
+
+    def test_non_floats_pass_through(self):
+        out = format_table(["a", "b"], [[3, "x"]])
+        assert "3" in out and "x" in out
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        out = format_series(
+            {"events": [10.0, 5.0], "coalesced": [8.0, 4.0]},
+            x_label="round",
+        )
+        lines = out.splitlines()
+        assert lines[0].split() == ["round", "events", "coalesced"]
+        assert lines[2].split()[0] == "0"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty(self):
+        out = format_series({})
+        assert "x" in out
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == 7.0
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == 4.0
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0

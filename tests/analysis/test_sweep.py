@@ -1,0 +1,56 @@
+"""Tests for the evaluation sweep aggregator."""
+
+import pytest
+
+from repro.analysis import run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # tiny matrix: two algorithms x two datasets at small scale
+    return run_sweep(
+        datasets=("WG", "FB"),
+        algorithms=("bfs", "cc"),
+        scale=0.08,
+    )
+
+
+class TestSweep:
+    def test_matrix_covered(self, sweep):
+        assert set(sweep.results) == {
+            ("bfs", "WG"),
+            ("bfs", "FB"),
+            ("cc", "WG"),
+            ("cc", "FB"),
+        }
+        assert sweep.workloads() == sorted(sweep.results)
+
+    def test_headline_aggregates(self, sweep):
+        assert sweep.geomean_speedup() > 1.0
+        assert sweep.geomean_speedup_vs_graphicionado() > 1.0
+        assert 0.0 < sweep.mean_traffic_ratio() < 1.0
+        assert 0.0 < sweep.mean_utilization() <= 1.0
+
+    def test_renderings(self, sweep):
+        fig10 = sweep.render_figure10()
+        assert "Figure 10" in fig10
+        assert "bfs" in fig10 and "cc" in fig10
+        assert "Figure 11" in sweep.render_figure11()
+        assert "Figure 12" in sweep.render_figure12()
+
+    def test_per_dataset_scale_mapping(self):
+        sweep = run_sweep(
+            datasets=("WG",),
+            algorithms=("bfs",),
+            scale={"WG": 0.05},
+        )
+        result = sweep.results[("bfs", "WG")]
+        assert result.graph.num_vertices < 1000
+
+    def test_empty_sweep_aggregates_safely(self):
+        from repro.analysis.sweep import SweepResult
+
+        empty = SweepResult()
+        assert empty.geomean_speedup() == 0.0
+        assert empty.mean_traffic_ratio() == 0.0
+        assert empty.mean_utilization() == 0.0

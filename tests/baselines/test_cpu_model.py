@@ -1,0 +1,61 @@
+"""Tests for the CPU cost model."""
+
+import pytest
+
+from repro.baselines import CPUCostModel, CPUModelConfig, OpCounts
+
+
+def model(footprint=100 * 2 ** 20, **kwargs):
+    return CPUCostModel(
+        config=CPUModelConfig(**kwargs), random_footprint_bytes=footprint
+    )
+
+
+class TestCacheModel:
+    def test_small_footprint_always_hits(self):
+        assert model(footprint=1024).llc_hit_fraction() == 1.0
+
+    def test_zero_footprint_hits(self):
+        assert model(footprint=0).llc_hit_fraction() == 1.0
+
+    def test_large_footprint_mostly_misses(self):
+        m = model(footprint=120 * 2 ** 20)  # 10x the 12 MB LLC
+        assert m.llc_hit_fraction() == pytest.approx(0.1, rel=0.1)
+
+
+class TestCostComposition:
+    def test_empty_counts_cost_nothing(self):
+        assert model().seconds(OpCounts()) == 0.0
+
+    def test_random_accesses_cost_more_when_missing(self):
+        counts = OpCounts(random_reads=1_000_000)
+        hot = model(footprint=1024).seconds(counts)
+        cold = model(footprint=1 * 2 ** 30).seconds(counts)
+        assert cold > hot
+
+    def test_atomics_cost_extra(self):
+        base = OpCounts(random_reads=1000)
+        with_atomics = OpCounts(random_reads=1000, atomic_updates=1000)
+        m = model()
+        assert m.seconds(with_atomics) > m.seconds(base)
+
+    def test_barriers_add_fixed_cost(self):
+        m = model()
+        one = m.seconds(OpCounts(iterations=1))
+        ten = m.seconds(OpCounts(iterations=10))
+        assert ten == pytest.approx(10 * one)
+
+    def test_bandwidth_bound_scales_with_bytes(self):
+        m = model()
+        small = m.seconds(OpCounts(sequential_bytes=1e6))
+        large = m.seconds(OpCounts(sequential_bytes=1e9))
+        assert large > small
+
+    def test_merge(self):
+        a = OpCounts(random_reads=1, iterations=1, edge_work=5)
+        b = OpCounts(random_writes=2, iterations=2)
+        merged = a.merged_with(b)
+        assert merged.random_reads == 1
+        assert merged.random_writes == 2
+        assert merged.iterations == 3
+        assert merged.edge_work == 5

@@ -1,0 +1,78 @@
+"""Tests for the Table I / Figure 1 model access-pattern profiles."""
+
+import pytest
+
+from repro import algorithms
+from repro.baselines import profile_models
+from repro.graph import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    graph = rmat_graph(200, 1200, seed=81)
+    return profile_models(graph, algorithms.make_pagerank_delta())
+
+
+class TestTableIRelations:
+    """The qualitative claims of Table I, verified quantitatively."""
+
+    def test_all_four_models_profiled(self, profiles):
+        assert set(profiles) == {
+            "push",
+            "pull",
+            "edge-centric",
+            "event-driven",
+        }
+
+    def test_pull_has_high_random_reads(self, profiles):
+        assert (
+            profiles["pull"].random_reads
+            >= profiles["event-driven"].random_reads
+        )
+        assert profiles["pull"].random_reads > 0
+
+    def test_push_has_random_atomic_writes(self, profiles):
+        push = profiles["push"]
+        assert push.random_writes > 0
+        assert push.atomic_updates == push.random_writes
+
+    def test_event_driven_needs_no_atomics(self, profiles):
+        assert profiles["event-driven"].atomic_updates == 0
+
+    def test_event_driven_needs_no_barriers(self, profiles):
+        assert profiles["event-driven"].synchronizations == 0
+
+    def test_event_driven_has_no_random_accesses(self, profiles):
+        ev = profiles["event-driven"]
+        assert ev.random_reads == 0
+        assert ev.random_writes == 0
+
+    def test_event_driven_tracks_no_active_set(self, profiles):
+        assert profiles["event-driven"].active_set_ops == 0
+        assert profiles["push"].active_set_ops > 0
+
+    def test_pull_reads_redundantly(self, profiles):
+        # pull re-reads all sources each iteration; push touches only
+        # the frontier's edges
+        assert profiles["pull"].random_reads >= profiles["push"].random_reads
+
+    def test_edge_centric_streams_whole_edge_list_every_iteration(
+        self, profiles
+    ):
+        ec = profiles["edge-centric"]
+        graph = rmat_graph(200, 1200, seed=81)
+        assert ec.sequential_reads == ec.synchronizations * graph.num_edges
+        assert ec.atomic_updates > 0
+
+    def test_as_dict_round_trip(self, profiles):
+        d = profiles["push"].as_dict()
+        assert d["atomic_updates"] == profiles["push"].atomic_updates
+        assert set(d) == {
+            "random_reads",
+            "random_writes",
+            "sequential_reads",
+            "sequential_writes",
+            "atomic_updates",
+            "synchronizations",
+            "active_set_ops",
+        }

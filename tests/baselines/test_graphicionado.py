@@ -1,0 +1,68 @@
+"""Tests for the Graphicionado accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.baselines import GraphicionadoAccelerator
+from repro.graph import random_weights, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(256, 1500, seed=71)
+
+
+@pytest.fixture(scope="module")
+def pr_result(graph):
+    return GraphicionadoAccelerator(
+        graph, algorithms.make_pagerank_delta()
+    ).run()
+
+
+class TestCorrectness:
+    def test_pagerank(self, graph, pr_result):
+        assert np.allclose(
+            pr_result.values, algorithms.pagerank_reference(graph), atol=1e-4
+        )
+        assert pr_result.converged
+
+    def test_sssp(self, graph):
+        g = random_weights(graph, seed=10)
+        root = int(np.argmax(g.out_degrees()))
+        result = GraphicionadoAccelerator(
+            g, algorithms.make_sssp(root=root)
+        ).run()
+        reference = algorithms.sssp_reference(g, root)
+        finite = np.isfinite(reference)
+        assert np.allclose(result.values[finite], reference[finite])
+
+
+class TestTiming:
+    def test_cycles_accumulate(self, pr_result):
+        assert pr_result.total_cycles > 0
+        assert pr_result.num_iterations > 0
+        assert pr_result.seconds == pytest.approx(
+            pr_result.total_cycles * 1e-9
+        )
+
+    def test_more_streams_is_not_slower(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        narrow = GraphicionadoAccelerator(graph, spec, num_streams=2).run()
+        wide = GraphicionadoAccelerator(graph, spec, num_streams=16).run()
+        assert wide.total_cycles <= narrow.total_cycles
+
+    def test_edges_processed_counted(self, graph, pr_result):
+        assert pr_result.edges_processed > graph.num_edges  # multi-iteration
+
+
+class TestTraffic:
+    def test_offchip_bytes_positive(self, pr_result):
+        assert pr_result.offchip_bytes > 0
+
+    def test_edge_traffic_dominates(self, pr_result):
+        # vertex-centric BSP streams edges repeatedly
+        assert (
+            pr_result.dram_stats.get("edge_bytes", 0)
+            > pr_result.dram_stats.get("vertex_bytes", 0)
+        )

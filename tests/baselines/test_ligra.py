@@ -1,0 +1,97 @@
+"""Tests for the Ligra-like direction-optimizing baseline."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.baselines import CPUModelConfig, LigraEngine
+from repro.graph import chain_graph, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(300, 1800, seed=61)
+
+
+class TestCorrectness:
+    def test_pagerank_values(self, graph):
+        result = LigraEngine(graph, algorithms.make_pagerank_delta()).run()
+        assert np.allclose(
+            result.values, algorithms.pagerank_reference(graph), atol=1e-4
+        )
+        assert result.converged
+
+    def test_bfs_values(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        result = LigraEngine(graph, algorithms.make_bfs(root=root)).run()
+        reference = algorithms.bfs_reference(graph, root)
+        finite = np.isfinite(reference)
+        assert np.array_equal(result.values[finite], reference[finite])
+
+
+class TestDirectionOptimization:
+    def test_dense_frontier_pulls(self, graph):
+        # PageRank activates everything initially -> dense iterations
+        result = LigraEngine(graph, algorithms.make_pagerank_delta()).run()
+        assert result.directions[0] == "pull"
+        assert result.pull_fraction > 0.0
+
+    def test_sparse_frontier_pushes(self):
+        # BFS from a chain tip keeps the frontier at one vertex
+        g = chain_graph(50)
+        result = LigraEngine(g, algorithms.make_bfs(root=0)).run()
+        assert all(d == "push" for d in result.directions)
+        assert result.pull_fraction == 0.0
+
+    def test_directions_recorded_per_iteration(self, graph):
+        result = LigraEngine(graph, algorithms.make_pagerank_delta()).run()
+        assert len(result.directions) == result.num_iterations
+
+
+class TestOperationCounts:
+    def test_push_counts_atomics(self):
+        g = chain_graph(50)
+        result = LigraEngine(g, algorithms.make_bfs(root=0)).run()
+        # every traversed edge costs one atomic in push mode
+        assert result.counts.atomic_updates == 49
+
+    def test_pull_counts_no_atomics(self, graph):
+        result = LigraEngine(graph, algorithms.make_pagerank_delta()).run()
+        pull_iters = result.directions.count("pull")
+        if pull_iters == result.num_iterations:
+            assert result.counts.atomic_updates == 0
+
+    def test_pull_scans_whole_edge_list(self, graph):
+        result = LigraEngine(graph, algorithms.make_pagerank_delta()).run()
+        pulls = result.directions.count("pull")
+        assert result.counts.random_reads >= pulls * graph.num_edges
+
+    def test_iterations_counted(self, graph):
+        result = LigraEngine(graph, algorithms.make_pagerank_delta()).run()
+        assert result.counts.iterations == result.num_iterations
+
+
+class TestCostModel:
+    def test_seconds_positive(self, graph):
+        result = LigraEngine(graph, algorithms.make_pagerank_delta()).run()
+        assert result.seconds > 0
+
+    def test_bigger_footprint_is_slower(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        small = LigraEngine(
+            graph, spec, random_footprint_bytes=1024
+        ).run()
+        large = LigraEngine(
+            graph, spec, random_footprint_bytes=10 * 2 ** 30
+        ).run()
+        assert large.seconds > small.seconds
+
+    def test_more_cores_is_faster(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        few = LigraEngine(
+            graph, spec, cpu_config=CPUModelConfig(num_cores=1)
+        ).run()
+        many = LigraEngine(
+            graph, spec, cpu_config=CPUModelConfig(num_cores=12)
+        ).run()
+        assert many.seconds < few.seconds

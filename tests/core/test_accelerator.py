@@ -1,0 +1,154 @@
+"""Tests for the cycle-level GraphPulse accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.core import (
+    FunctionalGraphPulse,
+    GraphPulseAccelerator,
+    baseline_config,
+    optimized_config,
+)
+from repro.graph import chain_graph, random_weights, rmat_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(256, 1600, seed=31)
+
+
+@pytest.fixture(scope="module")
+def pr_result(graph):
+    spec = algorithms.make_pagerank_delta()
+    return GraphPulseAccelerator(graph, spec).run()
+
+
+class TestCorrectness:
+    def test_values_identical_to_functional_engine(self, graph, pr_result):
+        functional = FunctionalGraphPulse(
+            graph, algorithms.make_pagerank_delta()
+        ).run()
+        assert np.array_equal(pr_result.values, functional.values)
+        assert pr_result.num_rounds == functional.num_rounds
+
+    def test_values_match_reference(self, graph, pr_result):
+        reference = algorithms.pagerank_reference(graph)
+        assert np.allclose(pr_result.values, reference, atol=1e-4)
+
+    def test_baseline_config_same_values(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        result = GraphPulseAccelerator(graph, spec, baseline_config()).run()
+        assert np.allclose(
+            result.values, algorithms.pagerank_reference(graph), atol=1e-4
+        )
+
+    def test_sssp(self, graph):
+        g = random_weights(graph, seed=6)
+        root = int(np.argmax(g.out_degrees()))
+        result = GraphPulseAccelerator(g, algorithms.make_sssp(root=root)).run()
+        reference = algorithms.sssp_reference(g, root)
+        finite = np.isfinite(reference)
+        assert np.allclose(result.values[finite], reference[finite])
+
+    def test_cc(self, graph):
+        g = algorithms.symmetrize(graph)
+        result = GraphPulseAccelerator(
+            g, algorithms.make_connected_components()
+        ).run()
+        assert np.array_equal(
+            result.values, algorithms.connected_components_reference(g)
+        )
+
+
+class TestTiming:
+    def test_cycles_positive_and_converged(self, pr_result):
+        assert pr_result.total_cycles > 0
+        assert pr_result.converged
+
+    def test_optimizations_speed_things_up(self, graph):
+        # Figure 10: the optimized design beats the Section-IV baseline
+        spec = algorithms.make_pagerank_delta()
+        optimized = GraphPulseAccelerator(graph, spec).run()
+        baseline = GraphPulseAccelerator(graph, spec, baseline_config()).run()
+        assert optimized.total_cycles < baseline.total_cycles
+
+    def test_seconds_follow_clock(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        fast = GraphPulseAccelerator(
+            graph, spec, optimized_config(clock_ghz=2.0)
+        ).run()
+        assert fast.seconds == pytest.approx(
+            fast.total_cycles * 0.5e-9
+        )
+
+    def test_more_rounds_than_zero(self, pr_result):
+        assert pr_result.num_rounds >= 1
+
+    def test_rounds_monotonic_time(self, graph):
+        # a tighter global threshold must not make the run longer
+        spec = algorithms.make_pagerank_delta()
+        full = GraphPulseAccelerator(graph, spec).run()
+        early = GraphPulseAccelerator(
+            graph, spec, global_threshold=1e-2
+        ).run()
+        assert early.total_cycles <= full.total_cycles
+
+
+class TestProfiles:
+    def test_stage_profile_covers_all_events(self, pr_result):
+        assert pr_result.stage_profile.events == pr_result.events_processed
+
+    def test_stage_averages_positive(self, pr_result):
+        per_event = pr_result.stage_profile.per_event()
+        assert per_event["process"] == pytest.approx(4.0)
+        assert per_event["vertex_mem"] > 0
+        assert per_event["generate"] > 0
+
+    def test_occupancy_fractions_sum_to_one(self, pr_result):
+        cfg = pr_result.config
+        proc = pr_result.occupancy.processor_fractions(
+            pr_result.total_cycles, cfg.num_processors
+        )
+        gen = pr_result.occupancy.generator_fractions(
+            pr_result.total_cycles, cfg.total_generation_streams
+        )
+        assert sum(proc.values()) == pytest.approx(1.0)
+        assert sum(gen.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in proc.values())
+        assert all(0.0 <= v <= 1.0 for v in gen.values())
+
+
+class TestTraffic:
+    def test_offchip_traffic_recorded(self, pr_result):
+        assert pr_result.offchip_bytes > 0
+        assert pr_result.dram_stats.get("vertex_bytes", 0) > 0
+        assert pr_result.dram_stats.get("edge_bytes", 0) > 0
+
+    def test_utilization_in_unit_range(self, pr_result):
+        assert 0.0 < pr_result.data_utilization() <= 1.0
+
+    def test_prefetch_reduces_vertex_traffic(self, graph):
+        # block prefetch shares vertex lines; the baseline refetches per
+        # event
+        spec = algorithms.make_pagerank_delta()
+        optimized = GraphPulseAccelerator(graph, spec).run()
+        baseline = GraphPulseAccelerator(graph, spec, baseline_config()).run()
+        assert (
+            optimized.dram_stats["vertex_bytes"]
+            < baseline.dram_stats["vertex_bytes"]
+        )
+
+    def test_queue_stats_reported(self, pr_result):
+        assert pr_result.queue_stats["inserted"] > 0
+        assert pr_result.queue_stats["drained"] == pr_result.events_processed
+
+
+class TestQueueCapacity:
+    def test_too_large_graph_rejected(self):
+        g = chain_graph(100)
+        spec = algorithms.make_bfs(root=0)
+        with pytest.raises(ValueError, match="slices"):
+            GraphPulseAccelerator(
+                g, spec, optimized_config(queue_capacity_events=50)
+            )

@@ -1,0 +1,62 @@
+"""Tests for accelerator configurations (Table III)."""
+
+import pytest
+
+from repro.core import GraphPulseConfig, baseline_config, optimized_config
+
+
+class TestStandardConfigs:
+    def test_optimized_matches_table_iii(self):
+        cfg = optimized_config()
+        assert cfg.num_processors == 8
+        assert cfg.clock_ghz == 1.0
+        assert cfg.prefetch_enabled
+        assert cfg.parallel_generation_enabled
+        assert cfg.generation_streams_per_processor == 4
+        assert cfg.total_generation_streams == 32
+        assert cfg.num_bins == 64
+        assert cfg.dram.num_channels == 4
+
+    def test_baseline_matches_section_iv(self):
+        cfg = baseline_config()
+        assert cfg.num_processors == 256
+        assert not cfg.prefetch_enabled
+        assert not cfg.parallel_generation_enabled
+        assert cfg.total_generation_streams == 256  # inline generation
+
+    def test_overrides(self):
+        cfg = optimized_config(num_processors=16, num_bins=128)
+        assert cfg.num_processors == 16
+        assert cfg.num_bins == 128
+        # other fields retain their defaults
+        assert cfg.prefetch_enabled
+
+    def test_with_overrides_returns_copy(self):
+        cfg = optimized_config()
+        other = cfg.with_overrides(clock_ghz=2.0)
+        assert cfg.clock_ghz == 1.0
+        assert other.clock_ghz == 2.0
+
+    def test_seconds_per_cycle(self):
+        assert optimized_config().seconds_per_cycle() == pytest.approx(1e-9)
+        assert optimized_config(clock_ghz=2.0).seconds_per_cycle() == (
+            pytest.approx(0.5e-9)
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            GraphPulseConfig(num_processors=0)
+
+    def test_rejects_zero_streams(self):
+        with pytest.raises(ValueError):
+            GraphPulseConfig(generation_streams_per_processor=0)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            GraphPulseConfig(num_bins=0)
+
+    def test_rejects_zero_drain_rate(self):
+        with pytest.raises(ValueError):
+            GraphPulseConfig(drain_events_per_cycle=0)

@@ -1,0 +1,32 @@
+"""Unit tests for the event abstraction."""
+
+import pytest
+
+from repro.core import Event
+
+
+class TestCoalescing:
+    def test_sum_coalescing(self):
+        a = Event(vertex=3, delta=1.5, generation=2, ready=10)
+        b = Event(vertex=3, delta=0.5, generation=5, ready=4)
+        merged = a.coalesced_with(b, lambda x, y: x + y)
+        assert merged.vertex == 3
+        assert merged.delta == 2.0
+        assert merged.generation == 5  # max of the two
+        assert merged.ready == 10  # max of the two
+
+    def test_min_coalescing(self):
+        a = Event(vertex=0, delta=7.0)
+        b = Event(vertex=0, delta=3.0)
+        assert a.coalesced_with(b, min).delta == 3.0
+
+    def test_mismatched_vertices_rejected(self):
+        a = Event(vertex=0, delta=1.0)
+        b = Event(vertex=1, delta=1.0)
+        with pytest.raises(ValueError, match="cannot coalesce"):
+            a.coalesced_with(b, min)
+
+    def test_defaults(self):
+        e = Event(vertex=1, delta=0.5)
+        assert e.generation == 0
+        assert e.ready == 0

@@ -1,0 +1,241 @@
+"""Tests for the functional GraphPulse engine (Algorithm 1 semantics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.core import FunctionalGraphPulse
+from repro.graph import (
+    chain_graph,
+    grid_graph,
+    random_weights,
+    rmat_graph,
+    star_graph,
+)
+
+
+def run(graph, spec, **kwargs):
+    return FunctionalGraphPulse(graph, spec, **kwargs).run()
+
+
+class TestCorrectness:
+    """Converged values must match the golden references."""
+
+    @pytest.fixture(scope="class")
+    def power_law(self):
+        return rmat_graph(400, 2400, seed=21)
+
+    def test_pagerank(self, power_law):
+        spec = algorithms.make_pagerank_delta()
+        result = run(power_law, spec)
+        reference = algorithms.pagerank_reference(power_law)
+        assert np.allclose(result.values, reference, atol=1e-4)
+        assert result.converged
+
+    def test_pagerank_on_chain(self):
+        g = chain_graph(50)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert np.allclose(
+            result.values, algorithms.pagerank_reference(g), atol=1e-6
+        )
+
+    def test_sssp(self, power_law):
+        g = random_weights(power_law, seed=3)
+        root = int(np.argmax(g.out_degrees()))
+        result = run(g, algorithms.make_sssp(root=root))
+        reference = algorithms.sssp_reference(g, root)
+        finite = np.isfinite(reference)
+        assert np.allclose(result.values[finite], reference[finite])
+        assert np.all(np.isinf(result.values[~finite]))
+
+    def test_sssp_on_grid(self):
+        g = random_weights(grid_graph(8, 8), seed=5)
+        result = run(g, algorithms.make_sssp(root=0))
+        assert np.allclose(result.values, algorithms.sssp_reference(g, 0))
+
+    def test_bfs(self, power_law):
+        root = int(np.argmax(power_law.out_degrees()))
+        result = run(power_law, algorithms.make_bfs(root=root))
+        reference = algorithms.bfs_reference(power_law, root)
+        assert np.array_equal(
+            np.nan_to_num(result.values, posinf=-1),
+            np.nan_to_num(reference, posinf=-1),
+        )
+
+    def test_bfs_reachability(self):
+        g = chain_graph(10)
+        result = run(g, algorithms.make_bfs_reachability(root=4))
+        assert np.all(result.values[4:] == 0.0)
+        assert np.all(np.isinf(result.values[:4]))
+
+    def test_cc(self, power_law):
+        g = algorithms.symmetrize(power_law)
+        result = run(g, algorithms.make_connected_components())
+        reference = algorithms.connected_components_reference(g)
+        assert np.array_equal(result.values, reference)
+
+    def test_adsorption(self, power_law):
+        g = algorithms.normalize_inbound_weights(
+            random_weights(power_law, seed=4)
+        )
+        spec = algorithms.make_adsorption(g)
+        result = run(g, spec)
+        reference = algorithms.adsorption_reference(
+            g, algorithms.injection_values(g)
+        )
+        assert np.allclose(result.values, reference, atol=1e-4)
+
+    @pytest.mark.parametrize("num_bins", [1, 7, 64, 256])
+    def test_bin_count_does_not_change_fixed_point(self, num_bins):
+        g = rmat_graph(200, 1000, seed=8)
+        result = run(
+            g, algorithms.make_pagerank_delta(), num_bins=num_bins,
+            block_size=4,
+        )
+        assert np.allclose(
+            result.values, algorithms.pagerank_reference(g), atol=1e-4
+        )
+
+
+class TestEventAccounting:
+    def test_coalescing_eliminates_events_on_power_law(self):
+        # Figure 4's headline: most events coalesce away on skewed graphs
+        g = rmat_graph(500, 5000, seed=13)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert result.coalesce_rate() > 0.5
+
+    def test_round_records_sum_to_totals(self):
+        g = rmat_graph(300, 1500, seed=14)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert (
+            sum(r.events_processed for r in result.rounds)
+            == result.total_events_processed
+        )
+
+    def test_queue_drains_to_zero(self):
+        g = rmat_graph(300, 1500, seed=15)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert result.rounds[-1].queue_size_after == 0
+
+    def test_event_population_declines(self):
+        # "The event population eventually declines as the computation
+        # converges"
+        g = rmat_graph(500, 3000, seed=16)
+        result = run(g, algorithms.make_pagerank_delta())
+        first = result.rounds[0].events_remaining
+        last = result.rounds[-2].events_remaining if len(result.rounds) > 1 else 0
+        assert last < first
+
+    def test_star_coalesces_hub_events(self):
+        # all leaves write to the hub: every hub event after the first
+        # coalesces within a round
+        g = algorithms.symmetrize(star_graph(64, outward=True))
+        result = run(g, algorithms.make_connected_components())
+        assert result.total_events_produced > result.total_events_processed
+
+
+class TestLookahead:
+    def test_lookahead_tracked_when_enabled(self):
+        g = rmat_graph(400, 2400, seed=17)
+        result = run(
+            g, algorithms.make_pagerank_delta(), track_lookahead=True,
+            num_bins=64, block_size=4,
+        )
+        merged = {}
+        for r in result.rounds:
+            for bucket, count in r.lookahead_histogram.items():
+                merged[bucket] = merged.get(bucket, 0) + count
+        assert merged  # something was recorded
+        assert sum(merged.values()) == result.total_events_processed
+
+    def test_lookahead_exists_on_multi_bin_queue(self):
+        # events generated into later bins are consumed the same round:
+        # their generation exceeds the round index
+        g = rmat_graph(400, 2400, seed=18)
+        result = run(
+            g, algorithms.make_pagerank_delta(), track_lookahead=True,
+            num_bins=32, block_size=2,
+        )
+        merged = {}
+        for r in result.rounds:
+            for bucket, count in r.lookahead_histogram.items():
+                merged[bucket] = merged.get(bucket, 0) + count
+        ahead = sum(v for k, v in merged.items() if k != "0")
+        assert ahead > 0
+
+    def test_disabled_by_default(self):
+        g = chain_graph(10)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert all(not r.lookahead_histogram for r in result.rounds)
+
+
+class TestTrafficCounters:
+    def test_reads_match_processed_events(self):
+        g = rmat_graph(300, 1800, seed=19)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert result.traffic.vertex_reads == result.total_events_processed
+
+    def test_writes_do_not_exceed_reads(self):
+        g = rmat_graph(300, 1800, seed=19)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert result.traffic.vertex_writes <= result.traffic.vertex_reads
+
+    def test_utilization_in_unit_range(self):
+        g = rmat_graph(300, 1800, seed=20)
+        result = run(g, algorithms.make_pagerank_delta())
+        assert 0.0 < result.traffic.utilization() <= 1.0
+
+    def test_useful_bytes_bounded_by_fetched(self):
+        g = rmat_graph(300, 1800, seed=20)
+        t = run(g, algorithms.make_pagerank_delta()).traffic
+        assert t.vertex_bytes_useful <= t.vertex_bytes_fetched
+        assert t.edge_bytes_useful <= t.edge_bytes_fetched
+
+    def test_round_bytes_sum_to_total(self):
+        g = rmat_graph(300, 1800, seed=22)
+        result = run(g, algorithms.make_pagerank_delta())
+        per_round = sum(r.offchip_bytes for r in result.rounds)
+        assert per_round == result.traffic.total_bytes_fetched
+
+
+class TestTermination:
+    def test_global_threshold_stops_early(self):
+        g = rmat_graph(400, 2400, seed=23)
+        free_run = run(g, algorithms.make_pagerank_delta(threshold=1e-12))
+        capped = run(
+            g,
+            algorithms.make_pagerank_delta(threshold=1e-12),
+            global_threshold=1e-3,
+        )
+        assert capped.num_rounds < free_run.num_rounds
+        assert capped.converged
+
+    def test_max_rounds_guard(self):
+        # a single-bin queue defeats lookahead: BFS on a chain needs one
+        # round per hop, so a 1-round cap must trip the guard
+        g = chain_graph(64)
+        with pytest.raises(RuntimeError, match="did not converge"):
+            FunctionalGraphPulse(
+                g, algorithms.make_bfs(root=0), num_bins=1,
+                block_size=1, max_rounds=1,
+            ).run()
+
+    def test_convergence_exactly_at_max_rounds_is_not_an_error(self):
+        # regression: a run finishing in its last allowed round converges
+        g = chain_graph(8)
+        spec = algorithms.make_bfs(root=0)
+        probe = FunctionalGraphPulse(g, spec, num_bins=1, block_size=1).run()
+        result = FunctionalGraphPulse(
+            g, spec, num_bins=1, block_size=1, max_rounds=probe.num_rounds
+        ).run()
+        assert result.converged
+
+    def test_empty_graph_converges_immediately(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(4, [])
+        result = run(g, algorithms.make_bfs(root=0))
+        assert result.converged
+        assert result.values[0] == 0.0

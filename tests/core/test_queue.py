@@ -1,0 +1,172 @@
+"""Unit tests for the in-place coalescing event queue (Section IV-D)."""
+
+import pytest
+
+from repro.core import CoalescingQueue, Event, VertexBinMap
+
+
+def sum_queue(n=1024, bins=4, block=8):
+    return CoalescingQueue(
+        n, lambda a, b: a + b, num_bins=bins, block_size=block
+    )
+
+
+class TestVertexBinMap:
+    def test_blocks_stay_together(self):
+        m = VertexBinMap(1024, num_bins=4, block_size=8)
+        # vertices 0..7 share block 0 -> bin 0
+        assert {m.bin_of(v) for v in range(8)} == {0}
+        # next block goes to the next bin
+        assert m.bin_of(8) == 1
+
+    def test_blocks_spread_over_bins(self):
+        m = VertexBinMap(1024, num_bins=4, block_size=8)
+        bins = {m.bin_of(block * 8) for block in range(4)}
+        assert bins == {0, 1, 2, 3}
+
+    def test_slots_unique_within_bin(self):
+        m = VertexBinMap(512, num_bins=4, block_size=8)
+        for b in range(4):
+            vertices = list(m.vertices_of_bin(b))
+            slots = [m.slot_of(v) for v in vertices]
+            assert len(set(slots)) == len(slots)
+
+    def test_vertices_of_bin_partitions_vertex_space(self):
+        m = VertexBinMap(100, num_bins=3, block_size=7)
+        seen = []
+        for b in range(3):
+            seen.extend(m.vertices_of_bin(b))
+        assert sorted(seen) == list(range(100))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            VertexBinMap(10, num_bins=0, block_size=1)
+        with pytest.raises(ValueError):
+            VertexBinMap(10, num_bins=1, block_size=0)
+
+
+class TestInsertAndCoalesce:
+    def test_insert_claims_slot(self):
+        q = sum_queue()
+        assert q.insert(Event(vertex=1, delta=1.0)) is False
+        assert len(q) == 1
+
+    def test_coalesce_does_not_grow(self):
+        q = sum_queue()
+        q.insert(Event(vertex=1, delta=1.0))
+        assert q.insert(Event(vertex=1, delta=2.0)) is True
+        assert len(q) == 1
+        assert q.stats.coalesced == 1
+
+    def test_coalesced_payload_uses_reduce(self):
+        q = sum_queue()
+        q.insert(Event(vertex=1, delta=1.0))
+        q.insert(Event(vertex=1, delta=2.0))
+        [event] = q.drain_bin(q.mapping.bin_of(1))
+        assert event.delta == 3.0
+
+    def test_min_reduce_coalescing(self):
+        q = CoalescingQueue(64, min, num_bins=2, block_size=4)
+        q.insert(Event(vertex=5, delta=9.0))
+        q.insert(Event(vertex=5, delta=4.0))
+        [event] = q.drain_bin(q.mapping.bin_of(5))
+        assert event.delta == 4.0
+
+    def test_peak_occupancy(self):
+        q = sum_queue()
+        for v in range(10):
+            q.insert(Event(vertex=v, delta=1.0))
+        q.drain_all()
+        assert q.stats.peak_occupancy == 10
+
+    def test_coalesce_rate(self):
+        q = sum_queue()
+        for _ in range(4):
+            q.insert(Event(vertex=0, delta=1.0))
+        assert q.stats.coalesce_rate == 0.75
+
+    def test_capacity_guard(self):
+        with pytest.raises(ValueError, match="slices"):
+            CoalescingQueue(100, min, capacity_vertices=50)
+
+
+class TestDrain:
+    def test_drain_in_sweep_order(self):
+        q = sum_queue(bins=2, block=4)
+        # vertices 0..3 in bin 0; insert out of order
+        for v in [3, 0, 2, 1]:
+            q.insert(Event(vertex=v, delta=1.0))
+        drained = q.drain_bin(0)
+        assert [e.vertex for e in drained] == [0, 1, 2, 3]
+
+    def test_drain_empties_bin(self):
+        q = sum_queue()
+        q.insert(Event(vertex=0, delta=1.0))
+        q.drain_bin(0)
+        assert q.is_empty
+        assert q.drain_bin(0) == []
+
+    def test_one_event_per_vertex_per_drain(self):
+        q = sum_queue()
+        for _ in range(5):
+            q.insert(Event(vertex=7, delta=1.0))
+        drained = q.drain_bin(q.mapping.bin_of(7))
+        assert len(drained) == 1
+        assert drained[0].delta == 5.0
+
+    def test_drain_all_covers_every_bin(self):
+        q = sum_queue(bins=4, block=4)
+        for v in range(64):
+            q.insert(Event(vertex=v, delta=1.0))
+        assert len(q.drain_all()) == 64
+        assert q.is_empty
+
+    def test_iteration_does_not_remove(self):
+        q = sum_queue()
+        q.insert(Event(vertex=0, delta=1.0))
+        assert len(list(q)) == 1
+        assert len(q) == 1
+
+    def test_bin_occupancy(self):
+        q = sum_queue(bins=2, block=4)
+        q.insert(Event(vertex=0, delta=1.0))
+        q.insert(Event(vertex=4, delta=1.0))  # block 1 -> bin 1
+        assert q.bin_occupancy(0) == 1
+        assert q.bin_occupancy(1) == 1
+
+
+class TestReadyTimeSemantics:
+    """The cycle-level race: insertions landing after the sweep wait."""
+
+    def test_late_events_stay_queued(self):
+        q = sum_queue()
+        q.insert(Event(vertex=0, delta=1.0, ready=5))
+        q.insert(Event(vertex=1, delta=1.0, ready=20))
+        drained = q.drain_bin(0, before=10)
+        assert [e.vertex for e in drained] == [0]
+        assert len(q) == 1
+        # the late event is picked up by a later sweep
+        assert [e.vertex for e in q.drain_bin(0, before=30)] == [1]
+
+    def test_slot_splits_by_ready(self):
+        q = sum_queue()
+        q.insert(Event(vertex=0, delta=1.0, ready=5))
+        q.insert(Event(vertex=0, delta=2.0, ready=50))
+        [committed] = q.drain_bin(0, before=10)
+        assert committed.delta == 1.0
+        [pending] = q.drain_bin(0, before=100)
+        assert pending.delta == 2.0
+        assert q.is_empty
+
+    def test_eligible_entries_merge_at_drain(self):
+        q = sum_queue()
+        q.insert(Event(vertex=0, delta=1.0, ready=3))
+        q.insert(Event(vertex=0, delta=2.0, ready=7))
+        [event] = q.drain_bin(0, before=10)
+        assert event.delta == 3.0
+        assert event.ready == 7
+
+    def test_unconditional_drain_takes_everything(self):
+        q = sum_queue()
+        q.insert(Event(vertex=0, delta=1.0, ready=1000))
+        assert len(q.drain_bin(0)) == 1

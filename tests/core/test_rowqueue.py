@@ -1,0 +1,129 @@
+"""Tests for the bit-level bin storage model (Section IV-D, Figure 6)."""
+
+import pytest
+
+from repro.core.rowqueue import BinGeometry, BinStorage
+
+
+def add(a, b):
+    return a + b
+
+
+@pytest.fixture
+def bin_storage():
+    return BinStorage(BinGeometry(num_rows=8, num_columns=4))
+
+
+class TestGeometry:
+    def test_capacity(self):
+        g = BinGeometry(num_rows=4096, num_columns=16)
+        assert g.capacity == 65536
+
+    def test_locate(self):
+        g = BinGeometry(num_rows=8, num_columns=4)
+        assert g.locate(0) == (0, 0)
+        assert g.locate(5) == (1, 1)
+        assert g.locate(31) == (7, 3)
+
+    def test_locate_bounds(self):
+        g = BinGeometry(num_rows=2, num_columns=2)
+        with pytest.raises(ValueError):
+            g.locate(4)
+        with pytest.raises(ValueError):
+            g.locate(-1)
+
+    def test_paper_capacity_arithmetic(self):
+        # 64 bins x 4096 rows x 16 columns = 4M events — the
+        # queue_capacity_events default of the accelerator config
+        from repro.core import optimized_config
+
+        g = BinGeometry(num_rows=4096, num_columns=16)
+        assert 64 * g.capacity == optimized_config().queue_capacity_events
+
+
+class TestInsertion:
+    def test_insert_fills_slot(self, bin_storage):
+        done, coalesced = bin_storage.insert(0, 1.5, at=0, reduce_fn=add)
+        assert not coalesced
+        assert done == 4  # coalescer latency
+        assert bin_storage.payload(0) == 1.5
+        assert bin_storage.occupancy == 1
+
+    def test_insert_coalesces_in_place(self, bin_storage):
+        bin_storage.insert(3, 1.0, at=0, reduce_fn=add)
+        __, coalesced = bin_storage.insert(3, 2.0, at=10, reduce_fn=add)
+        assert coalesced
+        assert bin_storage.payload(3) == 3.0
+        assert bin_storage.occupancy == 1  # no growth
+
+    def test_different_rows_pipeline_freely(self, bin_storage):
+        done_a, __ = bin_storage.insert(0, 1.0, at=0, reduce_fn=add)  # row 0
+        done_b, __ = bin_storage.insert(4, 1.0, at=0, reduce_fn=add)  # row 1
+        assert done_a == done_b == 4
+        assert bin_storage.stats.get("row_conflicts") == 0
+
+    def test_same_row_conflict_stalls(self, bin_storage):
+        bin_storage.insert(0, 1.0, at=0, reduce_fn=add)  # row 0
+        done, __ = bin_storage.insert(1, 1.0, at=0, reduce_fn=add)  # row 0
+        assert done == 8  # waits for the first write-back
+        assert bin_storage.stats.get("row_conflicts") == 1
+        assert bin_storage.stats.get("insert_stall_cycles") == 4
+
+    def test_min_reduce(self, bin_storage):
+        bin_storage.insert(2, 9.0, at=0, reduce_fn=min)
+        bin_storage.insert(2, 4.0, at=10, reduce_fn=min)
+        assert bin_storage.payload(2) == 4.0
+
+
+class TestSweep:
+    def test_sweep_drains_everything(self, bin_storage):
+        for slot in (0, 5, 9, 31):
+            bin_storage.insert(slot, float(slot), at=0, reduce_fn=add)
+        drained, done = bin_storage.sweep(at=100)
+        assert sorted(s for s, _ in drained) == [0, 5, 9, 31]
+        assert bin_storage.occupancy == 0
+
+    def test_sweep_skips_empty_rows(self, bin_storage):
+        # occupancy bit-vector: only 2 of 8 rows occupied -> 2 cycles
+        bin_storage.insert(0, 1.0, at=0, reduce_fn=add)  # row 0
+        bin_storage.insert(30, 1.0, at=0, reduce_fn=add)  # row 7
+        __, done = bin_storage.sweep(at=100)
+        assert done == 102
+        assert bin_storage.stats.get("sweep_cycles") == 2
+
+    def test_full_row_reads_in_one_cycle(self, bin_storage):
+        for column in range(4):  # fill row 2 completely
+            bin_storage.insert(8 + column, 1.0, at=column, reduce_fn=add)
+        drained, __ = bin_storage.sweep(at=100)
+        assert len(drained) == 4
+        assert bin_storage.stats.get("sweep_cycles") == 1
+        assert bin_storage.sweep_efficiency() == 1.0
+
+    def test_sparse_rows_are_inefficient(self, bin_storage):
+        bin_storage.insert(0, 1.0, at=0, reduce_fn=add)  # 1 of 4 slots
+        bin_storage.sweep(at=10)
+        assert bin_storage.sweep_efficiency() == 0.25
+
+    def test_sweep_waits_for_inflight_insertions(self, bin_storage):
+        done, __ = bin_storage.insert(0, 1.0, at=100, reduce_fn=add)
+        __, sweep_done = bin_storage.sweep(at=100)
+        assert sweep_done >= done
+
+    def test_insert_stalls_during_removal(self, bin_storage):
+        bin_storage.insert(0, 1.0, at=0, reduce_fn=add)
+        __, sweep_done = bin_storage.sweep(at=50)
+        done, __ = bin_storage.insert(4, 1.0, at=50, reduce_fn=add)
+        assert done >= sweep_done + 4
+
+    def test_empty_sweep_is_free(self, bin_storage):
+        drained, done = bin_storage.sweep(at=42)
+        assert drained == []
+        assert done == 42
+        assert bin_storage.sweep_efficiency() == 1.0
+
+    def test_occupied_rows_tracking(self, bin_storage):
+        bin_storage.insert(0, 1.0, at=0, reduce_fn=add)
+        bin_storage.insert(12, 1.0, at=0, reduce_fn=add)
+        assert bin_storage.occupied_rows() == [0, 3]
+        bin_storage.sweep(at=10)
+        assert bin_storage.occupied_rows() == []

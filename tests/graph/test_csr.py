@@ -1,0 +1,149 @@
+"""Unit tests for CSR graph storage."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph
+
+
+@pytest.fixture
+def diamond():
+    # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+    return CSRGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstruction:
+    def test_from_edges_counts(self, diamond):
+        assert diamond.num_vertices == 4
+        assert diamond.num_edges == 4
+
+    def test_from_edges_sorted_adjacency(self):
+        g = CSRGraph.from_edges(3, [(0, 2), (0, 1), (2, 0)])
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(2)) == [0]
+
+    def test_from_edges_input_order_irrelevant(self):
+        edges = [(0, 2), (1, 0), (0, 1)]
+        a = CSRGraph.from_edges(3, edges)
+        b = CSRGraph.from_edges(3, list(reversed(edges)))
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(5, [])
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.out_degree(0) == 0
+
+    def test_weights_follow_edge_sort(self):
+        g = CSRGraph.from_edges(
+            3, [(0, 2), (0, 1)], weights=[2.5, 1.5]
+        )
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.edge_weights(0)) == [1.5, 2.5]
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 2)])
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(-1, 0)])
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 1, 2)])
+
+    def test_weights_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                offsets=np.array([1, 2]), adjacency=np.array([0])
+            )
+        with pytest.raises(ValueError):
+            CSRGraph(
+                offsets=np.array([0, 2, 1]),
+                adjacency=np.array([0, 1]),
+            )
+        with pytest.raises(ValueError):
+            CSRGraph(
+                offsets=np.array([0, 3]), adjacency=np.array([0])
+            )
+
+
+class TestQueries:
+    def test_out_degrees(self, diamond):
+        assert list(diamond.out_degrees()) == [2, 1, 1, 0]
+        assert diamond.out_degree(0) == 2
+        assert diamond.out_degree(3) == 0
+
+    def test_in_degrees(self, diamond):
+        assert list(diamond.in_degrees()) == [0, 1, 1, 2]
+
+    def test_edges_iteration(self, diamond):
+        assert sorted(diamond.edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_edge_sources_align_with_adjacency(self, diamond):
+        sources = diamond.edge_sources()
+        assert len(sources) == diamond.num_edges
+        for i, (src, dst) in enumerate(diamond.edges()):
+            assert sources[i] == src
+            assert diamond.adjacency[i] == dst
+
+    def test_unweighted_edge_weights_are_ones(self, diamond):
+        assert list(diamond.edge_weights(0)) == [1.0, 1.0]
+
+    def test_is_weighted(self, diamond):
+        assert not diamond.is_weighted
+        assert diamond.with_unit_weights().is_weighted
+
+
+class TestDerivedGraphs:
+    def test_reverse_swaps_direction(self, diamond):
+        rev = diamond.reverse()
+        assert sorted(rev.edges()) == [(1, 0), (2, 0), (3, 1), (3, 2)]
+
+    def test_reverse_is_cached(self, diamond):
+        assert diamond.reverse() is diamond.reverse()
+
+    def test_reverse_degree_duality(self, diamond):
+        rev = diamond.reverse()
+        assert np.array_equal(rev.out_degrees(), diamond.in_degrees())
+        assert np.array_equal(rev.in_degrees(), diamond.out_degrees())
+
+    def test_with_weights(self, diamond):
+        w = np.arange(4, dtype=float)
+        g = diamond.with_weights(w)
+        assert g.is_weighted
+        assert np.array_equal(g.weights, w)
+        # original untouched
+        assert diamond.weights is None
+
+    def test_with_weights_length_check(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.with_weights(np.ones(3))
+
+    def test_with_unit_weights(self, diamond):
+        g = diamond.with_unit_weights()
+        assert np.all(g.weights == 1.0)
+
+
+class TestMemoryLayout:
+    def test_vertex_addresses_packed(self, diamond):
+        assert diamond.vertex_address(0) == 0
+        assert diamond.vertex_address(1) == diamond.vertex_bytes
+
+    def test_edge_region_follows_vertices(self, diamond):
+        assert (
+            diamond.edge_region_base
+            == diamond.num_vertices * diamond.vertex_bytes
+        )
+        assert diamond.edge_address(0) == diamond.edge_region_base
+        assert (
+            diamond.edge_address(2)
+            == diamond.edge_region_base + 2 * diamond.edge_bytes
+        )
+
+    def test_footprint(self, diamond):
+        assert diamond.footprint_bytes == 4 * 8 + 4 * 4

@@ -1,0 +1,75 @@
+"""Unit tests for the Table IV dataset proxies."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DATASETS, dataset_names, load_dataset
+
+
+class TestRoster:
+    def test_paper_order(self):
+        assert dataset_names() == ("WG", "FB", "WK", "LJ", "TW")
+
+    def test_all_specs_present(self):
+        assert set(DATASETS) == set(dataset_names())
+
+    def test_original_sizes_recorded(self):
+        lj = DATASETS["LJ"]
+        assert lj.original_vertices == 4_840_000
+        assert lj.original_edges == 68_990_000
+
+    def test_density_ordering_preserved(self):
+        # TW is the densest/most skewed workload, WG the sparsest big one
+        def density(name):
+            s = DATASETS[name]
+            return s.num_edges / s.num_vertices
+
+        assert density("TW") > density("WG")
+        assert density("LJ") > density("WG")
+
+
+class TestLoading:
+    def test_load_default_scale(self):
+        g = load_dataset("WG")
+        spec = DATASETS["WG"]
+        assert g.num_vertices == spec.num_vertices
+        assert 0 < g.num_edges <= spec.num_edges
+        assert g.name == "WG"
+
+    def test_scale_shrinks(self):
+        g = load_dataset("LJ", scale=0.1)
+        assert g.num_vertices == int(DATASETS["LJ"].num_vertices * 0.1)
+        assert "@0.1" in g.name
+
+    def test_scale_floor(self):
+        g = load_dataset("WG", scale=1e-9)
+        assert g.num_vertices >= 64
+
+    def test_weighted(self):
+        g = load_dataset("FB", scale=0.05, weighted=True)
+        assert g.is_weighted
+        assert np.all(g.weights > 0)
+
+    def test_deterministic(self):
+        a = load_dataset("WK", scale=0.1)
+        b = load_dataset("WK", scale=0.1)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_seed_offset_changes_instance(self):
+        a = load_dataset("WK", scale=0.1)
+        b = load_dataset("WK", scale=0.1, seed_offset=1)
+        assert not np.array_equal(a.adjacency, b.adjacency)
+
+    def test_case_insensitive(self):
+        assert load_dataset("lj", scale=0.05).num_vertices > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("NOPE")
+
+    def test_power_law_shape(self):
+        # the proxies must preserve degree skew (what coalescing exploits)
+        g = load_dataset("LJ", scale=0.25)
+        degrees = np.sort(g.out_degrees())[::-1]
+        top = degrees[: max(len(degrees) // 10, 1)].sum()
+        assert top > 0.3 * g.num_edges

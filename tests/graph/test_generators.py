@@ -1,0 +1,151 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    binary_tree_graph,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    random_weights,
+    rmat_graph,
+    small_world_graph,
+    star_graph,
+)
+
+
+class TestRmat:
+    def test_size(self):
+        g = rmat_graph(256, 2048, seed=1)
+        assert g.num_vertices == 256
+        assert 0 < g.num_edges <= 2048
+
+    def test_deterministic(self):
+        a = rmat_graph(128, 512, seed=7)
+        b = rmat_graph(128, 512, seed=7)
+        assert np.array_equal(a.adjacency, b.adjacency)
+        assert np.array_equal(a.offsets, b.offsets)
+
+    def test_seed_changes_graph(self):
+        a = rmat_graph(128, 512, seed=7)
+        b = rmat_graph(128, 512, seed=8)
+        assert not np.array_equal(a.adjacency, b.adjacency)
+
+    def test_no_self_loops(self):
+        g = rmat_graph(128, 1024, seed=3)
+        for src, dst in g.edges():
+            assert src != dst
+
+    def test_no_duplicate_edges(self):
+        g = rmat_graph(128, 1024, seed=3)
+        assert len(set(g.edges())) == g.num_edges
+
+    def test_power_law_skew(self):
+        # R-MAT must concentrate edges: the top 10% of vertices by
+        # degree should hold well over 10% of the edges
+        g = rmat_graph(1024, 8192, seed=5)
+        degrees = np.sort(g.out_degrees())[::-1]
+        top = degrees[: len(degrees) // 10].sum()
+        assert top > 0.3 * g.num_edges
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat_graph(1, 10)
+        with pytest.raises(ValueError):
+            rmat_graph(16, 10, a=0.5, b=0.3, c=0.3)
+
+
+class TestErdosRenyi:
+    def test_size_and_determinism(self):
+        a = erdos_renyi_graph(100, 500, seed=1)
+        b = erdos_renyi_graph(100, 500, seed=1)
+        assert a.num_vertices == 100
+        assert 0 < a.num_edges <= 500
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_roughly_uniform_degrees(self):
+        g = erdos_renyi_graph(500, 5000, seed=2)
+        degrees = g.out_degrees()
+        # uniform graphs have no heavy tail
+        assert degrees.max() < 10 * max(degrees.mean(), 1)
+
+
+class TestSmallWorld:
+    def test_degree_bound(self):
+        g = small_world_graph(100, neighbors=4, seed=1)
+        assert np.all(g.out_degrees() <= 4)
+
+    def test_zero_rewire_is_ring_lattice(self):
+        g = small_world_graph(10, neighbors=2, rewire_prob=0.0)
+        assert (0, 1) in set(g.edges())
+        assert (0, 2) in set(g.edges())
+        assert g.num_edges == 20
+
+
+class TestRegularTopologies:
+    def test_chain(self):
+        g = chain_graph(5)
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert (3, 0) in set(g.edges())
+        assert g.num_edges == 4
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.num_vertices == 6
+        # interior connectivity is bidirectional
+        assert (0, 1) in set(g.edges())
+        assert (1, 0) in set(g.edges())
+        assert (0, 3) in set(g.edges())
+
+    def test_grid_edge_count(self):
+        rows, cols = 4, 5
+        g = grid_graph(rows, cols)
+        expected = 2 * (rows * (cols - 1) + cols * (rows - 1))
+        assert g.num_edges == expected
+
+    def test_star_outward(self):
+        g = star_graph(4, outward=True)
+        assert g.out_degree(0) == 4
+        assert g.in_degrees()[0] == 0
+
+    def test_star_inward(self):
+        g = star_graph(4, outward=False)
+        assert g.out_degree(0) == 0
+        assert g.in_degrees()[0] == 4
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        assert np.all(g.out_degrees() == 3)
+
+    def test_binary_tree_down(self):
+        g = binary_tree_graph(3)
+        assert g.num_vertices == 7
+        assert g.out_degree(0) == 2
+        assert g.out_degree(6) == 0
+
+    def test_binary_tree_up(self):
+        g = binary_tree_graph(3, downward=False)
+        assert g.out_degree(0) == 0
+        assert g.out_degree(6) == 1
+
+
+class TestRandomWeights:
+    def test_range_and_determinism(self):
+        g = chain_graph(10)
+        w1 = random_weights(g, low=2.0, high=5.0, seed=3)
+        w2 = random_weights(g, low=2.0, high=5.0, seed=3)
+        assert np.all(w1.weights >= 2.0)
+        assert np.all(w1.weights < 5.0)
+        assert np.array_equal(w1.weights, w2.weights)
+
+    def test_original_untouched(self):
+        g = chain_graph(10)
+        random_weights(g)
+        assert g.weights is None

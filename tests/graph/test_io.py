@@ -1,0 +1,86 @@
+"""Unit tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    load_csr,
+    load_edge_list,
+    rmat_graph,
+    save_csr,
+    save_edge_list,
+)
+from repro.graph.io import edge_list_round_trip
+
+
+@pytest.fixture
+def graph():
+    return rmat_graph(64, 300, seed=4)
+
+
+class TestEdgeList:
+    def test_round_trip(self, graph, tmp_path):
+        reloaded, same = edge_list_round_trip(graph, tmp_path / "g.txt")
+        assert same
+        assert reloaded.num_edges == graph.num_edges
+
+    def test_weighted_round_trip(self, tmp_path):
+        g = rmat_graph(32, 100, seed=1).with_unit_weights()
+        path = tmp_path / "w.txt"
+        save_edge_list(g, path)
+        reloaded = load_edge_list(path, weighted=True)
+        assert reloaded.is_weighted
+        assert np.all(reloaded.weights == 1.0)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n0 1\n# mid\n1 2\n")
+        g = load_edge_list(path)
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_num_vertices_inferred(self, tmp_path):
+        path = tmp_path / "i.txt"
+        path.write_text("0 9\n")
+        assert load_edge_list(path).num_vertices == 10
+
+    def test_explicit_num_vertices(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path, num_vertices=50).num_vertices == 50
+
+    def test_missing_weight_defaults_to_one(self, tmp_path):
+        path = tmp_path / "m.txt"
+        path.write_text("0 1 2.5\n1 0\n")
+        g = load_edge_list(path, weighted=True)
+        weights = {edge: w for edge, w in zip(g.edges(), g.weights)}
+        assert weights[(0, 1)] == 2.5
+        assert weights[(1, 0)] == 1.0
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "mygraph"
+
+
+class TestCSRBundle:
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_csr(graph, path)
+        reloaded = load_csr(path)
+        assert np.array_equal(reloaded.offsets, graph.offsets)
+        assert np.array_equal(reloaded.adjacency, graph.adjacency)
+        assert reloaded.name == graph.name
+        assert reloaded.weights is None
+
+    def test_weighted_round_trip(self, tmp_path):
+        g = rmat_graph(32, 100, seed=2).with_unit_weights()
+        path = tmp_path / "w.npz"
+        save_csr(g, path)
+        reloaded = load_csr(path)
+        assert np.array_equal(reloaded.weights, g.weights)

@@ -1,0 +1,131 @@
+"""Unit tests for graph slicing/partitioning (Section IV-F substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chain_graph,
+    contiguous_partition,
+    greedy_edge_cut_partition,
+    rmat_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return rmat_graph(200, 1200, seed=11)
+
+
+def check_partition_invariants(partition):
+    graph = partition.graph
+    # every vertex owned by exactly one slice
+    seen = np.zeros(graph.num_vertices, dtype=int)
+    for s in partition.slices:
+        seen[s.vertices] += 1
+    assert np.all(seen == 1)
+    # local ids are a bijection within each slice
+    for s in partition.slices:
+        locals_ = partition.local_id_of_vertex[s.vertices]
+        assert sorted(locals_) == list(range(len(s.vertices)))
+    # edge conservation: internal + boundary == total
+    total = sum(
+        s.num_internal_edges + s.num_boundary_edges for s in partition.slices
+    )
+    assert total == graph.num_edges
+    # boundary targets really are external
+    for s in partition.slices:
+        for dst in s.boundary_targets:
+            assert partition.slice_of_vertex[dst] != s.index
+
+
+class TestContiguous:
+    @pytest.mark.parametrize("num_slices", [1, 2, 3, 7])
+    def test_invariants(self, graph, num_slices):
+        check_partition_invariants(contiguous_partition(graph, num_slices))
+
+    def test_single_slice_has_no_cut(self, graph):
+        p = contiguous_partition(graph, 1)
+        assert p.cut_edges == 0
+        assert p.cut_fraction() == 0.0
+
+    def test_slices_are_contiguous_ranges(self, graph):
+        p = contiguous_partition(graph, 4)
+        for s in p.slices:
+            v = s.vertices
+            assert np.array_equal(v, np.arange(v[0], v[-1] + 1))
+
+    def test_balance(self, graph):
+        p = contiguous_partition(graph, 4)
+        sizes = [s.num_vertices for s in p.slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_locate(self, graph):
+        p = contiguous_partition(graph, 3)
+        for v in [0, 57, 199]:
+            s, local = p.locate(v)
+            assert p.slices[s].vertices[local] == v
+
+    def test_chain_cut_is_minimal(self):
+        p = contiguous_partition(chain_graph(100), 4)
+        assert p.cut_edges == 3  # one edge per boundary
+
+    def test_errors(self, graph):
+        with pytest.raises(ValueError):
+            contiguous_partition(graph, 0)
+        with pytest.raises(ValueError):
+            contiguous_partition(graph, graph.num_vertices + 1)
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("num_slices", [1, 2, 4])
+    def test_invariants(self, graph, num_slices):
+        check_partition_invariants(
+            greedy_edge_cut_partition(graph, num_slices)
+        )
+
+    def test_capacity_respected(self, graph):
+        p = greedy_edge_cut_partition(graph, 4, balance_slack=0.05)
+        cap = int(np.ceil(graph.num_vertices / 4) * 1.05)
+        for s in p.slices:
+            assert s.num_vertices <= cap
+
+    def test_beats_random_on_clustered_graph(self):
+        # two dense communities connected by one edge: the greedy
+        # partitioner should cut almost nothing
+        edges = []
+        for u in range(20):
+            for v in range(20):
+                if u != v:
+                    edges.append((u, v))
+                    edges.append((u + 20, v + 20))
+        edges.append((0, 20))
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(40, edges)
+        p = greedy_edge_cut_partition(g, 2, balance_slack=0.1)
+        assert p.cut_fraction() < 0.1
+
+    def test_errors(self, graph):
+        with pytest.raises(ValueError):
+            greedy_edge_cut_partition(graph, 0)
+
+
+class TestSliceSubgraphs:
+    def test_internal_edges_relabelled(self):
+        p = contiguous_partition(chain_graph(10), 2)
+        first = p.slices[0]
+        # slice 0 holds vertices 0..4 with the chain intact locally
+        assert sorted(first.subgraph.edges()) == [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+        ]
+
+    def test_boundary_edges_carry_weights(self):
+        g = chain_graph(4).with_weights(np.array([1.0, 2.0, 3.0]))
+        p = contiguous_partition(g, 2)
+        first = p.slices[0]
+        assert first.num_boundary_edges == 1
+        assert first.boundary_weights[0] == 2.0
+        assert first.boundary_targets[0] == 2

@@ -1,0 +1,93 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    contiguous_partition,
+    greedy_edge_cut_partition,
+)
+
+
+@st.composite
+def edge_lists(draw, max_vertices=40, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return n, edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_preserves_multiset_of_edges(params):
+    n, edges = params
+    g = CSRGraph.from_edges(n, edges)
+    assert sorted(g.edges()) == sorted(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_offsets_invariants(params):
+    n, edges = params
+    g = CSRGraph.from_edges(n, edges)
+    assert g.offsets[0] == 0
+    assert g.offsets[-1] == len(edges)
+    assert np.all(np.diff(g.offsets) >= 0)
+    assert int(g.out_degrees().sum()) == len(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degree_sum_duality(params):
+    n, edges = params
+    g = CSRGraph.from_edges(n, edges)
+    assert int(g.in_degrees().sum()) == int(g.out_degrees().sum())
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_double_reverse_is_identity(params):
+    n, edges = params
+    g = CSRGraph.from_edges(n, edges)
+    back = g.reverse().reverse()
+    assert np.array_equal(back.offsets, g.offsets)
+    assert np.array_equal(back.adjacency, g.adjacency)
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_contiguous_partition_conserves_edges(params, num_slices):
+    n, edges = params
+    g = CSRGraph.from_edges(n, edges)
+    num_slices = min(num_slices, n)
+    p = contiguous_partition(g, num_slices)
+    internal = sum(s.num_internal_edges for s in p.slices)
+    assert internal + p.cut_edges == g.num_edges
+    sizes = sum(s.num_vertices for s in p.slices)
+    assert sizes == n
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_greedy_partition_covers_all_vertices(params, num_slices):
+    n, edges = params
+    g = CSRGraph.from_edges(n, edges)
+    num_slices = min(num_slices, n)
+    p = greedy_edge_cut_partition(g, num_slices)
+    owned = np.zeros(n, dtype=int)
+    for s in p.slices:
+        owned[s.vertices] += 1
+    assert np.all(owned == 1)
+    # locate() agrees with membership
+    for v in range(n):
+        s, local = p.locate(v)
+        assert p.slices[s].vertices[local] == v

@@ -1,0 +1,108 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory import Cache, CacheConfig, DRAMConfig, DRAMSystem
+
+
+@pytest.fixture
+def dram():
+    return DRAMSystem(DRAMConfig())
+
+
+def make_cache(dram, capacity=1024, assoc=2):
+    return Cache("c", CacheConfig(capacity, associativity=assoc), dram)
+
+
+class TestConfig:
+    def test_misaligned_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(100, line_bytes=64, associativity=2)
+
+    def test_geometry(self):
+        cfg = CacheConfig(1024, line_bytes=64, associativity=2)
+        assert cfg.num_sets == 8
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self, dram):
+        cache = make_cache(dram)
+        miss = cache.access(0, 0)
+        assert not miss.row_hit  # row_hit doubles as cache-hit flag
+        hit = cache.access(8, miss.done_cycle)
+        assert hit.row_hit
+        assert hit.latency == cache.config.hit_cycles
+
+    def test_miss_goes_to_dram(self, dram):
+        cache = make_cache(dram)
+        cache.access(0, 0)
+        assert dram.stats.get("bytes") == 64
+
+    def test_hit_produces_no_traffic(self, dram):
+        cache = make_cache(dram)
+        cache.access(0, 0)
+        before = dram.stats.get("bytes")
+        cache.access(0, 100)
+        assert dram.stats.get("bytes") == before
+
+    def test_hit_rate(self, dram):
+        cache = make_cache(dram)
+        cache.access(0, 0)
+        cache.access(0, 1)
+        cache.access(0, 2)
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+
+    def test_kind_accounting(self, dram):
+        cache = make_cache(dram)
+        cache.access(0, 0, kind="edge")
+        cache.access(0, 1, kind="edge")
+        assert cache.stats.get("edge_misses") == 1
+        assert cache.stats.get("edge_hits") == 1
+
+
+class TestReplacement:
+    def test_lru_eviction(self, dram):
+        cache = make_cache(dram, capacity=256, assoc=2)  # 2 sets
+        sets = cache.config.num_sets
+        line = cache.config.line_bytes
+        stride = sets * line  # same set, different tags
+        cache.access(0 * stride, 0)
+        cache.access(1 * stride, 1)
+        cache.access(2 * stride, 2)  # evicts tag 0 (LRU)
+        assert not cache.access(0, 3).row_hit  # tag 0 gone
+        # hitting keeps recency: re-touch tag 2 then insert tag 3
+        cache.access(2 * stride, 4)
+
+    def test_access_refreshes_lru(self, dram):
+        cache = make_cache(dram, capacity=256, assoc=2)
+        stride = cache.config.num_sets * cache.config.line_bytes
+        cache.access(0, 0)
+        cache.access(stride, 1)
+        cache.access(0, 2)  # refresh tag 0
+        cache.access(2 * stride, 3)  # evicts tag 1, not 0
+        assert cache.access(0, 4).row_hit
+
+    def test_dirty_eviction_writes_back(self, dram):
+        cache = make_cache(dram, capacity=256, assoc=1)
+        stride = cache.config.num_sets * cache.config.line_bytes
+        cache.access(0, 0, is_write=True)
+        cache.access(stride, 1)  # evicts dirty line
+        assert cache.stats.get("writebacks") == 1
+        assert dram.stats.get("write_bytes") == 64
+
+    def test_clean_eviction_is_silent(self, dram):
+        cache = make_cache(dram, capacity=256, assoc=1)
+        stride = cache.config.num_sets * cache.config.line_bytes
+        cache.access(0, 0)
+        cache.access(stride, 1)
+        assert cache.stats.get("writebacks") == 0
+
+
+class TestFlush:
+    def test_flush_writes_dirty_lines(self, dram):
+        cache = make_cache(dram)
+        cache.access(0, 0, is_write=True)
+        cache.access(64, 0, is_write=True)
+        cache.access(128, 0)  # clean
+        assert cache.flush() == 2
+        assert not cache.access(0, 100).row_hit  # cache is empty now

@@ -1,0 +1,59 @@
+"""Unit tests for the prefetch scratchpad."""
+
+import pytest
+
+from repro.memory import DRAMConfig, DRAMSystem, Scratchpad
+
+
+@pytest.fixture
+def pad():
+    return Scratchpad("pad", DRAMSystem(DRAMConfig()), capacity_bytes=256)
+
+
+class TestPrefetch:
+    def test_prefetch_then_fast_read(self, pad):
+        done = pad.prefetch(0, 0)
+        assert done > 0  # DRAM latency paid once
+        assert pad.read(8, done) == done + pad.access_cycles
+
+    def test_duplicate_prefetch_is_free(self, pad):
+        pad.prefetch(0, 0)
+        backing_bytes = pad.backing.stats.get("bytes")
+        assert pad.prefetch(32, 10) == 10  # same line, no traffic
+        assert pad.backing.stats.get("bytes") == backing_bytes
+        assert pad.stats.get("duplicate_prefetches") == 1
+
+    def test_capacity_enforced(self, pad):
+        for i in range(pad.capacity_lines):
+            pad.prefetch(i * 64, 0)
+        with pytest.raises(RuntimeError, match="overflow"):
+            pad.prefetch(pad.capacity_lines * 64, 0)
+
+    def test_release_frees_capacity(self, pad):
+        for i in range(pad.capacity_lines):
+            pad.prefetch(i * 64, 0)
+        pad.release(0)
+        pad.prefetch(pad.capacity_lines * 64, 0)  # no raise
+        assert pad.resident_lines == pad.capacity_lines
+
+    def test_release_all(self, pad):
+        pad.prefetch(0, 0)
+        pad.prefetch(64, 0)
+        pad.release_all()
+        assert pad.resident_lines == 0
+
+
+class TestRead:
+    def test_non_resident_read_raises(self, pad):
+        with pytest.raises(KeyError):
+            pad.read(0, 0)
+
+    def test_contains(self, pad):
+        assert not pad.contains(0)
+        pad.prefetch(0, 0)
+        assert pad.contains(63)
+        assert not pad.contains(64)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Scratchpad("x", DRAMSystem(DRAMConfig()), capacity_bytes=32)

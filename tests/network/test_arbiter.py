@@ -1,0 +1,67 @@
+"""Unit tests for arbiters."""
+
+import pytest
+
+from repro.network import Arbiter, ArbiterTree
+
+
+class TestArbiter:
+    def test_one_grant_per_cycle(self):
+        arb = Arbiter("a")
+        g1 = arb.request(0)
+        g2 = arb.request(0)
+        g3 = arb.request(0)
+        assert g2 == g1 + 1
+        assert g3 == g2 + 1
+
+    def test_idle_arbiter_grants_immediately(self):
+        arb = Arbiter("a", grant_latency=2)
+        assert arb.request(10) == 12
+
+    def test_wait_accounting(self):
+        arb = Arbiter("a")
+        arb.request(0)
+        arb.request(0)
+        assert arb.stats.get("wait_cycles") == 1
+        assert arb.stats.get("grants") == 2
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            Arbiter("a", grant_latency=0)
+
+
+class TestArbiterTree:
+    def test_single_leaf_skips_root(self):
+        tree = ArbiterTree("t", num_requesters=8, fan_in=16)
+        assert len(tree.leaves) == 1
+        g = tree.request(0, 0)
+        assert g == 1  # one stage only
+
+    def test_two_stage_latency(self):
+        tree = ArbiterTree("t", num_requesters=32, fan_in=16)
+        assert len(tree.leaves) == 2
+        assert tree.request(0, 0) == 2  # leaf + root
+
+    def test_different_leaves_share_root(self):
+        tree = ArbiterTree("t", num_requesters=32, fan_in=16)
+        a = tree.request(0, 0)  # leaf 0
+        b = tree.request(16, 0)  # leaf 1, contends at root
+        assert b == a + 1
+
+    def test_same_leaf_contention(self):
+        tree = ArbiterTree("t", num_requesters=32, fan_in=16)
+        a = tree.request(0, 0)
+        b = tree.request(1, 0)  # same leaf
+        assert b > a
+
+    def test_grant_counting(self):
+        tree = ArbiterTree("t", num_requesters=4, fan_in=2)
+        for i in range(4):
+            tree.request(i, 0)
+        assert tree.stats.get("grants") == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ArbiterTree("t", num_requesters=0)
+        with pytest.raises(ValueError):
+            ArbiterTree("t", num_requesters=4, fan_in=0)

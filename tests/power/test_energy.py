@@ -1,0 +1,94 @@
+"""Tests for the power/area/energy model (Table V)."""
+
+import pytest
+
+from repro.power import (
+    CPU_PACKAGE_WATTS,
+    PowerModel,
+    energy_efficiency_ratio,
+)
+
+
+def make_report(runtime=1e-3, **ops):
+    defaults = dict(
+        queue_ops=1e6,
+        scratchpad_ops=1e5,
+        network_ops=1e6,
+        processing_ops=1e5,
+    )
+    defaults.update(ops)
+    return PowerModel().report(runtime_seconds=runtime, **defaults)
+
+
+class TestTableV:
+    def test_all_components_present(self):
+        report = make_report()
+        assert set(report.rows) == {
+            "queue",
+            "scratchpad",
+            "network",
+            "processing",
+        }
+
+    def test_queue_dominates_power(self):
+        # "The coalescing event queue consumes the most power"
+        report = make_report()
+        queue = report.rows["queue"]["total_mw"]
+        for name, row in report.rows.items():
+            if name != "queue":
+                assert queue > row["total_mw"]
+
+    def test_static_power_matches_table_v(self):
+        report = make_report()
+        assert report.rows["queue"]["static_mw"] == pytest.approx(64 * 116)
+        assert report.rows["network"]["static_mw"] == pytest.approx(51.3)
+
+    def test_area_total(self):
+        report = make_report()
+        assert report.total_area_mm2 == pytest.approx(
+            190.0 + 0.21 + 3.10 + 0.44
+        )
+
+    def test_dynamic_power_scales_with_activity(self):
+        low = make_report(queue_ops=1e5)
+        high = make_report(queue_ops=1e8)
+        assert (
+            high.rows["queue"]["dynamic_mw"]
+            > low.rows["queue"]["dynamic_mw"]
+        )
+
+    def test_dynamic_power_scales_inverse_with_runtime(self):
+        fast = make_report(runtime=1e-4)
+        slow = make_report(runtime=1e-2)
+        assert fast.total_dynamic_mw > slow.total_dynamic_mw
+
+    def test_energy(self):
+        report = make_report(runtime=2.0)
+        assert report.energy_joules == pytest.approx(
+            report.total_power_watts * 2.0
+        )
+
+    def test_invalid_runtime(self):
+        with pytest.raises(ValueError):
+            make_report(runtime=0)
+
+
+class TestEnergyEfficiency:
+    def test_accelerator_wins_big(self):
+        # GraphPulse at ~8 W running 28x faster than a 130 W CPU gives
+        # three orders of magnitude of energy advantage territory
+        report = make_report(runtime=1e-3)
+        ratio = energy_efficiency_ratio(
+            report, software_seconds=28e-3
+        )
+        assert ratio > 100
+
+    def test_ratio_uses_cpu_power(self):
+        report = make_report(runtime=1e-3)
+        weak = energy_efficiency_ratio(
+            report, software_seconds=1e-3, software_watts=10
+        )
+        strong = energy_efficiency_ratio(
+            report, software_seconds=1e-3, software_watts=CPU_PACKAGE_WATTS
+        )
+        assert strong > weak

@@ -1,0 +1,172 @@
+"""Unit tests for the simulation kernel primitives."""
+
+import pytest
+
+from repro.sim import BandwidthResource, PipelinedResource, Resource, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(5, lambda: order.append("b"))
+        sim.at(2, lambda: order.append("a"))
+        sim.at(9, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 9
+
+    def test_same_cycle_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.at(3, lambda: order.append(1))
+        sim.at(3, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10, lambda: sim.after(5, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [15]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.after(-1, lambda: None)
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False
+
+    def test_run_respects_max_cycles(self):
+        sim = Simulator()
+        fired = []
+        sim.at(5, lambda: fired.append(5))
+        sim.at(100, lambda: fired.append(100))
+        sim.run(max_cycles=50)
+        assert fired == [5]
+        assert sim.now == 50
+        assert sim.pending == 1
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for c in range(4):
+            sim.at(c, lambda: None)
+        sim.run()
+        assert sim.stats.get("events_executed") == 4
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(depth):
+            hits.append(sim.now)
+            if depth:
+                sim.after(2, lambda: chain(depth - 1))
+
+        sim.at(0, lambda: chain(3))
+        sim.run()
+        assert hits == [0, 2, 4, 6]
+
+
+class TestResource:
+    def test_idle_resource_starts_immediately(self):
+        r = Resource("r")
+        assert r.acquire(10, 5) == 10
+        assert r.next_free == 15
+
+    def test_busy_resource_queues(self):
+        r = Resource("r")
+        r.acquire(0, 10)
+        assert r.acquire(3, 2) == 10
+        assert r.stats.get("wait_cycles") == 7
+
+    def test_zero_occupancy(self):
+        r = Resource("r")
+        assert r.acquire(4, 0) == 4
+        assert r.next_free == 4
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("r").acquire(0, -1)
+
+    def test_utilization(self):
+        r = Resource("r")
+        r.acquire(0, 25)
+        assert r.utilization(100) == 0.25
+        assert r.utilization(0) == 0.0
+
+    def test_reset(self):
+        r = Resource("r")
+        r.acquire(0, 10)
+        r.reset()
+        assert r.next_free == 0
+        assert r.stats.get("busy_cycles") == 0
+
+
+class TestPipelinedResource:
+    def test_back_to_back_issues(self):
+        p = PipelinedResource("p", 1, 4)
+        assert p.issue(0) == (0, 4)
+        assert p.issue(0) == (1, 5)
+        assert p.issue(0) == (2, 6)
+
+    def test_initiation_interval(self):
+        p = PipelinedResource("p", 3, 6)
+        assert p.issue(0) == (0, 6)
+        assert p.issue(1) == (3, 9)
+
+    def test_idle_gap_resets_issue(self):
+        p = PipelinedResource("p", 1, 4)
+        p.issue(0)
+        assert p.issue(50) == (50, 54)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PipelinedResource("p", 0, 4)
+        with pytest.raises(ValueError):
+            PipelinedResource("p", 4, 2)
+
+
+class TestBandwidthResource:
+    def test_transfer_duration(self):
+        b = BandwidthResource("b", 16.0)
+        start, done = b.transfer(0, 64)
+        assert (start, done) == (0, 4)
+
+    def test_transfers_serialize(self):
+        b = BandwidthResource("b", 16.0)
+        b.transfer(0, 64)
+        start, done = b.transfer(0, 64)
+        assert (start, done) == (4, 8)
+
+    def test_fractional_rate_rounds(self):
+        b = BandwidthResource("b", 17.0)
+        __, done = b.transfer(0, 64)
+        assert done == 4  # 64/17 = 3.76 -> 4
+
+    def test_minimum_one_cycle(self):
+        b = BandwidthResource("b", 1000.0)
+        __, done = b.transfer(0, 8)
+        assert done == 1
+
+    def test_zero_bytes_is_free(self):
+        b = BandwidthResource("b", 8.0)
+        assert b.transfer(5, 0) == (5, 5)
+
+    def test_byte_accounting(self):
+        b = BandwidthResource("b", 8.0)
+        b.transfer(0, 32)
+        b.transfer(0, 32)
+        assert b.stats.get("bytes") == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BandwidthResource("b", 0)
+        with pytest.raises(ValueError):
+            BandwidthResource("b", 8.0).transfer(0, -1)

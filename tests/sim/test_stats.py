@@ -1,0 +1,68 @@
+"""Unit tests for the stats registry."""
+
+from repro.sim import StatSet, merge_stats
+
+
+class TestStatSet:
+    def test_add_and_get(self):
+        s = StatSet("t")
+        s.add("hits")
+        s.add("hits", 2)
+        assert s.get("hits") == 3
+        assert s["hits"] == 3
+
+    def test_missing_defaults_to_zero(self):
+        assert StatSet().get("nothing") == 0.0
+
+    def test_set_overwrites(self):
+        s = StatSet()
+        s.add("gauge", 5)
+        s.set("gauge", 2)
+        assert s.get("gauge") == 2
+
+    def test_max_keeps_peak(self):
+        s = StatSet()
+        s.max("peak", 3)
+        s.max("peak", 7)
+        s.max("peak", 5)
+        assert s.get("peak") == 7
+
+    def test_contains(self):
+        s = StatSet()
+        s.add("x")
+        assert "x" in s
+        assert "y" not in s
+
+    def test_ratio(self):
+        s = StatSet()
+        s.add("hits", 3)
+        s.add("total", 4)
+        assert s.ratio("hits", "total") == 0.75
+        assert s.ratio("hits", "missing") == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        s = StatSet()
+        s.add("x")
+        snap = s.snapshot()
+        snap["x"] = 99
+        assert s.get("x") == 1
+
+    def test_clear(self):
+        s = StatSet()
+        s.add("x")
+        s.clear()
+        assert s.get("x") == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_counters(self):
+        a, b = StatSet("a"), StatSet("b")
+        a.add("x", 1)
+        a.add("y", 2)
+        b.add("x", 3)
+        merged = merge_stats([a, b])
+        assert merged.get("x") == 4
+        assert merged.get("y") == 2
+
+    def test_merge_empty(self):
+        assert merge_stats([]).snapshot() == {}

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "pagerank"])
+        assert args.dataset == "LJ"
+        assert args.engine == "functional"
+        assert args.scale == 0.2
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quicksort"])
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bfs", "--dataset", "XX"])
+
+
+class TestDatasets:
+    def test_lists_all_proxies(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("WG", "FB", "WK", "LJ", "TW"):
+            assert name in out
+
+
+class TestRun:
+    @pytest.mark.parametrize("engine", ["functional", "cycle", "bsp", "ligra"])
+    def test_engines(self, capsys, engine):
+        code = main(
+            [
+                "run",
+                "bfs",
+                "--dataset",
+                "WG",
+                "--scale",
+                "0.03",
+                "--engine",
+                engine,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: bfs" in out
+        assert "values:" in out
+
+    def test_verify_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "cc",
+                "--dataset",
+                "WG",
+                "--scale",
+                "0.03",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        assert "verification" in capsys.readouterr().out
+
+    def test_functional_prints_coalescing(self, capsys):
+        main(["run", "pagerank", "--dataset", "WG", "--scale", "0.03"])
+        assert "coalesced away" in capsys.readouterr().out
+
+    def test_cycle_prints_cycles(self, capsys):
+        main(
+            [
+                "run",
+                "pagerank",
+                "--dataset",
+                "WG",
+                "--scale",
+                "0.03",
+                "--engine",
+                "cycle",
+            ]
+        )
+        assert "cycles:" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_summary_table(self, capsys):
+        code = main(
+            ["compare", "cc", "--dataset", "WG", "--scale", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GraphPulse+opt vs Ligra" in out
+        assert "Graphicionado" in out
