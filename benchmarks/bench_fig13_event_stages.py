@@ -8,7 +8,10 @@ the volume of edge data per event on power-law graphs.
 
 This benchmark runs the detailed cycle-level model on scaled proxies of
 all five graphs for PageRank plus the four other algorithms on LJ, and
-regenerates the per-stage table.
+regenerates the per-stage table.  The breakdown is derived from the
+*telemetry* — each ``event``/``generate`` span the cycle model emits
+carries its per-stage cycles — and cross-checked against the model's
+own counters, so the trace schema is load-bearing, not decorative.
 """
 
 import pytest
@@ -16,6 +19,7 @@ from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
 from repro.core import GraphPulseAccelerator
+from repro.obs import Tracer, export, tracing
 
 #: small scales: the cycle model times every event individually
 CYCLE_SCALES = {"WG": 0.06, "FB": 0.05, "WK": 0.05, "LJ": 0.04, "TW": 0.008}
@@ -36,19 +40,27 @@ WORKLOADS = [
 
 
 def run_cycle_model(algorithm, dataset):
+    """Run one workload under tracing; returns (result, stage breakdown)."""
     graph, spec = prepare_workload(
         dataset, algorithm, scale=CYCLE_SCALES[dataset]
     )
-    return GraphPulseAccelerator(graph, spec).run()
+    with tracing(Tracer(categories=("proc", "gen"))) as tracer:
+        result = GraphPulseAccelerator(graph, spec).run()
+    return result, export.stage_breakdown(tracer)
 
 
 @pytest.mark.parametrize("algorithm,dataset", WORKLOADS)
 def test_fig13_stage_profile(benchmark, algorithm, dataset):
-    result = benchmark.pedantic(
+    result, profile = benchmark.pedantic(
         lambda: run_cycle_model(algorithm, dataset), rounds=1, iterations=1
     )
-    profile = result.stage_profile.per_event()
     _ROWS[(algorithm, dataset)] = profile
+    # the telemetry-derived breakdown must agree with the model's own
+    # stage counters (same events, same per-stage cycles)
+    counters = result.stage_profile.per_event()
+    assert profile["events"] == result.stage_profile.events
+    for stage in export.STAGES:
+        assert profile[stage] == pytest.approx(counters[stage])
     # prefetching keeps the vertex read far below raw DRAM latency
     assert profile["vertex_mem"] < 40
     # the process stage is the fixed reduce pipeline
@@ -62,9 +74,7 @@ def test_fig13_render_table(benchmark):
         for algorithm, dataset in WORKLOADS:
             profile = _ROWS.get((algorithm, dataset))
             if profile is None:
-                profile = run_cycle_model(
-                    algorithm, dataset
-                ).stage_profile.per_event()
+                profile = run_cycle_model(algorithm, dataset)[1]
             rows.append(
                 [
                     algorithm,

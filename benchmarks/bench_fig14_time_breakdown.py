@@ -6,8 +6,11 @@ generation units spend in {edge read, generate, stall, idle}, observing
 that generation units are dominated by edge reads while processors
 mostly wait on generators.
 
-This benchmark regenerates both breakdowns from the cycle-level model's
-occupancy counters.
+This benchmark regenerates both breakdowns from telemetry: the
+``event``/``generate`` spans the cycle model emits are folded by
+:func:`repro.obs.export.occupancy_breakdown` into the same activity
+totals the model's occupancy counters accumulate, and the two sources
+are asserted to agree before the table renders.
 """
 
 import pytest
@@ -15,6 +18,7 @@ from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
 from repro.core import GraphPulseAccelerator
+from repro.obs import Tracer, export, tracing
 
 CYCLE_SCALES = {"WG": 0.06, "FB": 0.05, "LJ": 0.04}
 
@@ -30,25 +34,56 @@ _RESULTS = {}
 
 
 def run_cycle_model(algorithm, dataset):
+    """Run one workload under tracing; returns (result, activity totals)."""
     graph, spec = prepare_workload(
         dataset, algorithm, scale=CYCLE_SCALES[dataset]
     )
-    return GraphPulseAccelerator(graph, spec).run()
+    with tracing(Tracer(categories=("proc", "gen"))) as tracer:
+        result = GraphPulseAccelerator(graph, spec).run()
+    return result, export.occupancy_breakdown(tracer)
+
+
+def _fractions(result, breakdown):
+    """Figure 14 fractions from the telemetry activity totals."""
+    cfg = result.config
+    horizon = result.total_cycles
+    proc_total = max(horizon * cfg.num_processors, 1)
+    gen_total = max(horizon * cfg.total_generation_streams, 1)
+    proc_busy = (
+        breakdown["processor_vertex_read"]
+        + breakdown["processor_process"]
+        + breakdown["processor_stall"]
+    )
+    gen_busy = (
+        breakdown["generator_edge_read"]
+        + breakdown["generator_generate"]
+        + breakdown["generator_stall"]
+    )
+    proc = {
+        "vertex_read": breakdown["processor_vertex_read"] / proc_total,
+        "process": breakdown["processor_process"] / proc_total,
+        "stall": breakdown["processor_stall"] / proc_total,
+        "idle": max(0.0, 1.0 - proc_busy / proc_total),
+    }
+    gen = {
+        "edge_read": breakdown["generator_edge_read"] / gen_total,
+        "generate": breakdown["generator_generate"] / gen_total,
+        "stall": breakdown["generator_stall"] / gen_total,
+        "idle": max(0.0, 1.0 - gen_busy / gen_total),
+    }
+    return proc, gen
 
 
 @pytest.mark.parametrize("algorithm,dataset", WORKLOADS)
 def test_fig14_occupancy(benchmark, algorithm, dataset):
-    result = benchmark.pedantic(
+    result, breakdown = benchmark.pedantic(
         lambda: run_cycle_model(algorithm, dataset), rounds=1, iterations=1
     )
-    _RESULTS[(algorithm, dataset)] = result
-    cfg = result.config
-    proc = result.occupancy.processor_fractions(
-        result.total_cycles, cfg.num_processors
-    )
-    gen = result.occupancy.generator_fractions(
-        result.total_cycles, cfg.total_generation_streams
-    )
+    _RESULTS[(algorithm, dataset)] = (result, breakdown)
+    # the telemetry activity totals must match the occupancy counters
+    for key, total in breakdown.items():
+        assert total == pytest.approx(getattr(result.occupancy, key))
+    proc, gen = _fractions(result, breakdown)
     assert sum(proc.values()) == pytest.approx(1.0)
     assert sum(gen.values()) == pytest.approx(1.0)
     # generators spend more of their busy time on edge reads + generation
@@ -60,16 +95,11 @@ def test_fig14_render_table(benchmark):
     def render():
         rows = []
         for algorithm, dataset in WORKLOADS:
-            result = _RESULTS.get((algorithm, dataset))
-            if result is None:
-                result = run_cycle_model(algorithm, dataset)
-            cfg = result.config
-            proc = result.occupancy.processor_fractions(
-                result.total_cycles, cfg.num_processors
-            )
-            gen = result.occupancy.generator_fractions(
-                result.total_cycles, cfg.total_generation_streams
-            )
+            cached = _RESULTS.get((algorithm, dataset))
+            if cached is None:
+                cached = run_cycle_model(algorithm, dataset)
+            result, breakdown = cached
+            proc, gen = _fractions(result, breakdown)
             rows.append(
                 [
                     algorithm,

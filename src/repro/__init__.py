@@ -18,9 +18,20 @@ Quickstart::
     print(result.values[:5], result.num_rounds)
 """
 
-from . import algorithms, analysis, baselines, core, graph, memory, network, power, sim
+from . import (
+    algorithms,
+    analysis,
+    baselines,
+    core,
+    graph,
+    memory,
+    network,
+    obs,
+    power,
+    sim,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "algorithms",
@@ -30,6 +41,7 @@ __all__ = [
     "graph",
     "memory",
     "network",
+    "obs",
     "power",
     "sim",
     "__version__",

@@ -21,6 +21,8 @@ import numpy as np
 
 from ..algorithms.base import AlgorithmSpec
 from ..graph import CSRGraph
+from ..obs import probe
+from ..obs import trace as obs_trace
 
 __all__ = ["SynchronousDeltaEngine", "BSPIteration", "BSPResult"]
 
@@ -92,6 +94,18 @@ class SynchronousDeltaEngine:
                 break
             iteration = self._superstep(index, state, pending, has_pending)
             iterations.append(iteration)
+            if obs_trace.ACTIVE is not None:
+                # Round-level telemetry in the shared cross-engine schema;
+                # the BSP time domain is the superstep index.
+                probe.round_span(
+                    "bsp",
+                    index,
+                    float(index),
+                    float(index + 1),
+                    events_processed=len(iteration.active_vertices),
+                    events_produced=iteration.touched_vertices,
+                    edges_scanned=iteration.edges_scanned,
+                )
             if on_iteration is not None:
                 on_iteration(iteration)
         else:  # pragma: no cover - guards runaway configurations

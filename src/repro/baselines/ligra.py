@@ -32,6 +32,8 @@ import numpy as np
 
 from ..algorithms.base import AlgorithmSpec
 from ..graph import CSRGraph
+from ..obs import probe
+from ..obs import trace as obs_trace
 from .bsp import BSPIteration, SynchronousDeltaEngine
 from .cpu_model import CPUCostModel, CPUModelConfig, OpCounts
 
@@ -126,6 +128,19 @@ class LigraEngine:
                 counts.random_reads += frontier_edges
                 counts.atomic_updates += frontier_edges
                 counts.edge_work += frontier_edges
+            if obs_trace.ACTIVE is not None:
+                # Same shared round schema; the Ligra time domain is the
+                # iteration index, with the direction decision attached.
+                probe.round_span(
+                    "ligra",
+                    iteration.index,
+                    float(iteration.index),
+                    float(iteration.index + 1),
+                    events_processed=frontier_size,
+                    events_produced=iteration.touched_vertices,
+                    edges_scanned=frontier_edges,
+                    direction=directions[-1],
+                )
 
         result = self.engine.run(on_iteration=account)
         seconds = self.cost_model.seconds(counts)

@@ -14,19 +14,29 @@ Three subcommands:
     Run the full cross-system comparison (the Figure 10/11/12 pipeline)
     for one workload and print the speedup/traffic summary.
 
+Observability flags on ``run``: ``--trace FILE`` writes a Chrome/
+Perfetto trace of the run, ``--metrics FILE`` a JSONL metrics stream
+(gauge samples every ``--metrics-interval`` cycles plus a final stats
+record), and ``--json [FILE]`` emits the run summary as machine-readable
+JSON (to stdout, replacing the human output, when no FILE is given).
+
 Examples::
 
     python -m repro datasets
     python -m repro run pagerank --dataset LJ --scale 0.2
     python -m repro run sssp --dataset WG --engine cycle --scale 0.05
-    python -m repro compare cc --dataset FB --scale 0.2
+    python -m repro run pagerank --dataset WG --engine cycle \
+        --trace run.trace.json --metrics run.metrics.jsonl --json
+    python -m repro compare cc --dataset FB --scale 0.2 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from contextlib import ExitStack
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +46,8 @@ from .analysis.report import format_table
 from .baselines import LigraEngine, SynchronousDeltaEngine
 from .core import FunctionalGraphPulse, GraphPulseAccelerator
 from .graph import DATASETS, dataset_names
+from .obs import TimeSeries, Tracer, export
+from .obs import trace as obs_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +83,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check the result against the golden reference",
     )
+    run_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome/Perfetto trace of the run to FILE",
+    )
+    run_parser.add_argument(
+        "--trace-categories",
+        metavar="CATS",
+        default=None,
+        help="comma-separated event categories to record (e.g. "
+        "'round,queue,dram,counter'); default records everything",
+    )
+    run_parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL metrics stream (samples + stats) to FILE",
+    )
+    run_parser.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="gauge sampling interval in engine time units (default 1000)",
+    )
+    run_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the run summary as JSON (stdout when FILE omitted)",
+    )
 
     compare_parser = subparsers.add_parser(
         "compare", help="cross-system comparison for one workload"
@@ -80,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", default="LJ", choices=dataset_names()
     )
     compare_parser.add_argument("--scale", type=float, default=0.2)
+    compare_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the comparison summary as JSON (stdout when FILE omitted)",
+    )
     return parser
 
 
@@ -112,54 +166,162 @@ def _command_datasets() -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    graph, spec = prepare_workload(
-        args.dataset, args.algorithm, scale=args.scale
-    )
-    print(f"workload: {args.algorithm} on {graph}")
-
+def _execute_engine(
+    args: argparse.Namespace,
+    graph,
+    spec,
+    timeseries: Optional[TimeSeries],
+) -> Tuple[np.ndarray, Dict[str, Any], List[str]]:
+    """Run the chosen engine; returns (values, summary dict, human lines)."""
     if args.engine == "functional":
-        result = FunctionalGraphPulse(graph, spec).run()
-        values = result.values
-        print(
+        result = FunctionalGraphPulse(
+            graph, spec, timeseries=timeseries
+        ).run()
+        info: Dict[str, Any] = {
+            "rounds": result.num_rounds,
+            "events_processed": result.total_events_processed,
+            "events_produced": result.total_events_produced,
+            "coalesce_rate": result.coalesce_rate(),
+            "converged": result.converged,
+        }
+        lines = [
             f"rounds: {result.num_rounds}   events processed: "
             f"{result.total_events_processed:,}   coalesced away: "
             f"{result.coalesce_rate():.1%}"
-        )
+        ]
     elif args.engine == "cycle":
-        result = GraphPulseAccelerator(graph, spec).run()
-        values = result.values
-        print(
+        result = GraphPulseAccelerator(
+            graph, spec, timeseries=timeseries
+        ).run()
+        info = {
+            "cycles": result.total_cycles,
+            "seconds": result.seconds,
+            "rounds": result.num_rounds,
+            "events_processed": result.events_processed,
+            "events_produced": result.events_produced,
+            "offchip_bytes": result.offchip_bytes,
+            "data_utilization": result.data_utilization(),
+            "converged": result.converged,
+        }
+        lines = [
             f"cycles: {result.total_cycles:,} "
             f"({result.seconds * 1e6:.1f} us at "
             f"{result.config.clock_ghz:g} GHz)   rounds: "
             f"{result.num_rounds}   off-chip: "
             f"{result.offchip_bytes / 1e6:.2f} MB"
-        )
+        ]
     elif args.engine == "bsp":
         result = SynchronousDeltaEngine(graph, spec).run()
-        values = result.values
-        print(
+        info = {
+            "iterations": result.num_iterations,
+            "edges_scanned": result.total_edges_scanned,
+            "converged": result.converged,
+        }
+        lines = [
             f"iterations: {result.num_iterations}   edges scanned: "
             f"{result.total_edges_scanned:,}"
-        )
+        ]
     else:  # ligra
         result = LigraEngine(graph, spec).run()
-        values = result.values
-        print(
+        info = {
+            "iterations": result.num_iterations,
+            "seconds": result.seconds,
+            "pull_fraction": result.pull_fraction,
+            "converged": result.converged,
+        }
+        lines = [
             f"iterations: {result.num_iterations}   modelled time: "
             f"{result.seconds * 1e3:.3f} ms   pull fraction: "
             f"{result.pull_fraction:.0%}"
+        ]
+    return result.values, info, lines
+
+
+def _write_json(payload: Dict[str, Any], destination: str) -> None:
+    """Dump JSON to stdout (``"-"``) or a file."""
+    # default=float coerces numpy scalars that leak into summaries
+    text = json.dumps(payload, indent=2, sort_keys=True, default=float)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    graph, spec = prepare_workload(
+        args.dataset, args.algorithm, scale=args.scale
+    )
+    json_to_stdout = args.json == "-"
+
+    def say(text: str) -> None:
+        # JSON-on-stdout replaces the human narration entirely.
+        if not json_to_stdout:
+            print(text)
+
+    timeseries = (
+        TimeSeries(interval=args.metrics_interval)
+        if args.metrics is not None and args.engine in ("functional", "cycle")
+        else None
+    )
+    tracer = None
+    if args.trace is not None:
+        categories = (
+            [c.strip() for c in args.trace_categories.split(",") if c.strip()]
+            if args.trace_categories
+            else None
         )
+        tracer = Tracer(categories=categories)
+
+    say(f"workload: {args.algorithm} on {graph}")
+
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs_trace.tracing(tracer))
+        values, info, lines = _execute_engine(args, graph, spec, timeseries)
+    for line in lines:
+        say(line)
 
     finite = values[np.isfinite(values)]
-    print(
+    say(
         f"values: {len(finite):,} finite of {len(values):,}; "
         f"min {finite.min():.4g}  max {finite.max():.4g}"
         if len(finite)
         else "values: none finite"
     )
 
+    payload: Dict[str, Any] = {
+        "workload": {
+            "algorithm": args.algorithm,
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        },
+        "engine": args.engine,
+        "result": info,
+        "values": {
+            "total": int(len(values)),
+            "finite": int(len(finite)),
+            "min": float(finite.min()) if len(finite) else None,
+            "max": float(finite.max()) if len(finite) else None,
+        },
+    }
+
+    if args.trace is not None:
+        count = export.write_chrome_trace(tracer, args.trace)
+        payload["trace"] = {"path": args.trace, "events": count}
+        say(f"trace: {count:,} events -> {args.trace}")
+    if args.metrics is not None:
+        stats = {"engine": args.engine, **info}
+        written = export.write_metrics_jsonl(
+            args.metrics, timeseries=timeseries, stats=stats
+        )
+        payload["metrics"] = {"path": args.metrics, "lines": written}
+        say(f"metrics: {written:,} lines -> {args.metrics}")
+
+    status = 0
     if args.verify:
         root = int(np.argmax(graph.out_degrees()))
         injection = (
@@ -177,11 +339,15 @@ def _command_run(args: argparse.Namespace) -> int:
             else 0.0
         )
         ok = error < max(spec.comparison_tolerance * 100, 1e-6)
-        print(f"verification: max error {error:.3g} -> "
-              f"{'OK' if ok else 'MISMATCH'}")
+        payload["verification"] = {"max_error": error, "ok": ok}
+        say(f"verification: max error {error:.3g} -> "
+            f"{'OK' if ok else 'MISMATCH'}")
         if not ok:
-            return 1
-    return 0
+            status = 1
+
+    if args.json is not None:
+        _write_json(payload, args.json)
+    return status
 
 
 def _command_compare(args: argparse.Namespace) -> int:
@@ -189,6 +355,18 @@ def _command_compare(args: argparse.Namespace) -> int:
         args.dataset, args.algorithm, scale=args.scale, verify=False
     )
     summary = result.summary()
+    if args.json is not None:
+        payload = {
+            "workload": {
+                "algorithm": args.algorithm,
+                "dataset": args.dataset,
+                "scale": args.scale,
+            },
+            "summary": summary,
+        }
+        _write_json(payload, args.json)
+        if args.json == "-":
+            return 0
     rows = [
         ["GraphPulse+opt vs Ligra", f"{summary['speedup_vs_ligra']:.2f}x"],
         [

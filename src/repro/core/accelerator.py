@@ -51,6 +51,9 @@ from ..memory.dram import DRAMSystem
 from ..memory.request import MemoryRequest
 from ..network.arbiter import ArbiterTree
 from ..network.crossbar import Crossbar
+from ..obs import probe
+from ..obs import trace as obs_trace
+from ..obs.timeseries import TimeSeries
 from ..sim.kernel import PipelinedResource, Resource
 from ..sim.stats import StatSet
 from .config import GraphPulseConfig, optimized_config
@@ -211,12 +214,16 @@ class GraphPulseAccelerator:
         *,
         global_threshold: Optional[float] = None,
         max_rounds: int = 10_000,
+        timeseries: Optional[TimeSeries] = None,
     ):
         self.graph = graph
         self.spec = spec
         self.config = config or optimized_config()
         self.global_threshold = global_threshold
         self.max_rounds = max_rounds
+        #: optional metrics sampler; gauges are registered below and
+        #: sampled at every interval boundary a round barrier crosses
+        self.timeseries = timeseries
 
         cfg = self.config
         self.queue = CoalescingQueue(
@@ -272,6 +279,27 @@ class GraphPulseAccelerator:
         self._useful_bytes = 0.0
         #: completion cycle of the latest insertion into each bin
         self._bin_insert_done = [0] * cfg.num_bins
+        if self.timeseries is not None:
+            self._register_gauges(self.timeseries)
+
+    def _register_gauges(self, series: TimeSeries) -> None:
+        """Wire the standard cycle-model gauges into a TimeSeries."""
+        series.add_gauge("queue_occupancy", lambda: len(self.queue))
+        series.add_gauge(
+            "dram_bytes", lambda: self.dram.stats.get("bytes")
+        )
+        series.add_gauge(
+            "processor_busy_cycles",
+            lambda: self.occupancy.processor_vertex_read
+            + self.occupancy.processor_process
+            + self.occupancy.processor_stall,
+        )
+        series.add_gauge(
+            "events_inserted", lambda: float(self.queue.stats.inserted)
+        )
+        series.add_gauge(
+            "events_drained", lambda: float(self.queue.stats.drained)
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> CycleResult:
@@ -290,9 +318,24 @@ class GraphPulseAccelerator:
                     f"{spec.name} did not converge within "
                     f"{self.max_rounds} rounds"
                 )
+            round_start = now
+            produced_before = queue.stats.inserted
             now, processed, progress = self._run_round(now)
             rounds += 1
             events_processed += processed
+            if obs_trace.ACTIVE is not None:
+                probe.round_span(
+                    "cycle",
+                    rounds - 1,
+                    round_start,
+                    now,
+                    events_processed=processed,
+                    events_produced=queue.stats.inserted - produced_before,
+                    queue_after=len(queue),
+                    progress=progress,
+                )
+            if self.timeseries is not None:
+                self.timeseries.advance(now)
             if (
                 self.global_threshold is not None
                 and progress < self.global_threshold
@@ -335,6 +378,10 @@ class GraphPulseAccelerator:
             if not batch:
                 continue  # occupancy bit-vector skips empty rows
             drain_start = cursor
+            if obs_trace.ACTIVE is not None:
+                probe.queue_drain(
+                    bin_index, drain_start, len(batch), len(self.queue)
+                )
             drain_cycles = -(-len(batch) // cfg.drain_events_per_cycle)
             last_dispatch, last_done, prog = self._dispatch_batch(
                 batch, drain_start
@@ -470,6 +517,15 @@ class GraphPulseAccelerator:
             t = p_done
             if not result.changed:
                 last_done = max(last_done, p_done)
+                if obs_trace.ACTIVE is not None:
+                    probe.event_process(
+                        proc_index,
+                        start,
+                        p_done,
+                        vertex=event.vertex,
+                        vertex_mem=v_done - start,
+                        process=cfg.process_pipeline_cycles,
+                    )
                 continue
 
             self.state[event.vertex] = result.state
@@ -491,6 +547,15 @@ class GraphPulseAccelerator:
             degree = int(self._out_degrees[event.vertex])
             if not spec.should_propagate(result.change) or degree == 0:
                 last_done = max(last_done, p_done)
+                if obs_trace.ACTIVE is not None:
+                    probe.event_process(
+                        proc_index,
+                        start,
+                        p_done,
+                        vertex=event.vertex,
+                        vertex_mem=v_done - start,
+                        process=cfg.process_pipeline_cycles,
+                    )
                 continue
 
             # --- hand off into a generation stream's buffer -----------
@@ -505,6 +570,17 @@ class GraphPulseAccelerator:
                 stream, proc_index, event, result.change, degree, admitted
             )
             self.stage.gen_buffer += gen_start - p_done
+            if obs_trace.ACTIVE is not None:
+                probe.event_process(
+                    proc_index,
+                    start,
+                    p_done,
+                    vertex=event.vertex,
+                    vertex_mem=v_done - start,
+                    process=cfg.process_pipeline_cycles,
+                    gen_buffer=gen_start - p_done,
+                    stall=admitted - p_done,
+                )
             last_done = max(last_done, gen_done)
             # The processor is free as soon as the hand-off happens; the
             # stream works independently (decoupled units, Figure 9).
@@ -607,6 +683,16 @@ class GraphPulseAccelerator:
         self.stage.generate += gen_cycles
         self.occupancy.generator_edge_read += edge_wait
         self.occupancy.generator_generate += gen_cycles
+        if obs_trace.ACTIVE is not None:
+            probe.event_generate(
+                stream.index,
+                gen_start,
+                cursor,
+                vertex=u,
+                fanout=emitted,
+                edge_mem=edge_wait,
+                generate=gen_cycles,
+            )
         return cursor, gen_start
 
     def _emit(

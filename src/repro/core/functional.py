@@ -27,6 +27,9 @@ import numpy as np
 
 from ..algorithms.base import AlgorithmSpec
 from ..graph import CSRGraph
+from ..obs import probe
+from ..obs import trace as obs_trace
+from ..obs.timeseries import TimeSeries
 from .event import Event
 from .queue import CoalescingQueue
 
@@ -168,6 +171,7 @@ class FunctionalGraphPulse:
         global_threshold: Optional[float] = None,
         max_rounds: int = 100_000,
         scheduling: str = "round-robin",
+        timeseries: Optional[TimeSeries] = None,
     ):
         """
         Parameters
@@ -188,6 +192,10 @@ class FunctionalGraphPulse:
             Bin-visit policy, one of :data:`SCHEDULING_POLICIES`.  The
             fixed point is policy-independent (the Reordering property);
             the amount of work is not.
+        timeseries:
+            Optional metrics sampler.  The functional engine is untimed,
+            so its time domain is the round index: the sampler's
+            ``interval`` counts rounds.
         """
         if scheduling not in self.SCHEDULING_POLICIES:
             raise ValueError(
@@ -208,6 +216,17 @@ class FunctionalGraphPulse:
         self.scheduling = scheduling
         self.state = spec.initial_state(graph)
         self._out_degrees = graph.out_degrees()
+        self.timeseries = timeseries
+        if timeseries is not None:
+            timeseries.add_gauge(
+                "queue_occupancy", lambda: len(self.queue)
+            )
+            timeseries.add_gauge(
+                "events_inserted", lambda: float(self.queue.stats.inserted)
+            )
+            timeseries.add_gauge(
+                "events_drained", lambda: float(self.queue.stats.drained)
+            )
 
     def _bin_visit_order(self) -> List[int]:
         """Bin indices in this round's drain order, per the policy."""
@@ -246,6 +265,20 @@ class FunctionalGraphPulse:
             rounds.append(record)
             total_processed += record.events_processed
             total_produced += record.events_produced
+            if obs_trace.ACTIVE is not None:
+                probe.round_span(
+                    "functional",
+                    round_index,
+                    float(round_index),
+                    float(round_index + 1),
+                    events_processed=record.events_processed,
+                    events_produced=record.events_produced,
+                    events_coalesced=record.events_coalesced,
+                    queue_after=record.queue_size_after,
+                    progress=record.progress,
+                )
+            if self.timeseries is not None:
+                self.timeseries.advance(round_index + 1)
             round_index += 1
             if (
                 self.global_threshold is not None

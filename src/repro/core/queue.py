@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from .event import Event
 
 __all__ = ["CoalescingQueue", "QueueStats", "VertexBinMap"]
@@ -153,16 +155,21 @@ class CoalescingQueue:
         the sweep and waits for the next round).
         """
         self.stats.inserted += 1
-        bucket = self._bins[self.mapping.bin_of(event.vertex)]
+        bin_index = self.mapping.bin_of(event.vertex)
+        bucket = self._bins[bin_index]
         entries = bucket.get(event.vertex)
         if entries is not None:
             entries.append(event)
             self.stats.coalesced += 1
+            if obs_trace.ACTIVE is not None:
+                probe.queue_insert(event.vertex, bin_index, event.ready, True)
             return True
         bucket[event.vertex] = [event]
         self._size += 1
         if self._size > self.stats.peak_occupancy:
             self.stats.peak_occupancy = self._size
+        if obs_trace.ACTIVE is not None:
+            probe.queue_insert(event.vertex, bin_index, event.ready, False)
         return False
 
     def _merge(self, entries: List[Event]) -> Event:

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from ..sim.stats import StatSet
 
 __all__ = ["BinStorage", "BinGeometry"]
@@ -111,6 +113,10 @@ class BinStorage:
             at, self._removal_until
         ):
             self.stats.add("row_conflicts")
+            if obs_trace.ACTIVE is not None:
+                probe.bin_row_conflict(
+                    self.name, at, row=row, stall=start - at
+                )
 
         existing = self._payloads[slot]
         coalesced = existing is not None
@@ -156,6 +162,10 @@ class BinStorage:
         self.stats.add("sweeps")
         self.stats.add("sweep_cycles", cycles)
         self.stats.add("drained", len(drained))
+        if obs_trace.ACTIVE is not None:
+            probe.bin_sweep(
+                self.name, start, done, drained=len(drained), rows=cycles
+            )
         return drained, done
 
     # ------------------------------------------------------------------

@@ -25,6 +25,8 @@ import numpy as np
 from ..algorithms.base import AlgorithmSpec
 from ..graph import CSRGraph
 from ..graph.partition import Partition
+from ..obs import probe
+from ..obs import trace as obs_trace
 from .event import Event
 from .functional import TrafficCounters
 from .queue import CoalescingQueue
@@ -223,6 +225,15 @@ class SlicedGraphPulse:
             )
             spilled += 1
 
+        if obs_trace.ACTIVE is not None:
+            probe.slice_activation(
+                slice_index,
+                pass_index,
+                events_in=len(inbound),
+                events_processed=processed,
+                events_spilled=spilled,
+                rounds=rounds,
+            )
         return SliceActivation(
             pass_index=pass_index,
             slice_index=slice_index,
@@ -429,6 +440,12 @@ class ParallelSlicedGraphPulse:
                     messages_exchanged=messages,
                 )
             )
+            if obs_trace.ACTIVE is not None:
+                probe.super_round(
+                    index,
+                    messages=messages,
+                    events_processed=sum(processed_per_slice),
+                )
             index += 1
 
         return ParallelSlicedResult(

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from ..sim.stats import StatSet
 from .dram import DRAMSystem
 from .request import AccessResult, MemoryRequest
@@ -73,11 +75,15 @@ class Cache:
                 ways[tag] = True
             self.stats.add("hits")
             self.stats.add(f"{kind}_hits")
+            if obs_trace.ACTIVE is not None:
+                probe.cache_access(self.name, at, hit=True, kind=kind)
             done = at + self.config.hit_cycles
             return AccessResult(start_cycle=at, done_cycle=done, row_hit=True)
 
         self.stats.add("misses")
         self.stats.add(f"{kind}_misses")
+        if obs_trace.ACTIVE is not None:
+            probe.cache_access(self.name, at, hit=False, kind=kind)
         line_base = (address // self.config.line_bytes) * self.config.line_bytes
         if len(ways) >= self.config.associativity:
             victim_tag, victim_dirty = ways.popitem(last=False)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from ..sim.kernel import BandwidthResource, Resource
 from ..sim.stats import StatSet, merge_stats
 from .request import AccessResult, MemoryRequest
@@ -105,6 +107,15 @@ class DRAMChannel:
             self.stats.add("write_bursts")
         else:
             self.stats.add("read_bursts")
+        if obs_trace.ACTIVE is not None:
+            probe.dram_burst(
+                self.index,
+                min(at, start),
+                done,
+                row_hit=hit,
+                write=is_write,
+                nbytes=cfg.line_bytes,
+            )
         return AccessResult(start_cycle=min(at, start), done_cycle=done, row_hit=hit)
 
     def bank_stats(self) -> StatSet:
@@ -150,6 +161,15 @@ class DRAMSystem:
             self.stats.add("write_bytes", nbytes)
         else:
             self.stats.add("read_bytes", nbytes)
+        if obs_trace.ACTIVE is not None:
+            probe.dram_txn(
+                at if start is None else start,
+                done,
+                kind=request.kind,
+                nbytes=nbytes,
+                write=request.is_write,
+                lines=len(lines),
+            )
         return AccessResult(
             start_cycle=at if start is None else start,
             done_cycle=done,
@@ -180,6 +200,15 @@ class DRAMSystem:
             self.stats.add("write_bytes", nbytes)
         else:
             self.stats.add("read_bytes", nbytes)
+        if obs_trace.ACTIVE is not None and results:
+            probe.dram_txn(
+                min(r.start_cycle for r in results),
+                max(r.done_cycle for r in results),
+                kind=request.kind,
+                nbytes=nbytes,
+                write=request.is_write,
+                lines=len(results),
+            )
         return results
 
     def row_hit_rate(self) -> float:

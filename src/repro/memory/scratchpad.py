@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from ..sim.stats import StatSet
 from .dram import DRAMSystem
 from .request import MemoryRequest
@@ -60,6 +62,8 @@ class Scratchpad:
         line = self._line_of(address)
         if line in self._resident:
             self.stats.add("duplicate_prefetches")
+            if obs_trace.ACTIVE is not None:
+                probe.cache_access(self.name, at, hit=True, kind=kind)
             return at
         if len(self._resident) >= self.capacity_lines:
             raise RuntimeError(
@@ -77,6 +81,8 @@ class Scratchpad:
         )
         self._resident.add(line)
         self.stats.add("prefetched_lines")
+        if obs_trace.ACTIVE is not None:
+            probe.cache_access(self.name, at, hit=False, kind=kind)
         return result.done_cycle
 
     def read(self, address: int, at: int) -> int:

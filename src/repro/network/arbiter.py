@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from ..sim.kernel import Resource
 from ..sim.stats import StatSet
 
@@ -33,6 +35,8 @@ class Arbiter:
         start = self._slot.acquire(at, 1)
         self.stats.add("grants")
         self.stats.add("wait_cycles", start - at)
+        if obs_trace.ACTIVE is not None:
+            probe.arb_grant(self.name, start, wait=start - at)
         return start + self.grant_latency
 
     @property

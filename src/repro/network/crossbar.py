@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from ..sim.kernel import Resource
 from ..sim.stats import StatSet
 
@@ -61,7 +63,12 @@ class Crossbar:
         arrival = in_start + self.traversal_cycles
         out_start = self._outputs[dest_port].acquire(arrival, 1)
         self.stats.add("events")
-        self.stats.add("wait_cycles", (in_start - at) + (out_start - arrival))
+        wait = (in_start - at) + (out_start - arrival)
+        self.stats.add("wait_cycles", wait)
+        if obs_trace.ACTIVE is not None:
+            probe.xbar_send(
+                self.name, source, dest_port, in_start, out_start + 1, wait=wait
+            )
         return out_start + 1
 
     def output_utilization(self, horizon: int) -> float:

@@ -1,0 +1,56 @@
+"""Observability: structured tracing, gauge time series, trace export.
+
+The telemetry layer the paper's evaluation implies: every simulated
+component emits typed trace events (spans, instants, counters) through
+:mod:`repro.obs.probe` into a globally-installed
+:class:`~repro.obs.trace.Tracer`; :class:`~repro.obs.timeseries.TimeSeries`
+samples gauges on a fixed cycle grid; :mod:`repro.obs.export` writes
+Chrome/Perfetto traces and JSONL metric streams and aggregates telemetry
+back into the figures' breakdowns.
+
+Tracing is disabled by default and its fast path is one branch::
+
+    from repro.obs import Tracer, tracing, write_chrome_trace
+
+    with tracing() as t:
+        result = GraphPulseAccelerator(graph, spec).run()
+    write_chrome_trace(t, "run.trace.json")
+"""
+
+from . import export, probe, timeseries, trace
+from .export import (
+    chrome_trace_events,
+    load_chrome_trace,
+    occupancy_breakdown,
+    read_metrics_jsonl,
+    round_series,
+    stage_breakdown,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .timeseries import TimeSeries
+from .trace import TraceEvent, Tracer, enabled, install, tracing, uninstall
+
+__all__ = [
+    "trace",
+    "probe",
+    "timeseries",
+    "export",
+    "Tracer",
+    "TraceEvent",
+    "TimeSeries",
+    "enabled",
+    "install",
+    "uninstall",
+    "tracing",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "stage_breakdown",
+    "occupancy_breakdown",
+    "round_series",
+]

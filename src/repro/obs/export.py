@@ -1,0 +1,273 @@
+"""Serialization and aggregation of telemetry (the read side).
+
+Writers
+-------
+- :func:`write_chrome_trace` — the Chrome ``chrome://tracing`` /
+  Perfetto JSON Object Format: ``{"traceEvents": [...]}`` plus thread
+  metadata so tracks render with their names.  Open the file directly at
+  https://ui.perfetto.dev or in ``chrome://tracing``.
+- :func:`write_metrics_jsonl` — one JSON object per line: TimeSeries
+  sample rows (``{"type": "sample", ...}``) followed by a final
+  ``{"type": "stats", ...}`` snapshot, so CI and scripts can stream it.
+
+Readers / aggregators
+---------------------
+The benchmark harness derives the paper's Figure 13 (per-stage cycles
+per event) and Figure 14 (processor/generator time breakdown) from the
+telemetry instead of ad-hoc counters: :func:`stage_breakdown` and
+:func:`occupancy_breakdown` fold the ``event``/``generate`` spans the
+cycle model emits; :func:`round_series` extracts the engine-agnostic
+``round`` schema for cross-system comparisons.  All readers accept
+either a live :class:`~repro.obs.trace.Tracer` or a list of Chrome
+trace-event dicts loaded from disk, so post-hoc analysis of a saved
+trace uses the same code path as in-process benchmarking.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Union
+
+from .timeseries import TimeSeries
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+    "stage_breakdown",
+    "occupancy_breakdown",
+    "round_series",
+]
+
+#: the five Figure 13 stages in the paper's chronological stacking order
+STAGES = ("vertex_mem", "process", "gen_buffer", "edge_mem", "generate")
+
+_VALID_PHASES = {"X", "B", "E", "i", "C", "M"}
+
+TraceSource = Union[Tracer, Iterable[Dict[str, Any]]]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace writing
+# ----------------------------------------------------------------------
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """All events as Chrome trace-event dicts, with thread metadata.
+
+    Tracks map to thread ids in first-appearance order, which is
+    deterministic for a deterministic run.
+    """
+    tids = {track: tid for tid, track in enumerate(tracer.tracks())}
+    records: List[Dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    for event in tracer.events:
+        records.append(event.to_chrome(tids[event.track]))
+    return records
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the trace as Chrome/Perfetto JSON; returns event count."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.obs (GraphPulse reproduction)"},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Load and validate a Chrome trace file; raises on malformed data."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    validate_chrome_trace(payload)
+    return payload
+
+
+def validate_chrome_trace(payload: Any) -> List[Dict[str, Any]]:
+    """Check Chrome JSON Object Format structure; returns the events.
+
+    Raises :class:`ValueError` naming the first offending record, so CI
+    failures are actionable.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, record in enumerate(events):
+        if not isinstance(record, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = record.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ValueError(
+                f"traceEvents[{index}] has unsupported phase {phase!r}"
+            )
+        if "name" not in record:
+            raise ValueError(f"traceEvents[{index}] missing 'name'")
+        if phase != "M":
+            for key in ("ts", "pid", "tid"):
+                if key not in record:
+                    raise ValueError(
+                        f"traceEvents[{index}] missing {key!r}"
+                    )
+        if phase == "X" and "dur" not in record:
+            raise ValueError(
+                f"traceEvents[{index}] is a complete span without 'dur'"
+            )
+    return events
+
+
+# ----------------------------------------------------------------------
+# Metrics stream (JSONL)
+# ----------------------------------------------------------------------
+def write_metrics_jsonl(
+    path: str,
+    timeseries: TimeSeries = None,
+    stats: Dict[str, Any] = None,
+) -> int:
+    """Write sample rows plus a final stats snapshot; returns line count."""
+    lines = 0
+    with open(path, "w") as handle:
+        if timeseries is not None:
+            for row in timeseries.samples:
+                record = {"type": "sample", **row}
+                handle.write(
+                    json.dumps(record, separators=(",", ":"), default=float)
+                )
+                handle.write("\n")
+                lines += 1
+        if stats is not None:
+            handle.write(
+                json.dumps(
+                    {"type": "stats", **stats},
+                    separators=(",", ":"),
+                    default=float,
+                )
+            )
+            handle.write("\n")
+            lines += 1
+    return lines
+
+
+def read_metrics_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a metrics JSONL file back into records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Telemetry aggregators (the benchmarks' data source)
+# ----------------------------------------------------------------------
+def _iter_events(source: TraceSource) -> Iterable[Dict[str, Any]]:
+    """Normalize a Tracer or Chrome dict list to Chrome-shaped dicts."""
+    if isinstance(source, Tracer):
+        for event in source.events:
+            yield {
+                "name": event.name,
+                "cat": event.category,
+                "ph": event.phase,
+                "ts": event.ts,
+                "dur": event.duration,
+                "args": event.args,
+            }
+    else:
+        for record in source:
+            yield record
+
+
+def stage_breakdown(source: TraceSource) -> Dict[str, float]:
+    """Figure 13 from telemetry: mean cycles per event in each stage.
+
+    Sums ``vertex_mem``/``process``/``gen_buffer`` over the cycle
+    model's ``event`` spans and ``edge_mem``/``generate`` over its
+    ``generate`` spans, normalized by the processed-event count.  The
+    result carries an ``events`` key with that count.
+    """
+    totals = {stage: 0.0 for stage in STAGES}
+    events = 0
+    for record in _iter_events(source):
+        name = record.get("name")
+        args = record.get("args") or {}
+        if name == "event":
+            events += 1
+            totals["vertex_mem"] += args.get("vertex_mem", 0.0)
+            totals["process"] += args.get("process", 0.0)
+            totals["gen_buffer"] += args.get("gen_buffer", 0.0)
+        elif name == "generate":
+            totals["edge_mem"] += args.get("edge_mem", 0.0)
+            totals["generate"] += args.get("generate", 0.0)
+    n = max(events, 1)
+    breakdown = {stage: totals[stage] / n for stage in STAGES}
+    breakdown["events"] = float(events)
+    return breakdown
+
+
+def occupancy_breakdown(source: TraceSource) -> Dict[str, float]:
+    """Figure 14 source data from telemetry: total cycles per activity.
+
+    Returns the same quantities the cycle model's
+    :class:`~repro.core.accelerator.OccupancyProfile` accumulates —
+    processor {vertex_read, process, stall} and generator
+    {edge_read, generate, stall} cycle totals — summed from the
+    ``event`` and ``generate`` spans.
+    """
+    out = {
+        "processor_vertex_read": 0.0,
+        "processor_process": 0.0,
+        "processor_stall": 0.0,
+        "generator_edge_read": 0.0,
+        "generator_generate": 0.0,
+        "generator_stall": 0.0,
+    }
+    for record in _iter_events(source):
+        name = record.get("name")
+        args = record.get("args") or {}
+        if name == "event":
+            out["processor_vertex_read"] += args.get("vertex_mem", 0.0)
+            out["processor_process"] += args.get("process", 0.0)
+            out["processor_stall"] += args.get("stall", 0.0)
+        elif name == "generate":
+            out["generator_edge_read"] += args.get("edge_mem", 0.0)
+            out["generator_generate"] += args.get("generate", 0.0)
+            out["generator_stall"] += args.get("stall", 0.0)
+    return out
+
+
+def round_series(
+    source: TraceSource, engine: str = None
+) -> List[Dict[str, Any]]:
+    """All ``round`` spans (optionally one engine's), in emission order.
+
+    Every engine emits this shared schema, so a cross-system queue/work
+    comparison is one call per engine over the same trace.
+    """
+    rounds = []
+    for record in _iter_events(source):
+        if record.get("name") != "round":
+            continue
+        args = dict(record.get("args") or {})
+        if engine is not None and args.get("engine") != engine:
+            continue
+        args["ts"] = record.get("ts", 0.0)
+        args["dur"] = record.get("dur", 0.0)
+        rounds.append(args)
+    return rounds

@@ -1,0 +1,405 @@
+"""Typed probe emitters: the instrumentation vocabulary.
+
+Every instrumented component calls one of these helpers instead of
+composing raw trace events, so the event *schema* — names, categories,
+track naming, argument keys — lives in exactly one module and the
+read-side aggregators in :mod:`repro.obs.export` can rely on it.
+
+Hot call sites guard the call with the one-branch fast path::
+
+    from ..obs import probe, trace as obs_trace
+    ...
+    if obs_trace.ACTIVE is not None:
+        probe.dram_burst(channel, start, done, ...)
+
+Each helper re-checks the global tracer so it is also safe to call
+unguarded from cold paths.
+
+Schema summary (full details in DESIGN.md):
+
+===============  ========  =======================  =====================
+name             category  track                    emitted by
+===============  ========  =======================  =====================
+round            round     ``engine:<name>``        every engine
+event            proc      ``proc<i>``              cycle model
+generate         gen       ``gen<i>``               cycle model
+queue.insert     queue     ``queue``                coalescing queue
+queue.coalesce   queue     ``queue``                coalescing queue
+queue.drain      queue     ``queue``                cycle model scheduler
+bin.sweep        queue     ``<bin name>``           bit-level bin model
+bin.row_conflict queue     ``<bin name>``           bit-level bin model
+dram.txn         dram      ``dram``                 DRAM system
+dram.burst       dram      ``dram.ch<i>``           DRAM channels
+cache.hit/miss   mem       ``<cache name>``         caches / scratchpads
+xbar.send        network   ``<xbar>.out<p>``        crossbar
+arb.grant        network   ``<arbiter name>``       arbiters
+slice.activate   slice     ``slice<i>``             sliced runtime
+superround       slice     ``superrounds``          multi-accel runtime
+busy/issue/xfer  resource  ``<resource name>``      sim.kernel resources
+<counters>       counter   ``counters``             engines / TimeSeries
+===============  ========  =======================  =====================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from . import trace
+
+__all__ = [
+    "CAT_ROUND",
+    "CAT_PROC",
+    "CAT_GEN",
+    "CAT_QUEUE",
+    "CAT_DRAM",
+    "CAT_MEM",
+    "CAT_NETWORK",
+    "CAT_SLICE",
+    "CAT_RESOURCE",
+    "round_span",
+    "event_process",
+    "event_generate",
+    "queue_insert",
+    "queue_drain",
+    "bin_sweep",
+    "bin_row_conflict",
+    "dram_txn",
+    "dram_burst",
+    "cache_access",
+    "xbar_send",
+    "arb_grant",
+    "slice_activation",
+    "super_round",
+    "resource_busy",
+    "counter",
+]
+
+CAT_ROUND = "round"
+CAT_PROC = "proc"
+CAT_GEN = "gen"
+CAT_QUEUE = "queue"
+CAT_DRAM = "dram"
+CAT_MEM = "mem"
+CAT_NETWORK = "network"
+CAT_SLICE = "slice"
+CAT_RESOURCE = "resource"
+
+
+def _active() -> Optional[trace.Tracer]:
+    return trace.ACTIVE
+
+
+# ----------------------------------------------------------------------
+# Round-level schema shared by every engine
+# ----------------------------------------------------------------------
+def round_span(
+    engine: str,
+    index: int,
+    start: float,
+    end: float,
+    *,
+    events_processed: int,
+    events_produced: int = 0,
+    **extra: Any,
+) -> None:
+    """One scheduler round / BSP iteration, in the engine's time domain.
+
+    Untimed engines pass ``start=index`` and ``end=index + 1`` so the
+    round timeline renders as a unit-width strip chart.
+    """
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "round",
+        CAT_ROUND,
+        start,
+        max(end - start, 0.0),
+        f"engine:{engine}",
+        engine=engine,
+        index=index,
+        events_processed=events_processed,
+        events_produced=events_produced,
+        **extra,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cycle-model pipeline stages (Figures 13 / 14 source data)
+# ----------------------------------------------------------------------
+def event_process(
+    proc_index: int,
+    start: float,
+    end: float,
+    *,
+    vertex: int,
+    vertex_mem: float,
+    process: float,
+    gen_buffer: float = 0.0,
+    stall: float = 0.0,
+) -> None:
+    """One event's life on an event processor (vertex read + apply)."""
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "event",
+        CAT_PROC,
+        start,
+        max(end - start, 0.0),
+        f"proc{proc_index}",
+        vertex=vertex,
+        vertex_mem=vertex_mem,
+        process=process,
+        gen_buffer=gen_buffer,
+        stall=stall,
+    )
+
+
+def event_generate(
+    stream_index: int,
+    start: float,
+    end: float,
+    *,
+    vertex: int,
+    fanout: int,
+    edge_mem: float,
+    generate: float,
+    stall: float = 0.0,
+) -> None:
+    """One vertex's outgoing-event generation on a generation stream."""
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "generate",
+        CAT_GEN,
+        start,
+        max(end - start, 0.0),
+        f"gen{stream_index}",
+        vertex=vertex,
+        fanout=fanout,
+        edge_mem=edge_mem,
+        generate=generate,
+        stall=stall,
+    )
+
+
+# ----------------------------------------------------------------------
+# Coalescing queue
+# ----------------------------------------------------------------------
+def queue_insert(vertex: int, bin_index: int, ts: float, coalesced: bool) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.instant(
+        "queue.coalesce" if coalesced else "queue.insert",
+        CAT_QUEUE,
+        ts,
+        "queue",
+        vertex=vertex,
+        bin=bin_index,
+    )
+
+
+def queue_drain(
+    bin_index: int, ts: float, count: int, occupancy_after: int
+) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.instant(
+        "queue.drain",
+        CAT_QUEUE,
+        ts,
+        "queue",
+        bin=bin_index,
+        count=count,
+        occupancy_after=occupancy_after,
+    )
+    t.counter("queue_occupancy", ts, occupancy=occupancy_after)
+
+
+def bin_sweep(
+    name: str, start: float, end: float, *, drained: int, rows: int
+) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "bin.sweep",
+        CAT_QUEUE,
+        start,
+        max(end - start, 0.0),
+        name,
+        drained=drained,
+        rows=rows,
+    )
+
+
+def bin_row_conflict(name: str, ts: float, *, row: int, stall: float) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.instant("bin.row_conflict", CAT_QUEUE, ts, name, row=row, stall=stall)
+
+
+# ----------------------------------------------------------------------
+# Memory system
+# ----------------------------------------------------------------------
+def dram_txn(
+    start: float,
+    end: float,
+    *,
+    kind: str,
+    nbytes: int,
+    write: bool,
+    lines: int,
+) -> None:
+    """One (possibly multi-line) DRAM transaction at the system level."""
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "dram.txn",
+        CAT_DRAM,
+        start,
+        max(end - start, 0.0),
+        "dram",
+        kind=kind,
+        bytes=nbytes,
+        write=write,
+        lines=lines,
+    )
+
+
+def dram_burst(
+    channel: int,
+    start: float,
+    end: float,
+    *,
+    row_hit: bool,
+    write: bool,
+    nbytes: int,
+) -> None:
+    """One line burst on one channel (bank access + bus transfer)."""
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "dram.burst",
+        CAT_DRAM,
+        start,
+        max(end - start, 0.0),
+        f"dram.ch{channel}",
+        row_hit=row_hit,
+        write=write,
+        bytes=nbytes,
+    )
+
+
+def cache_access(name: str, ts: float, *, hit: bool, kind: str) -> None:
+    """A cache or prefetch-scratchpad lookup (hit/miss instant)."""
+    t = _active()
+    if t is None:
+        return
+    t.instant("cache.hit" if hit else "cache.miss", CAT_MEM, ts, name, kind=kind)
+
+
+# ----------------------------------------------------------------------
+# Interconnect
+# ----------------------------------------------------------------------
+def xbar_send(
+    name: str,
+    source: int,
+    dest_port: int,
+    start: float,
+    end: float,
+    *,
+    wait: float,
+) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "xbar.send",
+        CAT_NETWORK,
+        start,
+        max(end - start, 0.0),
+        f"{name}.out{dest_port}",
+        source=source,
+        wait=wait,
+    )
+
+
+def arb_grant(name: str, ts: float, *, wait: float) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.instant("arb.grant", CAT_NETWORK, ts, name, wait=wait)
+
+
+# ----------------------------------------------------------------------
+# Sliced / multi-accelerator runtimes (round-level)
+# ----------------------------------------------------------------------
+def slice_activation(
+    slice_index: int,
+    pass_index: int,
+    *,
+    events_in: int,
+    events_processed: int,
+    events_spilled: int,
+    rounds: int,
+) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "slice.activate",
+        CAT_SLICE,
+        float(pass_index),
+        1.0,
+        f"slice{slice_index}",
+        pass_index=pass_index,
+        events_in=events_in,
+        events_processed=events_processed,
+        events_spilled=events_spilled,
+        rounds=rounds,
+    )
+
+
+def super_round(index: int, *, messages: int, events_processed: int) -> None:
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "superround",
+        CAT_SLICE,
+        float(index),
+        1.0,
+        "superrounds",
+        index=index,
+        messages=messages,
+        events_processed=events_processed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Resource-timing primitives (sim.kernel)
+# ----------------------------------------------------------------------
+def resource_busy(
+    name: str, kind: str, start: float, duration: float, **args: Any
+) -> None:
+    """Occupancy span of a next-free-cycle resource (busy/issue/xfer)."""
+    t = _active()
+    if t is None or duration <= 0:
+        return
+    t.complete(kind, CAT_RESOURCE, start, duration, name, **args)
+
+
+def counter(name: str, ts: float, **values: float) -> None:
+    """A counter sample on the shared ``counters`` track."""
+    t = _active()
+    if t is None:
+        return
+    t.counter(name, ts, **values)

@@ -1,0 +1,95 @@
+"""Gauge sampling on a fixed cycle grid (the metrics stream).
+
+The paper's queue-occupancy curves (Figure 4) and bandwidth plots are
+time series sampled while the simulation runs.  :class:`TimeSeries`
+reproduces that: gauges (callables returning the current value of queue
+occupancy, DRAM bytes, processor busy cycles, ...) are registered once,
+then the engine calls :meth:`advance` as simulated time progresses and
+the series takes one sample row at every crossed multiple of
+``interval``.
+
+Because the cycle models advance time in uneven jumps (a round barrier
+can skip thousands of cycles), "sampling at cycle k*interval" means the
+first state observed at-or-after that boundary: each crossed boundary
+gets exactly one row, stamped with the boundary cycle, holding the gauge
+values current when the boundary was crossed.  This keeps sampling
+deterministic and monotone: rows appear in strictly increasing cycle
+order and a boundary is never sampled twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Samples registered gauges at every crossed ``interval`` boundary."""
+
+    def __init__(self, interval: int = 1000, name: str = "metrics"):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.name = name
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self.samples: List[Dict[str, float]] = []
+        #: cycle of the most recent boundary already sampled (-1: none)
+        self._last_boundary: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def add_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge; ``fn()`` is called at every sample."""
+        if name == "cycle":
+            raise ValueError("'cycle' is the reserved timestamp column")
+        self._gauges[name] = fn
+
+    @property
+    def gauge_names(self) -> List[str]:
+        return list(self._gauges)
+
+    # ------------------------------------------------------------------
+    def _row(self, cycle: int) -> Dict[str, float]:
+        row: Dict[str, float] = {"cycle": float(cycle)}
+        for name, fn in self._gauges.items():
+            row[name] = float(fn())
+        return row
+
+    def sample(self, cycle: int) -> Dict[str, float]:
+        """Take one unconditional sample stamped at ``cycle``."""
+        row = self._row(cycle)
+        self.samples.append(row)
+        return row
+
+    def advance(self, cycle: int) -> int:
+        """Advance simulated time to ``cycle``; returns samples taken.
+
+        One row is recorded per interval boundary in
+        ``(last_sampled_boundary, cycle]``.  All rows from one call hold
+        the *current* gauge values (the simulation state is only
+        observable now), stamped with their boundary cycles, so plots
+        keep an even time grid.
+        """
+        if cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        boundary = (cycle // self.interval) * self.interval
+        start = (
+            self.interval
+            if self._last_boundary is None
+            else self._last_boundary + self.interval
+        )
+        taken = 0
+        for b in range(start, boundary + 1, self.interval):
+            self.samples.append(self._row(b))
+            taken += 1
+        if boundary >= start or self._last_boundary is None:
+            self._last_boundary = max(self._last_boundary or 0, boundary)
+        return taken
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def series(self, name: str) -> List[float]:
+        """All sampled values of one column (including ``cycle``)."""
+        return [row[name] for row in self.samples if name in row]

@@ -1,0 +1,260 @@
+"""Structured tracing core (the write side of the telemetry layer).
+
+The paper's evaluation is built from an *instrumented* SST testbed:
+Figures 4-14 are queue-occupancy curves, per-stage event breakdowns and
+off-chip traffic counters sampled while the simulation runs.  This
+module provides the equivalent for the reproduction: a :class:`Tracer`
+records typed trace events (spans, instants, counters) with explicit
+cycle timestamps, and :mod:`repro.obs.export` serializes them to the
+Chrome ``chrome://tracing`` / Perfetto JSON format and to JSONL metric
+streams.
+
+Design constraints:
+
+- **Disabled tracing must be free.**  Instrumented hot paths guard every
+  emission with ``if trace.ACTIVE is not None:`` — a module-global load
+  plus one branch.  No tracer object, no method call, no argument
+  packing happens unless a tracer is installed.
+- **Determinism.**  Events are appended in program order and timestamps
+  come from the simulated clock, so a fixed-seed run produces a
+  byte-identical trace.  Nothing in this module reads wall-clock time.
+- **One schema across engines.**  Every engine (cycle, functional, BSP,
+  Ligra, sliced) emits ``round`` spans with the same argument names via
+  :mod:`repro.obs.probe`, so cross-system comparisons can be made from
+  the telemetry alone.  See DESIGN.md for the full event schema.
+
+Time units: timestamps and durations are in the emitting engine's native
+time domain — accelerator clock cycles for the cycle model and the
+memory/network substrates, round/iteration indices for the untimed
+engines.  Chrome's viewer labels them microseconds; read "us" as the
+engine's cycle unit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "ACTIVE",
+    "enabled",
+    "install",
+    "uninstall",
+    "tracing",
+]
+
+#: the globally-installed tracer, or None when tracing is disabled.
+#: Instrumented code reads this exactly once per potential emission:
+#: ``if trace.ACTIVE is not None: trace.ACTIVE.instant(...)``.
+ACTIVE: Optional["Tracer"] = None
+
+
+@dataclass
+class TraceEvent:
+    """One typed trace event in Chrome trace-event terms.
+
+    ``phase`` follows the Chrome trace-event format: ``"X"`` complete
+    span (has ``duration``), ``"B"``/``"E"`` nested span begin/end,
+    ``"i"`` instant, ``"C"`` counter (``args`` holds the sampled
+    series values).
+    """
+
+    name: str
+    category: str
+    phase: str
+    ts: float
+    track: str
+    duration: float = 0.0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_chrome(self, tid: int, pid: int = 1) -> Dict[str, Any]:
+        """The Chrome trace-event dict for this event."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "ts": self.ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if self.phase == "X":
+            record["dur"] = self.duration
+        if self.phase == "i":
+            record["s"] = "t"  # instant scoped to its thread/track
+        if self.args:
+            record["args"] = self.args
+        return record
+
+
+class Tracer:
+    """Collects typed trace events in memory.
+
+    A tracer is *installed* globally (:func:`install` / :func:`tracing`)
+    so that every instrumented component — queue, DRAM, crossbar,
+    processors, baselines — emits into the same event list without any
+    object threading.  ``categories`` optionally restricts recording to
+    a subset of event categories (e.g. ``{"round", "dram"}``) to keep
+    traces small on long runs.
+    """
+
+    def __init__(self, categories: Optional[Sequence[str]] = None):
+        self.events: List[TraceEvent] = []
+        self.categories = frozenset(categories) if categories else None
+        #: open begin/end nesting depth per track (diagnostics/tests)
+        self._open: Dict[str, int] = {}
+        #: end-timestamp stack for nested :meth:`span` blocks
+        self._pending_ends: List[float] = []
+
+    # -- recording -----------------------------------------------------
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def complete(
+        self,
+        name: str,
+        category: str,
+        ts: float,
+        duration: float,
+        track: str,
+        **args: Any,
+    ) -> None:
+        """Record a complete span (explicit start + duration)."""
+        if not self.wants(category):
+            return
+        self.events.append(
+            TraceEvent(name, category, "X", ts, track, duration, args)
+        )
+
+    def instant(
+        self, name: str, category: str, ts: float, track: str, **args: Any
+    ) -> None:
+        """Record a point event."""
+        if not self.wants(category):
+            return
+        self.events.append(TraceEvent(name, category, "i", ts, track, 0.0, args))
+
+    def counter(
+        self, name: str, ts: float, track: str = "counters", **values: float
+    ) -> None:
+        """Record a counter sample (one or more series values)."""
+        if not self.wants("counter"):
+            return
+        self.events.append(
+            TraceEvent(name, "counter", "C", ts, track, 0.0, dict(values))
+        )
+
+    def begin(
+        self, name: str, category: str, ts: float, track: str, **args: Any
+    ) -> None:
+        """Open a nested span (pair with :meth:`end` on the same track)."""
+        if not self.wants(category):
+            return
+        self._open[track] = self._open.get(track, 0) + 1
+        self.events.append(TraceEvent(name, category, "B", ts, track, 0.0, args))
+
+    def end(self, name: str, category: str, ts: float, track: str) -> None:
+        """Close the innermost open span on ``track``."""
+        if not self.wants(category):
+            return
+        depth = self._open.get(track, 0)
+        if depth <= 0:
+            raise ValueError(f"end() without begin() on track {track!r}")
+        self._open[track] = depth - 1
+        self.events.append(TraceEvent(name, category, "E", ts, track))
+
+    @contextmanager
+    def span(
+        self, name: str, category: str, ts: float, track: str, **args: Any
+    ) -> Iterator["Tracer"]:
+        """Context manager emitting a begin/end pair.
+
+        The end timestamp must be supplied by calling :meth:`end_at`
+        inside the block; if it is not, the span closes at its start
+        timestamp (zero-length).
+        """
+        self.begin(name, category, ts, track, **args)
+        self._pending_ends.append(ts)
+        try:
+            yield self
+        finally:
+            self.end(name, category, self._pending_ends.pop(), track)
+
+    def end_at(self, ts: float) -> None:
+        """Set the end timestamp for the innermost :meth:`span` block."""
+        if not self._pending_ends:
+            raise ValueError("end_at() outside a span() block")
+        self._pending_ends[-1] = ts
+
+    # -- introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def open_spans(self, track: str) -> int:
+        """Currently-unclosed begin/end nesting depth on a track."""
+        return self._open.get(track, 0)
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def by_name(self, name: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def tracks(self) -> List[str]:
+        """Track names in first-appearance order (stable tids)."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._open.clear()
+        self._pending_ends.clear()
+
+
+# ----------------------------------------------------------------------
+# Global installation (the one-branch fast path)
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """True when a tracer is installed."""
+    return ACTIVE is not None
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the global active tracer."""
+    global ACTIVE
+    ACTIVE = tracer
+    return tracer
+
+
+def uninstall() -> Optional[Tracer]:
+    """Remove the active tracer (tracing disabled); returns it."""
+    global ACTIVE
+    tracer, ACTIVE = ACTIVE, None
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of a block.
+
+    ::
+
+        with trace.tracing() as t:
+            result = GraphPulseAccelerator(graph, spec).run()
+        export.write_chrome_trace(t, "run.trace.json")
+
+    Restores the previously-installed tracer (usually None) on exit, so
+    nested tracing blocks compose.
+    """
+    global ACTIVE
+    tracer = tracer if tracer is not None else Tracer()
+    previous = ACTIVE
+    ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        ACTIVE = previous

@@ -27,6 +27,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from ..obs import probe
+from ..obs import trace as obs_trace
 from .stats import StatSet
 
 __all__ = [
@@ -117,13 +119,23 @@ class Resource:
         self.stats.add("requests")
         self.stats.add("busy_cycles", occupancy)
         self.stats.add("wait_cycles", start - at)
+        if obs_trace.ACTIVE is not None:
+            probe.resource_busy(self.name, "busy", start, occupancy)
         return start
 
     def utilization(self, horizon: int) -> float:
-        """Busy fraction of the first ``horizon`` cycles."""
+        """Busy fraction of the first ``horizon`` cycles.
+
+        Returns the *true* ratio — a value above 1.0 means the unit was
+        reserved past the horizon (oversubscription), which is recorded
+        in the ``oversubscribed`` stat rather than silently clamped.
+        """
         if horizon <= 0:
             return 0.0
-        return min(self.stats.get("busy_cycles") / horizon, 1.0)
+        ratio = self.stats.get("busy_cycles") / horizon
+        if ratio > 1.0:
+            self.stats.max("oversubscribed", ratio)
+        return ratio
 
     def reset(self) -> None:
         self.next_free = 0
@@ -156,6 +168,8 @@ class PipelinedResource:
         self.next_issue = start + self.initiation_interval
         self.stats.add("issued")
         self.stats.add("wait_cycles", start - at)
+        if obs_trace.ACTIVE is not None:
+            probe.resource_busy(self.name, "issue", start, self.latency)
         return start, start + self.latency
 
     def reset(self) -> None:
@@ -191,12 +205,20 @@ class BandwidthResource:
         self.stats.add("bytes", num_bytes)
         self.stats.add("busy_cycles", duration)
         self.stats.add("wait_cycles", start - at)
+        if obs_trace.ACTIVE is not None:
+            probe.resource_busy(
+                self.name, "xfer", start, duration, bytes=num_bytes
+            )
         return start, start + duration
 
     def utilization(self, horizon: int) -> float:
+        """True busy ratio over ``horizon``; see :meth:`Resource.utilization`."""
         if horizon <= 0:
             return 0.0
-        return min(self.stats.get("busy_cycles") / horizon, 1.0)
+        ratio = self.stats.get("busy_cycles") / horizon
+        if ratio > 1.0:
+            self.stats.max("oversubscribed", ratio)
+        return ratio
 
     def reset(self) -> None:
         self.next_free = 0

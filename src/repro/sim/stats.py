@@ -9,17 +9,24 @@ surface explicit and stable.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Set
 
 __all__ = ["StatSet", "merge_stats"]
 
 
 class StatSet:
-    """A named bag of counters with a few convenience operations."""
+    """A named bag of counters with a few convenience operations.
+
+    Keys are *counters* by default (summed when StatSets merge).  Keys
+    written through :meth:`max` — peak occupancies, high-water marks —
+    are tagged as *gauges* and merge with ``max`` instead, so combining
+    per-slice or per-channel stats never sums a peak.
+    """
 
     def __init__(self, name: str = "stats"):
         self.name = name
         self._counters: Dict[str, float] = defaultdict(float)
+        self._gauges: Set[str] = set()
 
     def add(self, key: str, amount: float = 1.0) -> None:
         """Increment a counter (created on first use)."""
@@ -30,9 +37,17 @@ class StatSet:
         self._counters[key] = value
 
     def max(self, key: str, value: float) -> None:
-        """Keep the running maximum of a gauge."""
+        """Keep the running maximum of a gauge (tags the key as one)."""
+        self._gauges.add(key)
         if value > self._counters.get(key, float("-inf")):
             self._counters[key] = value
+
+    def mark_gauge(self, key: str) -> None:
+        """Tag a key as a gauge without writing it."""
+        self._gauges.add(key)
+
+    def is_gauge(self, key: str) -> bool:
+        return key in self._gauges
 
     def get(self, key: str, default: float = 0.0) -> float:
         return self._counters.get(key, default)
@@ -57,6 +72,7 @@ class StatSet:
 
     def clear(self) -> None:
         self._counters.clear()
+        self._gauges.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(
@@ -68,9 +84,18 @@ class StatSet:
 def merge_stats(
     stat_sets: Iterable[StatSet], name: str = "merged"
 ) -> StatSet:
-    """Sum counters across several StatSets (e.g. all DRAM channels)."""
+    """Combine several StatSets (e.g. all DRAM channels).
+
+    Counters sum; gauge-tagged keys (written via :meth:`StatSet.max`,
+    e.g. ``peak_occupancy``) take the maximum — summing a peak across
+    slices or channels would fabricate an occupancy no component ever
+    saw.
+    """
     merged = StatSet(name)
     for stats in stat_sets:
         for key, value in stats.snapshot().items():
-            merged.add(key, value)
+            if stats.is_gauge(key):
+                merged.max(key, value)
+            else:
+                merged.add(key, value)
     return merged

@@ -1,0 +1,178 @@
+"""Tests for trace serialization and telemetry aggregation."""
+
+import json
+
+import pytest
+
+from repro import algorithms
+from repro.core import GraphPulseAccelerator
+from repro.graph import rmat_graph
+from repro.obs import (
+    TimeSeries,
+    Tracer,
+    export,
+    load_chrome_trace,
+    read_metrics_jsonl,
+    round_series,
+    stage_breakdown,
+    tracing,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+
+def _traced_pagerank_run():
+    """Fixed-seed 64-vertex PageRank on the cycle model, traced."""
+    graph = rmat_graph(64, 256, seed=7)
+    spec = algorithms.make_pagerank_delta()
+    with tracing() as tracer:
+        result = GraphPulseAccelerator(graph, spec).run()
+    return result, tracer
+
+
+class TestChromeTrace:
+    def test_valid_and_loadable(self, tmp_path):
+        __, tracer = _traced_pagerank_run()
+        path = tmp_path / "run.trace.json"
+        count = write_chrome_trace(tracer, str(path))
+        assert count > 0
+        payload = load_chrome_trace(str(path))  # validates internally
+        events = payload["traceEvents"]
+        assert len(events) == count
+        # thread metadata precedes the events so Perfetto names the tracks
+        names = {
+            r["args"]["name"] for r in events if r["ph"] == "M"
+        }
+        assert "engine:cycle" in names
+        assert "queue" in names
+        assert "dram" in names
+
+    def test_deterministic_across_runs(self, tmp_path):
+        """Same seed, same workload -> byte-identical trace files."""
+        paths = []
+        for i in range(2):
+            __, tracer = _traced_pagerank_run()
+            path = tmp_path / f"run{i}.trace.json"
+            write_chrome_trace(tracer, str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_tids_stable_by_first_appearance(self):
+        tracer = Tracer()
+        tracer.instant("a", "c", 0.0, "first")
+        tracer.instant("b", "c", 1.0, "second")
+        tracer.instant("c", "c", 2.0, "first")
+        records = export.chrome_trace_events(tracer)
+        by_track = {
+            r["args"]["name"]: r["tid"] for r in records if r["ph"] == "M"
+        }
+        assert by_track == {"first": 0, "second": 1}
+
+
+class TestValidation:
+    def test_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"foo": []})
+
+    def test_not_a_list(self):
+        with pytest.raises(ValueError, match="list"):
+            validate_chrome_trace({"traceEvents": {}})
+
+    def test_bad_phase_named_by_index(self):
+        events = [{"name": "ok", "ph": "i", "ts": 0, "pid": 1, "tid": 0},
+                  {"name": "bad", "ph": "Z", "ts": 0, "pid": 1, "tid": 0}]
+        with pytest.raises(ValueError, match=r"traceEvents\[1\]"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_missing_name(self):
+        with pytest.raises(ValueError, match="name"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "i", "ts": 0, "pid": 1, "tid": 0}]}
+            )
+
+    def test_span_needs_duration(self):
+        record = {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [record]})
+
+    def test_non_metadata_needs_timestamp(self):
+        record = {"name": "x", "ph": "i", "pid": 1, "tid": 0}
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace({"traceEvents": [record]})
+
+
+class TestMetricsJsonl:
+    def test_round_trip(self, tmp_path):
+        ts = TimeSeries(interval=10)
+        ts.add_gauge("occupancy", lambda: 4.0)
+        ts.advance(30)
+        path = tmp_path / "metrics.jsonl"
+        lines = write_metrics_jsonl(
+            str(path), timeseries=ts, stats={"cycles": 123}
+        )
+        assert lines == 4  # three samples + one stats record
+        records = read_metrics_jsonl(str(path))
+        assert [r["type"] for r in records] == [
+            "sample", "sample", "sample", "stats",
+        ]
+        assert records[0] == {"type": "sample", "cycle": 10.0, "occupancy": 4.0}
+        assert records[-1] == {"type": "stats", "cycles": 123}
+
+    def test_stats_only(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        assert write_metrics_jsonl(str(path), stats={"n": 1}) == 1
+        assert read_metrics_jsonl(str(path)) == [{"type": "stats", "n": 1}]
+
+
+class TestAggregators:
+    def test_readers_accept_tracer_and_saved_file(self, tmp_path):
+        """Post-hoc analysis of a saved trace matches in-process results."""
+        __, tracer = _traced_pagerank_run()
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(tracer, str(path))
+        saved = load_chrome_trace(str(path))["traceEvents"]
+        live = stage_breakdown(tracer)
+        offline = stage_breakdown(saved)
+        assert offline == pytest.approx(live)
+        assert export.occupancy_breakdown(saved) == pytest.approx(
+            export.occupancy_breakdown(tracer)
+        )
+
+    def test_stage_breakdown_matches_counters(self):
+        result, tracer = _traced_pagerank_run()
+        breakdown = stage_breakdown(tracer)
+        counters = result.stage_profile.per_event()
+        assert breakdown["events"] == result.stage_profile.events
+        for stage in export.STAGES:
+            assert breakdown[stage] == pytest.approx(counters[stage])
+
+    def test_occupancy_breakdown_matches_counters(self):
+        result, tracer = _traced_pagerank_run()
+        breakdown = export.occupancy_breakdown(tracer)
+        for key, total in breakdown.items():
+            assert total == pytest.approx(getattr(result.occupancy, key))
+
+    def test_round_series_schema(self):
+        result, tracer = _traced_pagerank_run()
+        rounds = round_series(tracer, engine="cycle")
+        assert len(rounds) == result.num_rounds
+        assert [r["index"] for r in rounds] == list(range(len(rounds)))
+        assert sum(r["events_processed"] for r in rounds) == (
+            result.events_processed
+        )
+        # round spans tile the run in the engine's own time domain
+        assert all(r["dur"] >= 0 for r in rounds)
+        assert rounds[-1]["ts"] + rounds[-1]["dur"] <= result.total_cycles
+
+    def test_round_series_engine_filter(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            from repro.obs import probe
+
+            probe.round_span("cycle", 0, 0.0, 5.0, events_processed=1)
+            probe.round_span("bsp", 0, 0.0, 1.0, events_processed=2)
+        assert len(round_series(tracer)) == 2
+        assert [r["engine"] for r in round_series(tracer, engine="bsp")] == [
+            "bsp"
+        ]

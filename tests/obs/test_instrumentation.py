@@ -1,0 +1,181 @@
+"""Integration tests: instrumentation across the stack.
+
+Covers the two hard acceptance properties of the telemetry layer:
+
+1. with tracing disabled, a fixed-seed cycle run produces *identical*
+   results and stats to a traced run (observability must not perturb the
+   model), and
+2. every instrumented layer — engines, queue, memory, network, sliced
+   runtime — actually emits its schema when a tracer is installed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.baselines import LigraEngine, SynchronousDeltaEngine
+from repro.core import (
+    FunctionalGraphPulse,
+    GraphPulseAccelerator,
+    SlicedGraphPulse,
+)
+from repro.graph import contiguous_partition, rmat_graph
+from repro.obs import TimeSeries, Tracer, round_series, tracing
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(128, 700, seed=11)
+
+
+def _cycle_fingerprint(result):
+    """Everything a cycle run reports, as one comparable structure."""
+    return (
+        result.values.tobytes(),
+        result.total_cycles,
+        result.num_rounds,
+        result.events_processed,
+        result.events_produced,
+        result.stage_profile.per_event(),
+        dict(result.dram_stats),
+        dict(result.queue_stats),
+        result.converged,
+    )
+
+
+class TestTracingIsPure:
+    def test_traced_run_identical_to_untraced(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        untraced = GraphPulseAccelerator(graph, spec).run()
+        with tracing() as tracer:
+            traced = GraphPulseAccelerator(graph, spec).run()
+        assert len(tracer) > 0
+        assert _cycle_fingerprint(traced) == _cycle_fingerprint(untraced)
+
+    def test_timeseries_does_not_perturb(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        plain = GraphPulseAccelerator(graph, spec).run()
+        sampled = GraphPulseAccelerator(
+            graph, spec, timeseries=TimeSeries(interval=500)
+        ).run()
+        assert _cycle_fingerprint(sampled) == _cycle_fingerprint(plain)
+
+
+class TestLayerEmissions:
+    @pytest.fixture(scope="class")
+    def cycle_trace(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with tracing() as tracer:
+            result = GraphPulseAccelerator(graph, spec).run()
+        return result, tracer
+
+    def test_round_spans(self, cycle_trace):
+        result, tracer = cycle_trace
+        rounds = round_series(tracer, engine="cycle")
+        assert len(rounds) == result.num_rounds
+
+    def test_processor_and_generator_spans(self, cycle_trace):
+        result, tracer = cycle_trace
+        assert len(tracer.by_name("event")) == result.events_processed
+        generates = tracer.by_name("generate")
+        assert generates
+        assert all(e.args["fanout"] >= 0 for e in generates)
+
+    def test_queue_instants(self, cycle_trace):
+        result, tracer = cycle_trace
+        inserts = tracer.by_name("queue.insert")
+        coalesces = tracer.by_name("queue.coalesce")
+        # every produced event lands in the queue, as a fill or a merge
+        assert len(inserts) + len(coalesces) >= result.events_produced
+        assert tracer.by_name("queue.drain")
+
+    def test_dram_spans(self, cycle_trace):
+        __, tracer = cycle_trace
+        txns = tracer.by_name("dram.txn")
+        bursts = tracer.by_name("dram.burst")
+        assert txns and bursts
+        # bursts decompose transactions: at least one burst per txn
+        assert len(bursts) >= len(txns)
+        assert all(e.args["bytes"] > 0 for e in txns)
+
+    def test_scratchpad_hits_and_misses(self, cycle_trace):
+        __, tracer = cycle_trace
+        assert tracer.by_name("cache.miss")  # first touch always misses
+
+    def test_resource_spans(self, cycle_trace):
+        __, tracer = cycle_trace
+        assert tracer.by_category("resource")
+
+    def test_counter_samples(self, cycle_trace):
+        __, tracer = cycle_trace
+        assert tracer.by_name("queue_occupancy")
+
+
+class TestCrossEngineSchema:
+    """Every engine emits the same round-level schema."""
+
+    def test_functional_rounds(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with tracing() as tracer:
+            result = FunctionalGraphPulse(graph, spec).run()
+        rounds = round_series(tracer, engine="functional")
+        assert len(rounds) == result.num_rounds
+        assert sum(r["events_processed"] for r in rounds) == (
+            result.total_events_processed
+        )
+
+    def test_bsp_rounds(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with tracing() as tracer:
+            result = SynchronousDeltaEngine(graph, spec).run()
+        rounds = round_series(tracer, engine="bsp")
+        assert len(rounds) == result.num_iterations
+        assert sum(r["edges_scanned"] for r in rounds) == (
+            result.total_edges_scanned
+        )
+
+    def test_ligra_rounds(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with tracing() as tracer:
+            result = LigraEngine(graph, spec).run()
+        rounds = round_series(tracer, engine="ligra")
+        assert len(rounds) == result.num_iterations
+        assert [r["direction"] for r in rounds] == result.directions
+
+    def test_sliced_activations(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        partition = contiguous_partition(graph, 2)
+        with tracing() as tracer:
+            result = SlicedGraphPulse(partition, spec).run()
+        activations = tracer.by_name("slice.activate")
+        assert len(activations) == len(result.activations)
+
+    def test_engines_share_one_trace(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with tracing() as tracer:
+            FunctionalGraphPulse(graph, spec).run()
+            SynchronousDeltaEngine(graph, spec).run()
+        engines = {r["engine"] for r in round_series(tracer)}
+        assert engines == {"functional", "bsp"}
+
+
+class TestFunctionalTimeseries:
+    def test_round_domain_sampling(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        ts = TimeSeries(interval=2)
+        result = FunctionalGraphPulse(graph, spec, timeseries=ts).run()
+        assert len(ts) == result.num_rounds // 2
+        assert "queue_occupancy" in ts.gauge_names
+        # the queue is empty once the run converges
+        if len(ts) and result.converged:
+            assert ts.series("queue_occupancy")[-1] >= 0
+
+
+class TestValuesUnchanged:
+    def test_traced_functional_matches_untraced(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        plain = FunctionalGraphPulse(graph, spec).run()
+        with tracing():
+            traced = FunctionalGraphPulse(graph, spec).run()
+        assert np.array_equal(plain.values, traced.values)
+        assert plain.num_rounds == traced.num_rounds

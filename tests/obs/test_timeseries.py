@@ -1,0 +1,91 @@
+"""Unit tests for gauge sampling (repro.obs.timeseries)."""
+
+import pytest
+
+from repro.obs import TimeSeries
+
+
+class TestConstruction:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeries(interval=0)
+
+    def test_cycle_column_reserved(self):
+        ts = TimeSeries()
+        with pytest.raises(ValueError):
+            ts.add_gauge("cycle", lambda: 0.0)
+
+    def test_gauge_names(self):
+        ts = TimeSeries()
+        ts.add_gauge("a", lambda: 1.0)
+        ts.add_gauge("b", lambda: 2.0)
+        assert ts.gauge_names == ["a", "b"]
+
+
+class TestBoundarySampling:
+    def test_uneven_jump_samples_every_crossed_boundary(self):
+        ts = TimeSeries(interval=10)
+        ts.add_gauge("g", lambda: 5.0)
+        taken = ts.advance(25)
+        # boundaries 10 and 20 were crossed; 25 itself is not a boundary
+        assert taken == 2
+        assert ts.series("cycle") == [10.0, 20.0]
+        assert ts.series("g") == [5.0, 5.0]
+
+    def test_boundary_never_sampled_twice(self):
+        ts = TimeSeries(interval=10)
+        ts.advance(25)
+        assert ts.advance(25) == 0
+        assert ts.advance(29) == 0
+        assert ts.advance(30) == 1
+        assert ts.series("cycle") == [10.0, 20.0, 30.0]
+
+    def test_exact_boundary_is_included(self):
+        ts = TimeSeries(interval=10)
+        assert ts.advance(10) == 1
+        assert ts.series("cycle") == [10.0]
+
+    def test_before_first_boundary_takes_nothing(self):
+        ts = TimeSeries(interval=10)
+        assert ts.advance(9) == 0
+        assert len(ts) == 0
+        # ...and the first boundary is still armed
+        assert ts.advance(10) == 1
+
+    def test_rows_hold_current_gauge_values(self):
+        # all rows from one advance() hold the state observable *now*
+        state = {"v": 1.0}
+        ts = TimeSeries(interval=10)
+        ts.add_gauge("v", lambda: state["v"])
+        ts.advance(10)
+        state["v"] = 9.0
+        ts.advance(35)  # boundaries 20 and 30, both see v=9
+        assert ts.series("v") == [1.0, 9.0, 9.0]
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries().advance(-1)
+
+    def test_rows_strictly_increasing(self):
+        ts = TimeSeries(interval=7)
+        for cycle in (5, 13, 13, 29, 30, 64):
+            ts.advance(cycle)
+        cycles = ts.series("cycle")
+        assert cycles == sorted(cycles)
+        assert len(set(cycles)) == len(cycles)
+
+
+class TestUnconditionalSample:
+    def test_sample_ignores_grid(self):
+        ts = TimeSeries(interval=1000)
+        ts.add_gauge("g", lambda: 3.0)
+        row = ts.sample(17)
+        assert row == {"cycle": 17.0, "g": 3.0}
+        assert len(ts) == 1
+
+    def test_series_skips_missing_columns(self):
+        ts = TimeSeries(interval=10)
+        ts.sample(1)
+        ts.add_gauge("late", lambda: 2.0)
+        ts.sample(2)
+        assert ts.series("late") == [2.0]

@@ -1,0 +1,174 @@
+"""Unit tests for the tracing core (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs import probe
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    assert obs_trace.ACTIVE is None
+    yield
+    obs_trace.uninstall()
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert obs_trace.ACTIVE is None
+        assert not obs_trace.enabled()
+
+    def test_probes_are_noops_when_disabled(self):
+        # every probe returns immediately with no tracer installed
+        probe.round_span("cycle", 0, 0.0, 10.0, events_processed=1)
+        probe.event_process(0, 0.0, 5.0, vertex=1, vertex_mem=2.0, process=3.0)
+        probe.queue_insert(1, 0, 0.0, False)
+        probe.dram_txn(0.0, 10.0, kind="vertex", nbytes=64, write=False, lines=1)
+        probe.cache_access("c", 0.0, hit=True, kind="edge")
+        probe.counter("x", 0.0, value=1.0)
+        assert obs_trace.ACTIVE is None
+
+    def test_disabled_guard_is_one_branch(self):
+        # the documented hot-path guard: a module-global load + one branch;
+        # nothing is recorded and no tracer springs into existence
+        for __ in range(1000):
+            if obs_trace.ACTIVE is not None:  # pragma: no cover
+                probe.counter("x", 0.0, value=1.0)
+        assert obs_trace.ACTIVE is None
+
+
+class TestInstall:
+    def test_install_uninstall(self):
+        t = Tracer()
+        assert obs_trace.install(t) is t
+        assert obs_trace.ACTIVE is t
+        assert obs_trace.enabled()
+        assert obs_trace.uninstall() is t
+        assert obs_trace.ACTIVE is None
+
+    def test_tracing_context_restores_previous(self):
+        outer = Tracer()
+        with obs_trace.tracing(outer) as t1:
+            assert t1 is outer
+            with obs_trace.tracing() as t2:
+                assert obs_trace.ACTIVE is t2
+                assert t2 is not outer
+            assert obs_trace.ACTIVE is outer
+        assert obs_trace.ACTIVE is None
+
+    def test_tracing_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs_trace.tracing():
+                raise RuntimeError("boom")
+        assert obs_trace.ACTIVE is None
+
+    def test_probe_emits_into_installed_tracer(self):
+        with obs_trace.tracing() as t:
+            probe.queue_insert(7, 2, 13.0, True)
+        assert len(t) == 1
+        event = t.events[0]
+        assert event.name == "queue.coalesce"
+        assert event.args == {"vertex": 7, "bin": 2}
+        assert event.ts == 13.0
+
+
+class TestRecording:
+    def test_complete_span(self):
+        t = Tracer()
+        t.complete("work", "cat", 10.0, 5.0, "trackA", key=1)
+        e = t.events[0]
+        assert (e.phase, e.ts, e.duration, e.track) == ("X", 10.0, 5.0, "trackA")
+
+    def test_instant_and_counter(self):
+        t = Tracer()
+        t.instant("hit", "mem", 3.0, "cache")
+        t.counter("occ", 4.0, queue=17.0)
+        assert [e.phase for e in t.events] == ["i", "C"]
+        assert t.events[1].args == {"queue": 17.0}
+
+    def test_category_filter(self):
+        t = Tracer(categories=("dram",))
+        t.instant("keep", "dram", 0.0, "x")
+        t.instant("drop", "queue", 0.0, "x")
+        t.counter("drop_counter", 0.0, v=1.0)  # 'counter' not requested
+        assert [e.name for e in t.events] == ["keep"]
+        assert t.wants("dram") and not t.wants("queue")
+
+    def test_by_category_by_name_tracks(self):
+        t = Tracer()
+        t.instant("a", "c1", 0.0, "t1")
+        t.instant("b", "c2", 1.0, "t2")
+        t.instant("a", "c1", 2.0, "t1")
+        assert len(t.by_category("c1")) == 2
+        assert len(t.by_name("b")) == 1
+        assert t.tracks() == ["t1", "t2"]  # first-appearance order
+
+    def test_clear(self):
+        t = Tracer()
+        t.begin("s", "c", 0.0, "t")
+        t.clear()
+        assert len(t) == 0
+        assert t.open_spans("t") == 0
+
+
+class TestSpanNesting:
+    def test_begin_end_pairs(self):
+        t = Tracer()
+        t.begin("outer", "c", 0.0, "t")
+        t.begin("inner", "c", 1.0, "t")
+        assert t.open_spans("t") == 2
+        t.end("inner", "c", 2.0, "t")
+        t.end("outer", "c", 3.0, "t")
+        assert t.open_spans("t") == 0
+        assert [e.phase for e in t.events] == ["B", "B", "E", "E"]
+
+    def test_end_without_begin_raises(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.end("ghost", "c", 0.0, "t")
+
+    def test_span_context_manager_nests(self):
+        t = Tracer()
+        with t.span("outer", "c", 0.0, "t"):
+            with t.span("inner", "c", 1.0, "t"):
+                t.end_at(4.0)
+            t.end_at(9.0)
+        phases = [(e.name, e.phase, e.ts) for e in t.events]
+        assert phases == [
+            ("outer", "B", 0.0),
+            ("inner", "B", 1.0),
+            ("inner", "E", 4.0),
+            ("outer", "E", 9.0),
+        ]
+        assert t.open_spans("t") == 0
+
+    def test_span_without_end_at_is_zero_length(self):
+        t = Tracer()
+        with t.span("s", "c", 5.0, "t"):
+            pass
+        assert t.events[-1].ts == 5.0
+
+    def test_end_at_outside_span_raises(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.end_at(1.0)
+
+
+class TestChromeConversion:
+    def test_complete_gets_dur(self):
+        from repro.obs.trace import TraceEvent
+
+        record = TraceEvent("n", "c", "X", 1.0, "t", 4.0, {"k": 1}).to_chrome(3)
+        assert record["dur"] == 4.0
+        assert record["tid"] == 3
+        assert record["args"] == {"k": 1}
+
+    def test_instant_gets_scope(self):
+        from repro.obs.trace import TraceEvent
+
+        record = TraceEvent("n", "c", "i", 1.0, "t").to_chrome(0)
+        assert record["s"] == "t"
+        assert "dur" not in record
+        assert "args" not in record

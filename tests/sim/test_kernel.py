@@ -101,6 +101,28 @@ class TestResource:
         assert r.utilization(100) == 0.25
         assert r.utilization(0) == 0.0
 
+    def test_utilization_reports_true_ratio_over_one(self):
+        # a too-short horizon must not be hidden by clamping
+        r = Resource("r")
+        r.acquire(0, 30)
+        assert r.utilization(10) == 3.0
+
+    def test_oversubscription_recorded(self):
+        r = Resource("r")
+        r.acquire(0, 30)
+        r.utilization(10)
+        assert r.stats.get("oversubscribed") == 3.0
+        # the stat keeps the peak ratio and merges as a gauge
+        r.utilization(20)
+        assert r.stats.get("oversubscribed") == 3.0
+        assert r.stats.is_gauge("oversubscribed")
+
+    def test_no_oversubscription_stat_when_within_horizon(self):
+        r = Resource("r")
+        r.acquire(0, 25)
+        r.utilization(100)
+        assert "oversubscribed" not in r.stats
+
     def test_reset(self):
         r = Resource("r")
         r.acquire(0, 10)
@@ -170,3 +192,11 @@ class TestBandwidthResource:
             BandwidthResource("b", 0)
         with pytest.raises(ValueError):
             BandwidthResource("b", 8.0).transfer(0, -1)
+
+    def test_utilization_true_ratio_and_oversubscription(self):
+        b = BandwidthResource("b", 8.0)
+        b.transfer(0, 64)  # 8 busy cycles
+        assert b.utilization(16) == 0.5
+        assert b.utilization(4) == 2.0
+        assert b.stats.get("oversubscribed") == 2.0
+        assert b.stats.is_gauge("oversubscribed")

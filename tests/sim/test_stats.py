@@ -50,8 +50,23 @@ class TestStatSet:
     def test_clear(self):
         s = StatSet()
         s.add("x")
+        s.max("peak", 5)
         s.clear()
         assert s.get("x") == 0.0
+        assert not s.is_gauge("peak")
+
+    def test_max_marks_gauge(self):
+        s = StatSet()
+        s.max("peak", 3)
+        s.add("count", 1)
+        assert s.is_gauge("peak")
+        assert not s.is_gauge("count")
+
+    def test_mark_gauge_explicitly(self):
+        s = StatSet()
+        s.add("level", 4)
+        s.mark_gauge("level")
+        assert s.is_gauge("level")
 
 
 class TestMerge:
@@ -66,3 +81,30 @@ class TestMerge:
 
     def test_merge_empty(self):
         assert merge_stats([]).snapshot() == {}
+
+    def test_merge_takes_max_of_gauges(self):
+        """Regression: peak-style gauges must merge with max, not sum.
+
+        Summing ``peak_occupancy`` across two bins used to report a peak
+        larger than any bin ever held.
+        """
+        a, b = StatSet("a"), StatSet("b")
+        a.max("peak_occupancy", 10)
+        a.max("peak_occupancy", 30)
+        b.max("peak_occupancy", 20)
+        merged = merge_stats([a, b])
+        assert merged.get("peak_occupancy") == 30
+        # the merged key stays a gauge, so re-merging is idempotent
+        assert merged.is_gauge("peak_occupancy")
+        again = merge_stats([merged, b])
+        assert again.get("peak_occupancy") == 30
+
+    def test_merge_mixes_gauges_and_counters(self):
+        a, b = StatSet("a"), StatSet("b")
+        a.add("events", 5)
+        a.max("peak", 7)
+        b.add("events", 5)
+        b.max("peak", 4)
+        merged = merge_stats([a, b])
+        assert merged.get("events") == 10
+        assert merged.get("peak") == 7

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import load_chrome_trace, read_metrics_jsonl
 
 
 class TestParser:
@@ -88,6 +91,89 @@ class TestRun:
         assert "cycles:" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    RUN = ["run", "pagerank", "--dataset", "WG", "--scale", "0.03",
+           "--engine", "cycle"]
+
+    def test_trace_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "run.trace.json"
+        assert main(self.RUN + ["--trace", str(path)]) == 0
+        assert "trace:" in capsys.readouterr().out
+        payload = load_chrome_trace(str(path))  # validates the format
+        names = {r.get("name") for r in payload["traceEvents"]}
+        assert {"round", "event", "dram.txn"} <= names
+
+    def test_trace_categories_filter(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        assert main(
+            self.RUN + ["--trace", str(path), "--trace-categories", "round"]
+        ) == 0
+        payload = load_chrome_trace(str(path))
+        non_meta = [
+            r for r in payload["traceEvents"] if r["ph"] != "M"
+        ]
+        assert non_meta
+        assert {r["name"] for r in non_meta} == {"round"}
+
+    def test_json_to_stdout_replaces_human_output(self, capsys):
+        assert main(self.RUN + ["--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # the whole stdout is one JSON document
+        assert payload["engine"] == "cycle"
+        assert payload["workload"]["algorithm"] == "pagerank"
+        assert payload["result"]["converged"] is True
+        assert payload["result"]["cycles"] > 0
+
+    def test_json_to_file_keeps_human_output(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(self.RUN + ["--json", str(path)]) == 0
+        assert "cycles:" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["values"]["finite"] == payload["values"]["total"]
+
+    def test_metrics_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "run.metrics.jsonl"
+        assert main(
+            self.RUN + ["--metrics", str(path), "--metrics-interval", "500"]
+        ) == 0
+        records = read_metrics_jsonl(str(path))
+        samples = [r for r in records if r["type"] == "sample"]
+        stats = [r for r in records if r["type"] == "stats"]
+        assert samples and len(stats) == 1
+        assert stats[0]["engine"] == "cycle"
+        cycles = [r["cycle"] for r in samples]
+        assert cycles == sorted(cycles)
+        assert all(c % 500 == 0 for c in cycles)
+        assert "queue_occupancy" in samples[0]
+
+    def test_json_trace_and_metrics_compose(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.jsonl"
+        assert main(
+            self.RUN
+            + ["--json", "--trace", str(trace_path),
+               "--metrics", str(metrics_path)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["events"] == len(
+            load_chrome_trace(str(trace_path))["traceEvents"]
+        )
+        assert payload["metrics"]["lines"] == len(
+            read_metrics_jsonl(str(metrics_path))
+        )
+
+    def test_functional_engine_trace(self, capsys, tmp_path):
+        path = tmp_path / "f.trace.json"
+        assert main(
+            ["run", "bfs", "--dataset", "WG", "--scale", "0.03",
+             "--trace", str(path)]
+        ) == 0
+        payload = load_chrome_trace(str(path))
+        assert any(
+            r.get("name") == "round" for r in payload["traceEvents"]
+        )
+
+
 class TestCompare:
     def test_summary_table(self, capsys):
         code = main(
@@ -97,3 +183,12 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "GraphPulse+opt vs Ligra" in out
         assert "Graphicionado" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["compare", "cc", "--dataset", "WG", "--scale", "0.1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"]["algorithm"] == "cc"
+        assert payload["summary"]["speedup_vs_ligra"] > 0
