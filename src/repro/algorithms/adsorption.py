@@ -100,6 +100,21 @@ def make_adsorption(
     def should_propagate(change: float) -> bool:
         return abs(change) > threshold
 
+    def local_target(g: CSRGraph, state: np.ndarray) -> np.ndarray:
+        # quiescent fixed point: v = beta*I + alpha * W^T v (inbound-
+        # normalized weights), recomputed push-style over all edges
+        target = injection_prob * injection[: g.num_vertices].astype(np.float64)
+        sources = g.edge_sources()
+        weights = (
+            g.weights
+            if g.weights is not None
+            else np.ones(g.num_edges, dtype=np.float64)
+        )
+        np.add.at(
+            target, g.adjacency, continue_prob * weights * state[sources]
+        )
+        return target
+
     return AlgorithmSpec(
         name="adsorption",
         reduce=reduce_fn,
@@ -110,5 +125,8 @@ def make_adsorption(
         uses_weights=True,
         additive=True,
         comparison_tolerance=max(threshold * 1e4, 1e-5),
+        local_target=local_target,
+        # sub-threshold unpropagated tails per in-edge at quiescence
+        residual_tolerance=4.0 * continue_prob * threshold,
         description="Adsorption label propagation (weighted random walk)",
     )

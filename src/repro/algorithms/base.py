@@ -44,6 +44,7 @@ PropagateFn = Callable[[float, int, int, float, int], float]
 ReduceFn = Callable[[float, float], float]
 InitialDeltaFn = Callable[[int, CSRGraph], float]
 ShouldPropagateFn = Callable[[float], bool]
+LocalTargetFn = Callable[[CSRGraph, np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,17 @@ class AlgorithmSpec:
     additive: bool = False
     #: tolerance for comparing against golden outputs in tests
     comparison_tolerance: float = 1e-6
+    #: quiescent local fixed-point invariant: ``local_target(graph,
+    #: state)[v]`` is what ``state[v]`` must equal (monotonic reduce) or
+    #: match within the fault-free residual band (additive reduce) once
+    #: the event queue drains.  The resilience subsystem checks it at
+    #: quiescence and re-injects the residual to repair faults; None
+    #: means the algorithm publishes no invariant (no detection/repair).
+    local_target: Optional[LocalTargetFn] = None
+    #: fault-free residual the additive invariant may carry per in-edge
+    #: at quiescence (local termination leaves sub-threshold deltas
+    #: unpropagated); 0.0 for exact (monotonic) algorithms
+    residual_tolerance: float = 0.0
     #: optional human description
     description: str = ""
 

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from ..graph import CSRGraph
 from .base import AlgorithmSpec, register_algorithm
 
@@ -51,6 +53,16 @@ def make_bfs(
     def should_propagate(change: float) -> bool:
         return True
 
+    def local_target(g: CSRGraph, state: np.ndarray) -> np.ndarray:
+        # quiescent levels satisfy level(v) = min(init(v), 1 + min of
+        # in-neighbour levels)
+        target = np.full(g.num_vertices, INFINITY, dtype=np.float64)
+        if root < g.num_vertices:
+            target[root] = 0.0
+        sources = g.edge_sources()
+        np.minimum.at(target, g.adjacency, state[sources] + 1.0)
+        return target
+
     return AlgorithmSpec(
         name="bfs",
         reduce=reduce_fn,
@@ -61,6 +73,7 @@ def make_bfs(
         uses_weights=False,
         additive=False,
         comparison_tolerance=0.0,
+        local_target=local_target,
         description=f"Breadth-first search levels from vertex {root}",
     )
 
@@ -89,6 +102,17 @@ def make_bfs_reachability(
     def should_propagate(change: float) -> bool:
         return True
 
+    def local_target(g: CSRGraph, state: np.ndarray) -> np.ndarray:
+        # a vertex is reachable (0) iff it is the root or any
+        # in-neighbour is reachable
+        target = np.full(g.num_vertices, INFINITY, dtype=np.float64)
+        if root < g.num_vertices:
+            target[root] = 0.0
+        sources = g.edge_sources()
+        reached = np.where(np.isfinite(state[sources]), 0.0, INFINITY)
+        np.minimum.at(target, g.adjacency, reached)
+        return target
+
     return AlgorithmSpec(
         name="bfs-reachability",
         reduce=reduce_fn,
@@ -99,5 +123,6 @@ def make_bfs_reachability(
         uses_weights=False,
         additive=False,
         comparison_tolerance=0.0,
+        local_target=local_target,
         description=f"Reachability from vertex {root} (Table II literal BFS)",
     )

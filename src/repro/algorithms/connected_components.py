@@ -63,6 +63,14 @@ def make_connected_components(
     def should_propagate(change: float) -> bool:
         return True
 
+    def local_target(g: CSRGraph, state: np.ndarray) -> np.ndarray:
+        # quiescent labels satisfy label(v) = max(v, max of in-neighbour
+        # labels); on a symmetrized graph that is the component maximum
+        target = np.arange(g.num_vertices, dtype=np.float64)
+        sources = g.edge_sources()
+        np.maximum.at(target, g.adjacency, state[sources])
+        return target
+
     return AlgorithmSpec(
         name="cc",
         reduce=reduce_fn,
@@ -73,5 +81,6 @@ def make_connected_components(
         uses_weights=False,
         additive=False,
         comparison_tolerance=0.0,
+        local_target=local_target,
         description="Connected components via max-label propagation",
     )

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..graph import CSRGraph
 from .base import AlgorithmSpec, register_algorithm
 
@@ -63,6 +65,16 @@ def make_pagerank_delta(
     def should_propagate(change: float) -> bool:
         return abs(change) > threshold
 
+    def local_target(g: CSRGraph, state: np.ndarray) -> np.ndarray:
+        # the quiescent fixed point, recomputed push-style: every vertex
+        # holds its initial delta plus alpha/outdeg of each in-neighbour
+        out_degree = g.out_degrees()
+        sources = g.edge_sources()
+        contribution = alpha * state[sources] / out_degree[sources]
+        target = np.full(g.num_vertices, 1.0 - alpha, dtype=np.float64)
+        np.add.at(target, g.adjacency, contribution)
+        return target
+
     return AlgorithmSpec(
         name="pagerank",
         reduce=reduce_fn,
@@ -73,5 +85,9 @@ def make_pagerank_delta(
         uses_weights=False,
         additive=True,
         comparison_tolerance=max(threshold * 1e4, 1e-5),
+        local_target=local_target,
+        # each in-edge may carry a few sub-threshold unpropagated tails
+        # at quiescence; 4x covers the geometric decay in practice
+        residual_tolerance=4.0 * alpha * threshold,
         description="PageRank-Delta (contribution-based incremental PageRank)",
     )

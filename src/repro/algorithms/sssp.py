@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from ..graph import CSRGraph
 from .base import AlgorithmSpec, register_algorithm
 
@@ -54,6 +56,21 @@ def make_sssp(
     def should_propagate(change: float) -> bool:
         return True
 
+    def local_target(g: CSRGraph, state: np.ndarray) -> np.ndarray:
+        # quiescent distances satisfy the Bellman condition:
+        # d(v) = min(init(v), min over u->v of d(u) + w(u,v))
+        target = np.full(g.num_vertices, INFINITY, dtype=np.float64)
+        if root < g.num_vertices:
+            target[root] = 0.0
+        sources = g.edge_sources()
+        weights = (
+            g.weights
+            if g.weights is not None
+            else np.ones(g.num_edges, dtype=np.float64)
+        )
+        np.minimum.at(target, g.adjacency, state[sources] + weights)
+        return target
+
     return AlgorithmSpec(
         name="sssp",
         reduce=reduce_fn,
@@ -64,5 +81,6 @@ def make_sssp(
         uses_weights=True,
         additive=False,
         comparison_tolerance=1e-9,
+        local_target=local_target,
         description=f"Single-source shortest paths from vertex {root}",
     )

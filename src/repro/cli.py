@@ -1,18 +1,32 @@
 """Command-line interface for the GraphPulse reproduction.
 
-Three subcommands:
+Four subcommands:
 
 ``datasets``
     List the Table IV proxy datasets and their shapes.
 
 ``run``
     Run one algorithm on one dataset proxy through a chosen engine
-    (functional event model, cycle-level accelerator, BSP, or the Ligra
-    baseline) and print convergence and event statistics.
+    (functional event model, cycle-level accelerator, sliced runtime,
+    BSP, or the Ligra baseline) and print convergence and event
+    statistics.  ``--fault-rate``/``--dead-lane``/``--resilience``
+    enable the fault-injection + recovery harness on the functional,
+    cycle and sliced engines.
 
 ``compare``
     Run the full cross-system comparison (the Figure 10/11/12 pipeline)
     for one workload and print the speedup/traffic summary.
+
+``resilience``
+    Run a fault-injection campaign (every algorithm x fault kind cell
+    at one fault rate) and report convergence/recovery rates against
+    fault-free references.
+
+Typed failures (:class:`repro.errors.ReproError` subclasses — invalid
+graph inputs, queue capacity overflow, watchdog halts, exhausted
+recovery) exit with status 2 and a one-line ``error:`` message instead
+of a traceback; with ``--json`` they also emit a structured
+``{"error": {...}}`` object.
 
 Observability flags on ``run``: ``--trace FILE`` writes a Chrome/
 Perfetto trace of the run, ``--metrics FILE`` a JSONL metrics stream
@@ -44,14 +58,65 @@ from . import algorithms
 from .analysis import ALGORITHMS, prepare_workload, run_comparison
 from .analysis.report import format_table
 from .baselines import LigraEngine, SynchronousDeltaEngine
-from .core import FunctionalGraphPulse, GraphPulseAccelerator
-from .graph import DATASETS, dataset_names
+from .core import FunctionalGraphPulse, GraphPulseAccelerator, run_sliced
+from .errors import (
+    GraphValidationError,
+    NonConvergenceError,
+    QueueCapacityError,
+    ReproError,
+    UnrecoverableFaultError,
+)
+from .graph import DATASETS, dataset_names, erdos_renyi_graph, load_dataset
 from .obs import TimeSeries, Tracer, export
 from .obs import trace as obs_trace
+from .resilience import FAULT_KINDS, FaultPlan, ResilienceConfig
+from .resilience.campaign import (
+    DEFAULT_ALGORITHMS,
+    format_report,
+    run_campaign,
+)
 
 __all__ = ["main", "build_parser"]
 
-ENGINES = ("functional", "cycle", "bsp", "ligra")
+ENGINES = ("functional", "cycle", "sliced", "bsp", "ligra")
+
+#: engines that accept a ``resilience=ResilienceConfig`` argument
+RESILIENT_ENGINES = ("functional", "cycle", "sliced")
+
+
+def _dead_lane(value: str) -> Tuple[int, int]:
+    """Parse a ``LANE[:CYCLE]`` dead-lane spec (CYCLE defaults to 0)."""
+    lane, _, cycle = value.partition(":")
+    try:
+        return int(lane), int(cycle) if cycle else 0
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected LANE[:CYCLE], got {value!r}"
+        ) from None
+
+
+def _fault_kind_list(value: str) -> Tuple[str, ...]:
+    """Parse a comma-separated fault-kind list, validating each kind."""
+    kinds = tuple(k.strip() for k in value.split(",") if k.strip())
+    unknown = sorted(set(kinds) - set(FAULT_KINDS))
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown fault kind(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(FAULT_KINDS)}"
+        )
+    return kinds
+
+
+def _algorithm_list(value: str) -> Tuple[str, ...]:
+    """Parse a comma-separated algorithm list for the campaign."""
+    names = tuple(a.strip() for a in value.split(",") if a.strip())
+    unknown = sorted(set(names) - set(ALGORITHMS))
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown algorithm(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(ALGORITHMS))}"
+        )
+    return names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +142,66 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", type=float, default=0.2)
     run_parser.add_argument(
         "--engine", default="functional", choices=ENGINES
+    )
+    run_parser.add_argument(
+        "--num-slices",
+        type=int,
+        default=2,
+        metavar="N",
+        help="slice count for --engine sliced (default 2)",
+    )
+    run_parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=None,
+        metavar="V",
+        help="queue vertex capacity for --engine sliced; slices that "
+        "exceed it raise a QueueCapacityError",
+    )
+    run_parser.add_argument(
+        "--no-auto-slice",
+        action="store_true",
+        help="fail instead of re-partitioning when --queue-capacity "
+        "requires more slices than --num-slices",
+    )
+    run_parser.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable invariant detection + recovery even with no faults",
+    )
+    run_parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-site fault probability (implies --resilience)",
+    )
+    run_parser.add_argument(
+        "--fault-kinds",
+        type=_fault_kind_list,
+        default=None,
+        metavar="KINDS",
+        help="comma-separated fault kinds to inject (default: every "
+        "kind the chosen engine models)",
+    )
+    run_parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="S",
+        help="seed of the reproducible fault plan (default 0)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="capture a rollback checkpoint every N rounds",
+    )
+    run_parser.add_argument(
+        "--dead-lane",
+        type=_dead_lane,
+        action="append",
+        default=None,
+        metavar="LANE[:CYCLE]",
+        help="kill processor LANE at CYCLE (cycle engine; repeatable)",
     )
     run_parser.add_argument(
         "--verify",
@@ -134,6 +259,72 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="emit the comparison summary as JSON (stdout when FILE omitted)",
     )
+
+    res_parser = subparsers.add_parser(
+        "resilience",
+        help="fault-injection campaign with recovery scoring",
+    )
+    res_parser.add_argument(
+        "--dataset",
+        default=None,
+        choices=dataset_names(),
+        help="campaign graph from the Table IV proxies "
+        "(default: a seeded Erdos-Renyi graph)",
+    )
+    res_parser.add_argument("--scale", type=float, default=0.05)
+    res_parser.add_argument(
+        "--vertices", type=int, default=200, metavar="V",
+        help="generator graph size when no --dataset is given",
+    )
+    res_parser.add_argument(
+        "--edges", type=int, default=1200, metavar="E",
+        help="generator edge count when no --dataset is given",
+    )
+    res_parser.add_argument(
+        "--graph-seed", type=int, default=7, metavar="S",
+        help="generator seed when no --dataset is given",
+    )
+    res_parser.add_argument(
+        "--algorithms",
+        type=_algorithm_list,
+        default=DEFAULT_ALGORITHMS,
+        metavar="ALGOS",
+        help="comma-separated algorithms "
+        f"(default {','.join(DEFAULT_ALGORITHMS)})",
+    )
+    res_parser.add_argument(
+        "--kinds",
+        type=_fault_kind_list,
+        default=FAULT_KINDS,
+        metavar="KINDS",
+        help=f"comma-separated fault kinds (default {','.join(FAULT_KINDS)})",
+    )
+    res_parser.add_argument(
+        "--engine",
+        default="functional",
+        choices=RESILIENT_ENGINES,
+        help="engine for layer-agnostic kinds; dram always runs the "
+        "cycle model and spill the sliced runtime",
+    )
+    res_parser.add_argument(
+        "--rate", type=float, default=1e-3, metavar="P",
+        help="per-site fault probability (default 1e-3)",
+    )
+    res_parser.add_argument("--seed", type=int, default=0, metavar="S")
+    res_parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N"
+    )
+    res_parser.add_argument(
+        "--num-slices", type=int, default=2, metavar="N"
+    )
+    res_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the campaign report as JSON (stdout when FILE omitted)",
+    )
     return parser
 
 
@@ -166,6 +357,67 @@ def _command_datasets() -> int:
     return 0
 
 
+def _check_rate(rate: float, flag: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ReproError(f"{flag} must be in [0, 1], got {rate:g}")
+
+
+def _check_num_slices(num_slices: int) -> None:
+    if num_slices < 1:
+        raise ReproError(f"--num-slices must be >= 1, got {num_slices}")
+
+
+def _resilience_config(
+    args: argparse.Namespace,
+) -> Optional[ResilienceConfig]:
+    """Build a ResilienceConfig from the ``run`` flags (None when off)."""
+    _check_rate(args.fault_rate, "--fault-rate")
+    enabled = (
+        args.resilience
+        or args.fault_rate > 0.0
+        or bool(args.dead_lane)
+        or args.checkpoint_interval is not None
+    )
+    if not enabled:
+        return None
+    if args.engine not in RESILIENT_ENGINES:
+        raise ReproError(
+            f"resilience flags require --engine "
+            f"{', '.join(RESILIENT_ENGINES)}; got {args.engine!r}"
+        )
+    kinds = args.fault_kinds
+    if kinds is None:
+        kinds = ("drop", "duplicate", "bitflip")
+        if args.engine == "cycle":
+            kinds += ("dram",)
+        elif args.engine == "sliced":
+            kinds += ("spill",)
+    plan = FaultPlan.uniform(
+        args.fault_rate,
+        seed=args.fault_seed,
+        kinds=kinds,
+        dead_lanes=dict(args.dead_lane or []),
+    )
+    return ResilienceConfig(
+        fault_plan=plan, checkpoint_interval=args.checkpoint_interval
+    )
+
+
+def _resilience_lines(summary: Dict[str, Any]) -> List[str]:
+    """Human one-liner for a harness activity summary."""
+    detections = sum(summary["detections"].values())
+    line = (
+        f"resilience: {summary['faults']['total']} faults injected   "
+        f"{detections} detections   "
+        f"{summary['repair']['epochs']} repair epochs   "
+        f"{summary['checkpoints']['rollbacks']} rollbacks"
+    )
+    degraded = summary.get("degraded_lanes") or []
+    if degraded:
+        line += f"   degraded lanes: {sorted(degraded)}"
+    return [line]
+
+
 def _execute_engine(
     args: argparse.Namespace,
     graph,
@@ -173,9 +425,10 @@ def _execute_engine(
     timeseries: Optional[TimeSeries],
 ) -> Tuple[np.ndarray, Dict[str, Any], List[str]]:
     """Run the chosen engine; returns (values, summary dict, human lines)."""
+    resilience = _resilience_config(args)
     if args.engine == "functional":
         result = FunctionalGraphPulse(
-            graph, spec, timeseries=timeseries
+            graph, spec, timeseries=timeseries, resilience=resilience
         ).run()
         info: Dict[str, Any] = {
             "rounds": result.num_rounds,
@@ -191,7 +444,7 @@ def _execute_engine(
         ]
     elif args.engine == "cycle":
         result = GraphPulseAccelerator(
-            graph, spec, timeseries=timeseries
+            graph, spec, timeseries=timeseries, resilience=resilience
         ).run()
         info = {
             "cycles": result.total_cycles,
@@ -209,6 +462,29 @@ def _execute_engine(
             f"{result.config.clock_ghz:g} GHz)   rounds: "
             f"{result.num_rounds}   off-chip: "
             f"{result.offchip_bytes / 1e6:.2f} MB"
+        ]
+    elif args.engine == "sliced":
+        _check_num_slices(args.num_slices)
+        result = run_sliced(
+            graph,
+            spec,
+            num_slices=args.num_slices,
+            queue_capacity=args.queue_capacity,
+            auto_slice=not args.no_auto_slice,
+            resilience=resilience,
+        )
+        info = {
+            "passes": result.num_passes,
+            "rounds": result.total_rounds,
+            "spill_bytes": result.total_spill_bytes,
+            "spill_overhead": result.spill_overhead(),
+            "converged": result.converged,
+        }
+        lines = [
+            f"passes: {result.num_passes}   rounds: "
+            f"{result.total_rounds}   spill traffic: "
+            f"{result.total_spill_bytes / 1e6:.2f} MB "
+            f"({result.spill_overhead():.1%} of off-chip)"
         ]
     elif args.engine == "bsp":
         result = SynchronousDeltaEngine(graph, spec).run()
@@ -234,6 +510,10 @@ def _execute_engine(
             f"{result.seconds * 1e3:.3f} ms   pull fraction: "
             f"{result.pull_fraction:.0%}"
         ]
+    summary = getattr(result, "resilience", None)
+    if summary is not None:
+        info["resilience"] = summary
+        lines.extend(_resilience_lines(summary))
     return result.values, info, lines
 
 
@@ -396,15 +676,94 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_resilience(args: argparse.Namespace) -> int:
+    _check_rate(args.rate, "--rate")
+    _check_num_slices(args.num_slices)
+    if args.dataset is not None:
+        graph = load_dataset(args.dataset, scale=args.scale)
+        graph_name = args.dataset
+    else:
+        graph = erdos_renyi_graph(
+            args.vertices, args.edges, seed=args.graph_seed
+        )
+        graph_name = f"er({args.vertices},{args.edges})"
+    campaign = run_campaign(
+        {graph_name: graph},
+        algorithms=args.algorithms,
+        kinds=args.kinds,
+        engine=args.engine,
+        rate=args.rate,
+        seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
+        num_slices=args.num_slices,
+    )
+    ok = (
+        campaign.convergence_rate == 1.0 and campaign.recovery_rate == 1.0
+    )
+    if args.json is not None:
+        payload = campaign.to_dict()
+        payload["ok"] = ok
+        _write_json(payload, args.json)
+    if args.json != "-":
+        print(format_report(campaign))
+        print("CAMPAIGN OK" if ok else "CAMPAIGN FAILED")
+    return 0 if ok else 1
+
+
+def _error_payload(exc: ReproError) -> Dict[str, Any]:
+    """Structured ``{"error": ...}`` object for a typed failure."""
+    error: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, GraphValidationError):
+        error.update(exc.context)
+    elif isinstance(exc, QueueCapacityError):
+        error.update(
+            num_vertices=exc.num_vertices,
+            capacity=exc.capacity,
+            required_slices=exc.required_slices,
+            suggestion=(
+                f"re-run with --engine sliced "
+                f"--num-slices {exc.required_slices}"
+            ),
+        )
+    elif isinstance(exc, NonConvergenceError):
+        error["diagnostic"] = exc.diagnostic
+    elif isinstance(exc, UnrecoverableFaultError):
+        error.update(exc.detail)
+    return {"error": error}
+
+
+def _report_error(exc: ReproError, json_dest: Optional[str]) -> int:
+    """Clean nonzero exit for a typed failure: no traceback, status 2."""
+    if json_dest is not None:
+        _write_json(_error_payload(exc), json_dest)
+    if json_dest != "-":
+        print(f"error: {exc}", file=sys.stderr)
+        if isinstance(exc, QueueCapacityError):
+            print(
+                f"hint: re-run with --engine sliced "
+                f"--num-slices {exc.required_slices}",
+                file=sys.stderr,
+            )
+    return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "datasets":
-        return _command_datasets()
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "compare":
-        return _command_compare(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    try:
+        if args.command == "datasets":
+            return _command_datasets()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "compare":
+            return _command_compare(args)
+        if args.command == "resilience":
+            return _command_resilience(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    except ReproError as exc:
+        return _report_error(exc, getattr(args, "json", None))
 
 
 if __name__ == "__main__":  # pragma: no cover

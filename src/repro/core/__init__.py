@@ -24,6 +24,7 @@ from .slicing import (
     SlicedGraphPulse,
     SlicedResult,
     SuperRound,
+    run_sliced,
 )
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "SlicedGraphPulse",
     "SlicedResult",
     "SliceActivation",
+    "run_sliced",
     "ParallelSlicedGraphPulse",
     "ParallelSlicedResult",
     "SuperRound",

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..algorithms.base import AlgorithmSpec
+from ..errors import NonConvergenceError
 from ..graph import CSRGraph
 from ..memory.cache import Cache, CacheConfig
 from ..memory.dram import DRAMSystem
@@ -54,6 +55,8 @@ from ..network.crossbar import Crossbar
 from ..obs import probe
 from ..obs import trace as obs_trace
 from ..obs.timeseries import TimeSeries
+from ..resilience.harness import ResilienceConfig, ResilienceHarness
+from ..resilience.watchdog import ProgressWatchdog, build_diagnostic
 from ..sim.kernel import PipelinedResource, Resource
 from ..sim.stats import StatSet
 from .config import GraphPulseConfig, optimized_config
@@ -157,6 +160,8 @@ class CycleResult:
     converged: bool
     #: useful bytes actually consumed (Figure 12 numerator)
     useful_bytes: float = 0.0
+    #: resilience activity summary; None unless resilience was enabled
+    resilience: Optional[Dict] = None
 
     @property
     def seconds(self) -> float:
@@ -215,6 +220,7 @@ class GraphPulseAccelerator:
         global_threshold: Optional[float] = None,
         max_rounds: int = 10_000,
         timeseries: Optional[TimeSeries] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.graph = graph
         self.spec = spec
@@ -279,6 +285,16 @@ class GraphPulseAccelerator:
         self._useful_bytes = 0.0
         #: completion cycle of the latest insertion into each bin
         self._bin_insert_done = [0] * cfg.num_bins
+        self._now = 0.0
+        self._round_changes = 0
+        self.resilience: Optional[ResilienceHarness] = None
+        if resilience is not None:
+            self.resilience = ResilienceHarness(resilience, spec, graph, "cycle")
+            plan = resilience.fault_plan
+            if plan.rate("bitflip") > 0 or "bitflip" in plan.scripted:
+                self.queue.payload_check = lambda event: (
+                    self.resilience.payload_ok(event, self._now)
+                )
         if self.timeseries is not None:
             self._register_gauges(self.timeseries)
 
@@ -308,43 +324,81 @@ class GraphPulseAccelerator:
         for vertex, delta in spec.initial_events(self.graph).items():
             queue.insert(Event(vertex=vertex, delta=delta))
 
+        if self.resilience is not None:
+            watchdog = self.resilience.make_watchdog(self.max_rounds)
+        else:
+            watchdog = ProgressWatchdog(self.max_rounds)
+
         now = 0
         rounds = 0
         events_processed = 0
         converged = False
-        while not queue.is_empty:
-            if rounds >= self.max_rounds:
-                raise RuntimeError(
-                    f"{spec.name} did not converge within "
-                    f"{self.max_rounds} rounds"
-                )
-            round_start = now
-            produced_before = queue.stats.inserted
-            now, processed, progress = self._run_round(now)
-            rounds += 1
-            events_processed += processed
-            if obs_trace.ACTIVE is not None:
-                probe.round_span(
-                    "cycle",
-                    rounds - 1,
-                    round_start,
-                    now,
-                    events_processed=processed,
-                    events_produced=queue.stats.inserted - produced_before,
-                    queue_after=len(queue),
-                    progress=progress,
-                )
-            if self.timeseries is not None:
-                self.timeseries.advance(now)
-            if (
-                self.global_threshold is not None
-                and progress < self.global_threshold
-            ):
+        early_stop = False
+        while True:
+            while not queue.is_empty:
+                verdict = watchdog.verdict()
+                if verdict is not None:
+                    diagnostic = build_diagnostic(
+                        "cycle", verdict, watchdog.rounds, queue
+                    )
+                    raise NonConvergenceError(
+                        f"{spec.name} did not converge within "
+                        f"{self.max_rounds} rounds"
+                        if verdict == "round-limit"
+                        else f"{spec.name} made no progress (livelock: "
+                        f"events flow but no state changes)",
+                        diagnostic,
+                    )
+                round_start = now
+                produced_before = queue.stats.inserted
+                self._round_changes = 0
+                now, processed, progress = self._run_round(now)
+                watchdog.observe_round(processed, self._round_changes)
+                rounds += 1
+                events_processed += processed
+                if obs_trace.ACTIVE is not None:
+                    probe.round_span(
+                        "cycle",
+                        rounds - 1,
+                        round_start,
+                        now,
+                        events_processed=processed,
+                        events_produced=queue.stats.inserted - produced_before,
+                        queue_after=len(queue),
+                        progress=progress,
+                    )
+                if self.timeseries is not None:
+                    self.timeseries.advance(now)
+                if self.resilience is not None:
+                    self.resilience.maybe_checkpoint(
+                        rounds, float(now), self.state, queue
+                    )
+                if (
+                    self.global_threshold is not None
+                    and progress < self.global_threshold
+                ):
+                    converged = True
+                    early_stop = True
+                    break
+            if queue.is_empty:
                 converged = True
+            # quiescent invariant sweep (repair epochs); see functional.py
+            if self.resilience is None or early_stop:
                 break
-        if queue.is_empty:
-            converged = True
+            self._now = float(now)
+            self.resilience.note_quiescence(float(now))
+            if not self.resilience.repair(
+                self.state,
+                float(now),
+                inject=self._inject_repair,
+                restore=self._restore_checkpoint,
+            ):
+                break
 
+        summary = None
+        if self.resilience is not None:
+            self.resilience.finalize(float(now))
+            summary = self.resilience.summary()
         return CycleResult(
             values=self.state,
             total_cycles=now,
@@ -363,7 +417,28 @@ class GraphPulseAccelerator:
             config=self.config,
             converged=converged,
             useful_bytes=self._useful_bytes,
+            resilience=summary,
         )
+
+    # ------------------------------------------------------------------
+    # Resilience callbacks
+    # ------------------------------------------------------------------
+    def _inject_repair(self, vertex: int, delta: float) -> None:
+        """Re-inject a lost/corrective delta discovered by the invariant
+        sweep; the event enters the queue as if freshly produced."""
+        self.queue.insert(
+            Event(
+                vertex=vertex,
+                delta=delta,
+                generation=0,
+                ready=int(self._now),
+            )
+        )
+
+    def _restore_checkpoint(self, checkpoint) -> None:
+        """Roll state and pending events back to a checkpoint."""
+        self.state[:] = checkpoint.state
+        self.queue.restore(checkpoint.queue_snapshot)
 
     # ------------------------------------------------------------------
     def _run_round(self, start: int) -> Tuple[int, int, float]:
@@ -374,6 +449,7 @@ class GraphPulseAccelerator:
         processed = 0
         progress = 0.0
         for bin_index in range(cfg.num_bins):
+            self._now = float(cursor)
             batch = self.queue.drain_bin(bin_index)
             if not batch:
                 continue  # occupancy bit-vector skips empty rows
@@ -460,8 +536,12 @@ class GraphPulseAccelerator:
         cfg = self.config
         graph, spec = self.graph, self.spec
 
+        if self.resilience is not None:
+            lanes = self.resilience.alive_lanes(cfg.num_processors, avail)
+        else:
+            lanes = range(cfg.num_processors)
         proc_index = min(
-            range(cfg.num_processors),
+            lanes,
             key=lambda i: self.processors[i].next_free,
         )
         proc = self.processors[proc_index]
@@ -481,7 +561,11 @@ class GraphPulseAccelerator:
                 result = self.dram.access(
                     MemoryRequest(line * _LINE, _LINE, kind="vertex"), avail
                 )
-                line_ready[line] = result.done_cycle
+                done = result.done_cycle
+                if self.resilience is not None:
+                    # transient read error: ECC retry delays the fill
+                    done += int(self.resilience.dram_delay(float(done)))
+                line_ready[line] = done
 
         last_done = t
         progress = 0.0
@@ -503,6 +587,8 @@ class GraphPulseAccelerator:
                     ),
                     start,
                 ).done_cycle
+                if self.resilience is not None:
+                    v_done += int(self.resilience.dram_delay(float(v_done)))
             self.stage.vertex_mem += v_done - start
             self.occupancy.processor_vertex_read += v_done - start
 
@@ -528,7 +614,15 @@ class GraphPulseAccelerator:
                     )
                 continue
 
-            self.state[event.vertex] = result.state
+            new_state = result.state
+            quarantined = False
+            if self.resilience is not None:
+                ok, new_state = self.resilience.guard_value(
+                    event.vertex, new_state, float(p_done)
+                )
+                quarantined = not ok
+            self.state[event.vertex] = new_state
+            self._round_changes += 1
             self._useful_bytes += graph.vertex_bytes  # the write-back
             block_dirty = True
             if not cfg.prefetch_enabled:
@@ -541,6 +635,20 @@ class GraphPulseAccelerator:
                     ),
                     p_done,
                 )
+            if quarantined:
+                # poisoned value was reset to identity: never propagate
+                # garbage; the quiescent sweep repairs the vertex later
+                last_done = max(last_done, p_done)
+                if obs_trace.ACTIVE is not None:
+                    probe.event_process(
+                        proc_index,
+                        start,
+                        p_done,
+                        vertex=event.vertex,
+                        vertex_mem=v_done - start,
+                        process=cfg.process_pipeline_cycles,
+                    )
+                continue
             if np.isfinite(result.change):
                 progress += abs(result.change)
 
@@ -711,11 +819,16 @@ class GraphPulseAccelerator:
         self._bin_insert_done[bin_index] = max(
             self._bin_insert_done[bin_index], insert_done
         )
-        self.queue.insert(
-            Event(
-                vertex=dst,
-                delta=delta,
-                generation=generation,
-                ready=insert_done,
-            )
+        produced = Event(
+            vertex=dst,
+            delta=delta,
+            generation=generation,
+            ready=insert_done,
         )
+        if self.resilience is not None:
+            for survivor in self.resilience.filter_insert(
+                produced, float(at)
+            ):
+                self.queue.insert(survivor)
+        else:
+            self.queue.insert(produced)

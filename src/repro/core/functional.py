@@ -26,10 +26,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..algorithms.base import AlgorithmSpec
+from ..errors import NonConvergenceError
 from ..graph import CSRGraph
 from ..obs import probe
 from ..obs import trace as obs_trace
 from ..obs.timeseries import TimeSeries
+from ..resilience.harness import ResilienceConfig, ResilienceHarness
+from ..resilience.watchdog import ProgressWatchdog, build_diagnostic
 from .event import Event
 from .queue import CoalescingQueue
 
@@ -125,6 +128,8 @@ class FunctionalResult:
     total_events_processed: int
     total_events_produced: int
     converged: bool
+    #: resilience activity summary; None unless resilience was enabled
+    resilience: Optional[Dict] = None
 
     @property
     def num_rounds(self) -> int:
@@ -172,6 +177,7 @@ class FunctionalGraphPulse:
         max_rounds: int = 100_000,
         scheduling: str = "round-robin",
         timeseries: Optional[TimeSeries] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         """
         Parameters
@@ -196,6 +202,11 @@ class FunctionalGraphPulse:
             Optional metrics sampler.  The functional engine is untimed,
             so its time domain is the round index: the sampler's
             ``interval`` counts rounds.
+        resilience:
+            Optional fault-injection / detection / recovery configuration
+            (:class:`repro.resilience.ResilienceConfig`).  ``None`` (the
+            default) keeps the engine on the fault-free fast path: one
+            branch per site, bit-identical behaviour.
         """
         if scheduling not in self.SCHEDULING_POLICIES:
             raise ValueError(
@@ -217,6 +228,17 @@ class FunctionalGraphPulse:
         self.state = spec.initial_state(graph)
         self._out_degrees = graph.out_degrees()
         self.timeseries = timeseries
+        self._now = 0.0
+        self.resilience: Optional[ResilienceHarness] = None
+        if resilience is not None:
+            self.resilience = ResilienceHarness(
+                resilience, spec, graph, "functional"
+            )
+            plan = resilience.fault_plan
+            if plan.rate("bitflip") > 0 or "bitflip" in plan.scripted:
+                self.queue.payload_check = lambda event: (
+                    self.resilience.payload_ok(event, self._now)
+                )
         if timeseries is not None:
             timeseries.add_gauge(
                 "queue_occupancy", lambda: len(self.queue)
@@ -253,42 +275,72 @@ class FunctionalGraphPulse:
             queue.insert(Event(vertex=vertex, delta=delta, generation=0))
             total_produced += 1
 
-        converged = False
-        round_index = 0
-        while not queue.is_empty:
-            if round_index >= self.max_rounds:
-                raise RuntimeError(
-                    f"{spec.name} did not converge within "
-                    f"{self.max_rounds} rounds"
-                )
-            record = self._run_round(round_index, state, traffic)
-            rounds.append(record)
-            total_processed += record.events_processed
-            total_produced += record.events_produced
-            if obs_trace.ACTIVE is not None:
-                probe.round_span(
-                    "functional",
-                    round_index,
-                    float(round_index),
-                    float(round_index + 1),
-                    events_processed=record.events_processed,
-                    events_produced=record.events_produced,
-                    events_coalesced=record.events_coalesced,
-                    queue_after=record.queue_size_after,
-                    progress=record.progress,
-                )
-            if self.timeseries is not None:
-                self.timeseries.advance(round_index + 1)
-            round_index += 1
-            if (
-                self.global_threshold is not None
-                and record.progress < self.global_threshold
-            ):
-                converged = True
-                break
-        if queue.is_empty:
-            converged = True
+        if self.resilience is not None:
+            watchdog = self.resilience.make_watchdog(self.max_rounds)
+        else:
+            watchdog = ProgressWatchdog(self.max_rounds)
 
+        converged = False
+        early_stop = False
+        round_index = 0
+        while True:
+            while not queue.is_empty:
+                verdict = watchdog.verdict()
+                if verdict is not None:
+                    self._abort(verdict, watchdog.rounds)
+                record = self._run_round(round_index, state, traffic)
+                watchdog.observe_round(
+                    record.events_processed, record.propagating_events
+                )
+                rounds.append(record)
+                total_processed += record.events_processed
+                total_produced += record.events_produced
+                if obs_trace.ACTIVE is not None:
+                    probe.round_span(
+                        "functional",
+                        round_index,
+                        float(round_index),
+                        float(round_index + 1),
+                        events_processed=record.events_processed,
+                        events_produced=record.events_produced,
+                        events_coalesced=record.events_coalesced,
+                        queue_after=record.queue_size_after,
+                        progress=record.progress,
+                    )
+                if self.timeseries is not None:
+                    self.timeseries.advance(round_index + 1)
+                if self.resilience is not None:
+                    self.resilience.maybe_checkpoint(
+                        round_index, float(round_index + 1), state, queue
+                    )
+                round_index += 1
+                if (
+                    self.global_threshold is not None
+                    and record.progress < self.global_threshold
+                ):
+                    converged = True
+                    early_stop = True
+                    break
+            if queue.is_empty:
+                converged = True
+            # quiescent invariant sweep: repairs re-populate the queue and
+            # the round loop resumes (a "repair epoch"); early global-
+            # threshold stops skip it (events are still pending)
+            if self.resilience is None or early_stop:
+                break
+            self.resilience.note_quiescence(float(round_index))
+            if not self.resilience.repair(
+                state,
+                float(round_index),
+                inject=self._inject_repair,
+                restore=self._restore_checkpoint,
+            ):
+                break
+
+        summary = None
+        if self.resilience is not None:
+            self.resilience.finalize(float(round_index))
+            summary = self.resilience.summary()
         return FunctionalResult(
             values=state,
             rounds=rounds,
@@ -296,7 +348,29 @@ class FunctionalGraphPulse:
             total_events_processed=total_processed,
             total_events_produced=total_produced,
             converged=converged,
+            resilience=summary,
         )
+
+    def _abort(self, verdict: str, rounds: int) -> None:
+        """Raise the structured watchdog abort."""
+        diagnostic = build_diagnostic("functional", verdict, rounds, self.queue)
+        raise NonConvergenceError(
+            f"{self.spec.name} did not converge within "
+            f"{self.max_rounds} rounds"
+            if verdict == "round-limit"
+            else f"{self.spec.name} made no progress "
+            f"(livelock: events flow but no state changes)",
+            diagnostic,
+        )
+
+    def _inject_repair(self, vertex: int, delta: float) -> None:
+        """Route a repair event straight into the queue (verified write)."""
+        self.queue.insert(Event(vertex=vertex, delta=delta, generation=0))
+
+    def _restore_checkpoint(self, checkpoint) -> None:
+        """Roll vertex state and queue contents back to a checkpoint."""
+        self.state[:] = checkpoint.state
+        self.queue.restore(checkpoint.queue_snapshot)
 
     # ------------------------------------------------------------------
     def _run_round(
@@ -306,6 +380,7 @@ class FunctionalGraphPulse:
         traffic: TrafficCounters,
     ) -> RoundRecord:
         graph, spec, queue = self.graph, self.spec, self.queue
+        self._now = float(round_index)
         inserted_before = queue.stats.inserted
         coalesced_before = queue.stats.coalesced
         edge_reads_before = traffic.edge_reads
@@ -357,7 +432,16 @@ class FunctionalGraphPulse:
         result = spec.apply(float(state[u]), event.delta)
         if not result.changed:
             return 0.0
-        state[u] = result.state
+        new_state = result.state
+        if self.resilience is not None:
+            ok, new_state = self.resilience.guard_value(u, new_state, self._now)
+            if not ok:
+                # quarantine: reset to identity, do not propagate garbage;
+                # the quiescent invariant sweep repairs the vertex
+                state[u] = new_state
+                traffic.vertex_writes += 1
+                return 0.0
+        state[u] = new_state
         traffic.vertex_writes += 1
         magnitude = (
             abs(result.change) if np.isfinite(result.change) else 0.0
@@ -383,7 +467,14 @@ class FunctionalGraphPulse:
             delta = spec.propagate(result.change, u, dst, weight, degree)
             if delta == spec.identity:
                 continue  # Simplification property: identity is a no-op
-            self.queue.insert(Event(vertex=dst, delta=delta, generation=generation))
+            produced = Event(vertex=dst, delta=delta, generation=generation)
+            if self.resilience is not None:
+                for survivor in self.resilience.filter_insert(
+                    produced, self._now
+                ):
+                    self.queue.insert(survivor)
+            else:
+                self.queue.insert(produced)
         return magnitude
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
+from ..errors import QueueCapacityError
 from ..obs import probe
 from ..obs import trace as obs_trace
 from .event import Event
@@ -46,6 +47,7 @@ class QueueStats:
     coalesced: int = 0  #: insertions absorbed into an existing event
     drained: int = 0  #: events handed to the scheduler
     peak_occupancy: int = 0  #: max simultaneous unique events
+    discarded: int = 0  #: payloads rejected by the parity check at drain
 
     @property
     def coalesce_rate(self) -> float:
@@ -114,10 +116,7 @@ class CoalescingQueue:
             Defaults to unlimited (functional modelling).
         """
         if capacity_vertices is not None and num_vertices > capacity_vertices:
-            raise ValueError(
-                f"graph has {num_vertices} vertices but the queue can map "
-                f"only {capacity_vertices}; partition the graph into slices"
-            )
+            raise QueueCapacityError(num_vertices, capacity_vertices)
         self.mapping = VertexBinMap(num_vertices, num_bins, block_size)
         self.reduce_fn = reduce_fn
         # slot -> pending entries; normally one per vertex (coalesced),
@@ -128,6 +127,11 @@ class CoalescingQueue:
         ]
         self._size = 0
         self.stats = QueueStats()
+        #: optional bin-SRAM parity check applied per stored entry when a
+        #: drain sweep reads it, *before* coalescing (a corrupted payload
+        #: must not be laundered into a merged event).  Returning False
+        #: discards the entry.  Installed by the resilience harness.
+        self.payload_check: Optional[Callable[[Event], bool]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -140,6 +144,11 @@ class CoalescingQueue:
     @property
     def is_empty(self) -> bool:
         return self._size == 0
+
+    @property
+    def occupancy(self) -> int:
+        """Unique vertices with pending events (watchdog diagnostics)."""
+        return self._size
 
     def bin_occupancy(self, bin_index: int) -> int:
         return len(self._bins[bin_index])
@@ -213,6 +222,16 @@ class CoalescingQueue:
             else:
                 taken = [e for e in entries if e.ready <= before]
                 left = [e for e in entries if e.ready > before]
+            if taken and self.payload_check is not None:
+                # the parity read happens as the sweep lifts each stored
+                # entry, before coalescing can launder a corrupted payload
+                kept = [e for e in taken if self.payload_check(e)]
+                self.stats.discarded += len(taken) - len(kept)
+                taken = kept
+                if not taken and not left:
+                    del bucket[vertex]
+                    self._size -= 1
+                    continue
             if not taken:
                 continue
             events.append(self._merge(taken))
@@ -230,6 +249,57 @@ class CoalescingQueue:
         for b in range(self.num_bins):
             out.extend(self.drain_bin(b))
         return out
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _copy_event(event: Event) -> Event:
+        copy = Event(
+            vertex=event.vertex,
+            delta=event.delta,
+            generation=event.generation,
+            ready=event.ready,
+        )
+        # preserve the parity tag: a corrupted payload captured in a
+        # checkpoint must still fail parity after a rollback
+        if getattr(event, "_parity_bad", False):
+            copy._parity_bad = True  # type: ignore[attr-defined]
+        return copy
+
+    def snapshot(self) -> List[List[Event]]:
+        """Deep copy of the *raw* slot contents (un-merged entries).
+
+        Raw entries — not the coalesced :meth:`peek_bin` view — so that
+        per-entry metadata (parity tags, readiness) survives a
+        checkpoint/rollback round trip.
+        """
+        return [
+            [self._copy_event(e) for e in bucket[vertex]]
+            for bucket in self._bins
+            for vertex in sorted(bucket, key=self.mapping.slot_of)
+        ]
+
+    def clear(self) -> None:
+        """Drop all pending events (occupancy returns to zero)."""
+        for bucket in self._bins:
+            bucket.clear()
+        self._size = 0
+
+    def restore(self, snapshot: List[List[Event]]) -> None:
+        """Replace the queue contents with a :meth:`snapshot`.
+
+        The snapshot itself is copied again so it can be restored more
+        than once.  Statistics keep accumulating across the rollback
+        (the work done before the rollback really happened).
+        """
+        self.clear()
+        for entries in snapshot:
+            bucket = self._bins[self.mapping.bin_of(entries[0].vertex)]
+            bucket[entries[0].vertex] = [self._copy_event(e) for e in entries]
+            self._size += 1
+        if self._size > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = self._size
 
     def __iter__(self) -> Iterator[Event]:
         for b in range(self.num_bins):

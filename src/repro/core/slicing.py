@@ -23,10 +23,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..algorithms.base import AlgorithmSpec
+from ..errors import NonConvergenceError, QueueCapacityError
 from ..graph import CSRGraph
-from ..graph.partition import Partition
+from ..graph.partition import Partition, contiguous_partition
 from ..obs import probe
 from ..obs import trace as obs_trace
+from ..resilience.harness import ResilienceConfig, ResilienceHarness
+from ..resilience.watchdog import ProgressWatchdog, build_diagnostic
 from .event import Event
 from .functional import TrafficCounters
 from .queue import CoalescingQueue
@@ -35,6 +38,7 @@ __all__ = [
     "SlicedGraphPulse",
     "SlicedResult",
     "SliceActivation",
+    "run_sliced",
     "ParallelSlicedGraphPulse",
     "ParallelSlicedResult",
     "SuperRound",
@@ -68,12 +72,19 @@ class SlicedResult:
     spill_bytes_written: int
     spill_bytes_read: int
     converged: bool
+    #: resilience activity summary; None unless resilience was enabled
+    resilience: Optional[Dict] = None
 
     @property
     def num_passes(self) -> int:
         if not self.activations:
             return 0
         return self.activations[-1].pass_index + 1
+
+    @property
+    def total_rounds(self) -> int:
+        """Engine rounds summed over every slice activation."""
+        return sum(a.rounds for a in self.activations)
 
     @property
     def total_spill_bytes(self) -> int:
@@ -83,6 +94,46 @@ class SlicedResult:
         """Spill traffic as a fraction of total off-chip traffic."""
         total = self.traffic.total_bytes_fetched + self.total_spill_bytes
         return self.total_spill_bytes / total if total else 0.0
+
+
+class _SpillBufferView:
+    """Queue-shaped view over the per-slice spill buffers.
+
+    Adapts the sliced runtime's DRAM spill buffers to the duck-typed
+    queue interface the watchdog diagnostics and checkpoint capture
+    expect (``num_bins`` / ``occupancy`` / ``peek_bin`` / ``snapshot``):
+    each slice's buffer plays the role of one bin, so a watchdog
+    diagnostic names the stuck *slices* and their pending vertices.
+    """
+
+    def __init__(self, spill: List[Dict[int, Event]]):
+        self._spill = spill
+
+    @property
+    def num_bins(self) -> int:
+        return len(self._spill)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._spill)
+
+    def peek_bin(self, index: int) -> List[Event]:
+        bucket = self._spill[index]
+        return [bucket[v] for v in sorted(bucket)]
+
+    def snapshot(self) -> List[Dict[int, Event]]:
+        return [
+            {
+                v: Event(
+                    vertex=e.vertex,
+                    delta=e.delta,
+                    generation=e.generation,
+                    ready=e.ready,
+                )
+                for v, e in bucket.items()
+            }
+            for bucket in self._spill
+        ]
 
 
 class SlicedGraphPulse:
@@ -97,6 +148,8 @@ class SlicedGraphPulse:
         block_size: int = 128,
         max_passes: int = 10_000,
         rounds_per_activation: Optional[int] = None,
+        queue_capacity: Optional[int] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         """
         Parameters
@@ -107,6 +160,14 @@ class SlicedGraphPulse:
             Cap on rounds a slice runs before being swapped out even if
             it still has local events (``None``: drain completely).  A
             small cap trades swap overhead for fairness across slices.
+        queue_capacity:
+            On-chip queue capacity in vertices.  Every slice must fit:
+            a partition whose largest slice exceeds this raises
+            :class:`repro.errors.QueueCapacityError` naming the number
+            of slices that would fit (see :func:`run_sliced`).
+        resilience:
+            Optional fault-injection / detection / recovery configuration
+            (:class:`repro.resilience.ResilienceConfig`).
         """
         self.partition = partition
         self.spec = spec
@@ -114,12 +175,26 @@ class SlicedGraphPulse:
         self.block_size = block_size
         self.max_passes = max_passes
         self.rounds_per_activation = rounds_per_activation
+        if queue_capacity is not None:
+            largest = max(s.num_vertices for s in partition.slices)
+            if largest > queue_capacity:
+                raise QueueCapacityError(
+                    partition.graph.num_vertices, queue_capacity
+                )
+        self._now = 0.0
+        self._spill: List[Dict[int, Event]] = []
+        self.state = spec.initial_state(partition.graph)
+        self.resilience: Optional[ResilienceHarness] = None
+        if resilience is not None:
+            self.resilience = ResilienceHarness(
+                resilience, spec, partition.graph, "sliced"
+            )
 
     # ------------------------------------------------------------------
     def run(self) -> SlicedResult:
         partition, spec = self.partition, self.spec
         graph = partition.graph
-        state = spec.initial_state(graph)
+        state = self.state
         traffic = TrafficCounters()
         activations: List[SliceActivation] = []
         spill_written = 0
@@ -130,38 +205,80 @@ class SlicedGraphPulse:
         spill: List[Dict[int, Event]] = [
             dict() for _ in range(partition.num_slices)
         ]
+        self._spill = spill
+        view = _SpillBufferView(spill)
         for vertex, delta in spec.initial_events(graph).items():
             s = int(partition.slice_of_vertex[vertex])
             spill[s][vertex] = Event(vertex=vertex, delta=delta)
 
+        if self.resilience is not None:
+            watchdog = self.resilience.make_watchdog(self.max_passes)
+        else:
+            watchdog = ProgressWatchdog(self.max_passes)
+
         pass_index = 0
-        while any(spill):
-            if pass_index >= self.max_passes:
-                raise RuntimeError(
-                    f"{spec.name} did not converge within "
-                    f"{self.max_passes} slice passes"
+        while True:
+            while any(spill):
+                verdict = watchdog.verdict()
+                if verdict is not None:
+                    diagnostic = build_diagnostic(
+                        "sliced", verdict, watchdog.rounds, view
+                    )
+                    raise NonConvergenceError(
+                        f"{spec.name} did not converge within "
+                        f"{self.max_passes} slice passes"
+                        if verdict == "round-limit"
+                        else f"{spec.name} made no progress (livelock: "
+                        f"events flow but no state changes)",
+                        diagnostic,
+                    )
+                writes_before = traffic.vertex_writes
+                pass_processed = 0
+                for slice_index in range(partition.num_slices):
+                    inbound = spill[slice_index]
+                    if not inbound:
+                        continue
+                    spill[slice_index] = {}
+                    spill_read += len(inbound) * _SPILL_EVENT_BYTES
+                    activation = self._activate(
+                        pass_index,
+                        slice_index,
+                        list(inbound.values()),
+                        state,
+                        traffic,
+                        spill,
+                    )
+                    spill_written += (
+                        activation.events_spilled * _SPILL_EVENT_BYTES
+                    )
+                    activations.append(activation)
+                    pass_processed += activation.events_processed
+                watchdog.observe_round(
+                    pass_processed, traffic.vertex_writes - writes_before
                 )
-            for slice_index in range(partition.num_slices):
-                inbound = spill[slice_index]
-                if not inbound:
-                    continue
-                spill[slice_index] = {}
-                spill_read += len(inbound) * _SPILL_EVENT_BYTES
-                activation = self._activate(
-                    pass_index,
-                    slice_index,
-                    list(inbound.values()),
-                    state,
-                    traffic,
-                    spill,
-                )
-                spill_written += (
-                    activation.events_spilled * _SPILL_EVENT_BYTES
-                )
-                activations.append(activation)
-            pass_index += 1
+                pass_index += 1
+                if self.resilience is not None:
+                    self.resilience.maybe_checkpoint(
+                        pass_index, float(pass_index), state, view
+                    )
+            # quiescent invariant sweep: repairs re-populate the spill
+            # buffers and the pass loop resumes (see functional.py)
+            if self.resilience is None:
+                break
+            self.resilience.note_quiescence(float(pass_index))
+            if not self.resilience.repair(
+                state,
+                float(pass_index),
+                inject=self._inject_repair,
+                restore=self._restore_checkpoint,
+            ):
+                break
         converged = True
 
+        summary = None
+        if self.resilience is not None:
+            self.resilience.finalize(float(pass_index))
+            summary = self.resilience.summary()
         return SlicedResult(
             values=state,
             activations=activations,
@@ -169,7 +286,36 @@ class SlicedGraphPulse:
             spill_bytes_written=spill_written,
             spill_bytes_read=spill_read,
             converged=converged,
+            resilience=summary,
         )
+
+    # ------------------------------------------------------------------
+    # Resilience callbacks
+    # ------------------------------------------------------------------
+    def _inject_repair(self, vertex: int, delta: float) -> None:
+        """Queue a repair delta into the owning slice's spill buffer."""
+        target = int(self.partition.slice_of_vertex[vertex])
+        bucket = self._spill[target]
+        event = Event(vertex=vertex, delta=delta)
+        existing = bucket.get(vertex)
+        bucket[vertex] = (
+            existing.coalesced_with(event, self.spec.reduce)
+            if existing is not None
+            else event
+        )
+
+    def _restore_checkpoint(self, checkpoint) -> None:
+        """Roll state and spill buffers back to a checkpoint."""
+        self.state[:] = checkpoint.state
+        for bucket, snap in zip(self._spill, checkpoint.queue_snapshot):
+            bucket.clear()
+            for v, e in snap.items():
+                bucket[v] = Event(
+                    vertex=e.vertex,
+                    delta=e.delta,
+                    generation=e.generation,
+                    ready=e.ready,
+                )
 
     # ------------------------------------------------------------------
     def _activate(
@@ -184,14 +330,27 @@ class SlicedGraphPulse:
         """Swap a slice in, run it, spill outbound events."""
         partition, spec = self.partition, self.spec
         graph = partition.graph
+        self._now = float(pass_index)
         queue = CoalescingQueue(
             graph.num_vertices,
             spec.reduce,
             num_bins=self.num_bins,
             block_size=self.block_size,
         )
-        for event in inbound:
-            queue.insert(event)
+        if self.resilience is not None:
+            plan = self.resilience.config.fault_plan
+            if plan.rate("bitflip") > 0 or "bitflip" in plan.scripted:
+                queue.payload_check = lambda event: (
+                    self.resilience.payload_ok(event, self._now)
+                )
+            for event in inbound:
+                for survivor in self.resilience.filter_insert(
+                    event, self._now
+                ):
+                    queue.insert(survivor)
+        else:
+            for event in inbound:
+                queue.insert(event)
 
         processed = 0
         spilled = 0
@@ -260,7 +419,15 @@ class SlicedGraphPulse:
         result = spec.apply(float(state[u]), event.delta)
         if not result.changed:
             return 0
-        state[u] = result.state
+        new_state = result.state
+        if self.resilience is not None:
+            ok, new_state = self.resilience.guard_value(u, new_state, self._now)
+            if not ok:
+                # quarantine: reset to identity, never propagate garbage
+                state[u] = new_state
+                traffic.vertex_writes += 1
+                return 0
+        state[u] = new_state
         traffic.vertex_writes += 1
         if not spec.should_propagate(result.change):
             return 0
@@ -282,8 +449,19 @@ class SlicedGraphPulse:
             new_event = Event(vertex=dst, delta=delta, generation=generation)
             target_slice = int(partition.slice_of_vertex[dst])
             if target_slice == slice_index:
-                queue.insert(new_event)
+                if self.resilience is not None:
+                    for survivor in self.resilience.filter_insert(
+                        new_event, self._now
+                    ):
+                        queue.insert(survivor)
+                else:
+                    queue.insert(new_event)
             else:
+                spilled += 1
+                if self.resilience is not None and self.resilience.spill_lost(
+                    new_event, self._now
+                ):
+                    continue  # lost in the DRAM spill buffer
                 bucket = spill[target_slice]
                 existing = bucket.get(dst)
                 bucket[dst] = (
@@ -291,7 +469,6 @@ class SlicedGraphPulse:
                     if existing is not None
                     else new_event
                 )
-                spilled += 1
         return spilled
 
     # ------------------------------------------------------------------
@@ -315,6 +492,46 @@ class SlicedGraphPulse:
         last = (stop - 1) // _CACHE_LINE
         traffic.edge_bytes_fetched += (last - first + 1) * _CACHE_LINE
         traffic.edge_bytes_useful += degree * graph.edge_bytes
+
+
+def run_sliced(
+    graph: CSRGraph,
+    spec: AlgorithmSpec,
+    *,
+    num_slices: int = 1,
+    queue_capacity: Optional[int] = None,
+    auto_slice: bool = True,
+    partition_fn=contiguous_partition,
+    **kwargs,
+) -> SlicedResult:
+    """Partition a graph and run it sliced, auto-sizing the slice count.
+
+    Convenience entry point for the Section IV-F flow: the graph is
+    partitioned into ``num_slices`` slices and executed.  When a
+    ``queue_capacity`` is given and the largest slice does not fit, the
+    resulting :class:`repro.errors.QueueCapacityError` names the number
+    of slices that would fit (``exc.required_slices``); with
+    ``auto_slice`` (the default) the helper catches it and retries with
+    that suggestion, otherwise the error propagates for the caller (or
+    the CLI) to surface.
+    """
+    try:
+        runner = SlicedGraphPulse(
+            partition_fn(graph, num_slices),
+            spec,
+            queue_capacity=queue_capacity,
+            **kwargs,
+        )
+    except QueueCapacityError as exc:
+        if not auto_slice or exc.required_slices <= num_slices:
+            raise
+        runner = SlicedGraphPulse(
+            partition_fn(graph, exc.required_slices),
+            spec,
+            queue_capacity=queue_capacity,
+            **kwargs,
+        )
+    return runner.run()
 
 
 @dataclass

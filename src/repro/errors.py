@@ -1,0 +1,101 @@
+"""Typed errors shared across the reproduction.
+
+Every failure a user (or the campaign runner) is expected to handle
+programmatically raises one of these types instead of a bare
+``ValueError``/``RuntimeError`` with an opaque message.  The hierarchy
+deliberately double-inherits from the builtin type each error used to
+be, so existing ``except ValueError`` / ``except RuntimeError`` call
+sites — and the seed test-suite — keep working unchanged.
+
+``NonConvergenceError`` carries the structured diagnostic the progress
+watchdog assembles (stuck vertices, fullest bins, last progress) so a
+non-converging configuration aborts with an actionable report rather
+than spinning until the round limit and dying with a one-line message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "ReproError",
+    "GraphValidationError",
+    "QueueCapacityError",
+    "NonConvergenceError",
+    "UnrecoverableFaultError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all typed errors raised by the reproduction."""
+
+
+class GraphValidationError(ReproError, ValueError):
+    """A graph input (edge list, CSR bundle, weight array) is invalid.
+
+    ``context`` points at the offending location: ``path``/``line`` for
+    text edge lists, ``path`` for binary bundles, ``index`` for in-memory
+    arrays.  The message always embeds the same information so the error
+    is self-describing when it escapes to a traceback.
+    """
+
+    def __init__(self, message: str, **context: Any):
+        super().__init__(message)
+        self.context: Dict[str, Any] = context
+
+
+class QueueCapacityError(ReproError, ValueError):
+    """The graph does not fit the coalescing queue's direct-mapped store.
+
+    Carries the numbers a caller needs to pick a working configuration:
+    ``num_vertices`` of the offending graph, the queue ``capacity``, and
+    ``required_slices`` — the minimum slice count that makes every slice
+    fit (Section IV-F's remedy).
+    """
+
+    def __init__(self, num_vertices: int, capacity: int):
+        self.num_vertices = int(num_vertices)
+        self.capacity = int(capacity)
+        self.required_slices = max(
+            1, -(-self.num_vertices // max(self.capacity, 1))
+        )
+        super().__init__(
+            f"graph has {self.num_vertices} vertices but the queue can map "
+            f"only {self.capacity}; partition the graph into at least "
+            f"{self.required_slices} slices"
+        )
+
+
+class NonConvergenceError(ReproError, RuntimeError):
+    """An engine was halted by the progress watchdog.
+
+    ``diagnostic`` is a JSON-serializable dict naming the reason
+    (``"round-limit"`` or ``"no-progress"``), the engine, the rounds
+    executed, the queue occupancy, the fullest bins and a sample of the
+    stuck vertices with their pending deltas.
+    """
+
+    def __init__(self, message: str, diagnostic: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.diagnostic: Dict[str, Any] = diagnostic or {}
+
+    @property
+    def stuck_vertices(self) -> List[int]:
+        return list(self.diagnostic.get("stuck_vertices", []))
+
+    @property
+    def stuck_bins(self) -> List[int]:
+        return list(self.diagnostic.get("stuck_bins", []))
+
+
+class UnrecoverableFaultError(ReproError, RuntimeError):
+    """Fault recovery was exhausted (repair epochs, rollbacks, lanes).
+
+    Raised only when resilience is enabled and the configured recovery
+    budget cannot restore a consistent state — the structured equivalent
+    of a machine check.
+    """
+
+    def __init__(self, message: str, **detail: Any):
+        super().__init__(message)
+        self.detail: Dict[str, Any] = detail

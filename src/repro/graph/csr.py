@@ -19,6 +19,8 @@ from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import GraphValidationError
+
 __all__ = ["CSRGraph"]
 
 
@@ -83,17 +85,28 @@ class CSRGraph:
         if edge_array.size == 0:
             edge_array = edge_array.reshape(0, 2)
         if edge_array.ndim != 2 or edge_array.shape[1] != 2:
-            raise ValueError("edges must be (src, dst) pairs")
+            raise GraphValidationError("edges must be (src, dst) pairs")
         if edge_array.size and (
             edge_array.min() < 0 or edge_array.max() >= num_vertices
         ):
-            raise ValueError("edge endpoint out of range")
+            bad = int(np.flatnonzero(
+                (edge_array < 0).any(axis=1)
+                | (edge_array >= num_vertices).any(axis=1)
+            )[0])
+            raise GraphValidationError(
+                f"edge endpoint out of range at edge index {bad}: "
+                f"{tuple(edge_array[bad])} with num_vertices="
+                f"{num_vertices}",
+                index=bad,
+            )
 
         weight_array = None
         if weights is not None:
             weight_array = np.asarray(weights, dtype=np.float64)
             if weight_array.shape[0] != edge_array.shape[0]:
-                raise ValueError("weights length must match edges length")
+                raise GraphValidationError(
+                    "weights length must match edges length"
+                )
 
         order = np.lexsort((edge_array[:, 1], edge_array[:, 0]))
         edge_array = edge_array[order]
@@ -229,20 +242,30 @@ class CSRGraph:
     # ------------------------------------------------------------------
     def _validate(self) -> None:
         if self.offsets.ndim != 1 or len(self.offsets) < 1:
-            raise ValueError("offsets must be a 1-D array of length >= 1")
+            raise GraphValidationError(
+                "offsets must be a 1-D array of length >= 1"
+            )
         if self.offsets[0] != 0:
-            raise ValueError("offsets[0] must be 0")
+            raise GraphValidationError("offsets[0] must be 0")
         if np.any(np.diff(self.offsets) < 0):
-            raise ValueError("offsets must be non-decreasing")
+            raise GraphValidationError("offsets must be non-decreasing")
         if int(self.offsets[-1]) != len(self.adjacency):
-            raise ValueError("offsets[-1] must equal len(adjacency)")
+            raise GraphValidationError(
+                "offsets[-1] must equal len(adjacency)"
+            )
         if self.adjacency.size and (
             self.adjacency.min() < 0
             or self.adjacency.max() >= len(self.offsets) - 1
         ):
-            raise ValueError("adjacency entry out of range")
+            raise GraphValidationError("adjacency entry out of range")
         if self.weights is not None and len(self.weights) != len(self.adjacency):
-            raise ValueError("weights must align with adjacency")
+            raise GraphValidationError("weights must align with adjacency")
+        if self.weights is not None and np.isnan(self.weights).any():
+            bad = int(np.flatnonzero(np.isnan(self.weights))[0])
+            raise GraphValidationError(
+                f"weights contain NaN (first at edge index {bad})",
+                index=bad,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

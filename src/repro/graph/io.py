@@ -8,12 +8,15 @@ in directly.
 
 from __future__ import annotations
 
+import math
 import os
+import zipfile
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..errors import GraphValidationError
 from .csr import CSRGraph
 
 __all__ = [
@@ -33,16 +36,32 @@ def load_edge_list(
     weighted: bool = False,
     comment: str = "#",
     name: Optional[str] = None,
+    allow_negative_weights: bool = False,
 ) -> CSRGraph:
     """Load a whitespace-separated ``src dst [weight]`` edge-list file.
 
     Lines starting with ``comment`` are skipped (SNAP convention).  When
     ``num_vertices`` is omitted it is inferred as ``max id + 1``.
+
+    Every malformed input raises
+    :class:`repro.errors.GraphValidationError` (a ``ValueError``
+    subclass) whose message and ``context`` name the offending
+    ``path``/``line``: non-integer or negative endpoints, endpoints at
+    or beyond ``num_vertices``, unparsable weights, and NaN or — unless
+    ``allow_negative_weights`` — negative weights (the Table II
+    algorithms all assume non-negative edge weights: probabilities for
+    PageRank/Adsorption, distances for SSSP).
     """
     path = Path(path)
     sources: List[int] = []
     targets: List[int] = []
     weights: List[float] = []
+
+    def invalid(lineno: int, message: str) -> GraphValidationError:
+        return GraphValidationError(
+            f"{path}:{lineno}: {message}", path=str(path), line=lineno
+        )
+
     with open(path) as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -50,11 +69,42 @@ def load_edge_list(
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise ValueError(f"{path}:{lineno}: expected 'src dst [w]'")
-            sources.append(int(parts[0]))
-            targets.append(int(parts[1]))
+                raise invalid(lineno, "expected 'src dst [w]'")
+            try:
+                src, dst = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise invalid(
+                    lineno,
+                    f"expected integer endpoints, got "
+                    f"{parts[0]!r} {parts[1]!r}",
+                ) from None
+            if src < 0 or dst < 0:
+                raise invalid(lineno, f"negative endpoint in {src} -> {dst}")
+            if num_vertices is not None and (
+                src >= num_vertices or dst >= num_vertices
+            ):
+                raise invalid(
+                    lineno,
+                    f"endpoint out of range in {src} -> {dst} "
+                    f"(num_vertices={num_vertices})",
+                )
+            sources.append(src)
+            targets.append(dst)
             if weighted:
-                weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+                if len(parts) > 2:
+                    try:
+                        weight = float(parts[2])
+                    except ValueError:
+                        raise invalid(
+                            lineno, f"expected numeric weight, got {parts[2]!r}"
+                        ) from None
+                else:
+                    weight = 1.0
+                if math.isnan(weight):
+                    raise invalid(lineno, "weight is NaN")
+                if weight < 0 and not allow_negative_weights:
+                    raise invalid(lineno, f"negative weight {weight:g}")
+                weights.append(weight)
     if num_vertices is None:
         highest = max(max(sources, default=-1), max(targets, default=-1))
         num_vertices = highest + 1
@@ -92,15 +142,44 @@ def save_csr(graph: CSRGraph, path: PathLike) -> None:
 
 
 def load_csr(path: PathLike) -> CSRGraph:
-    """Load a graph previously saved with :func:`save_csr`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        weights = data["weights"] if "weights" in data.files else None
-        return CSRGraph(
-            offsets=data["offsets"],
-            adjacency=data["adjacency"],
-            weights=weights,
-            name=str(data["name"]),
-        )
+    """Load a graph previously saved with :func:`save_csr`.
+
+    Truncated or corrupt bundles (bad zip container, missing arrays,
+    inconsistent offsets) raise
+    :class:`repro.errors.GraphValidationError` naming the file instead
+    of leaking ``zipfile``/``KeyError`` internals.
+    """
+    path = Path(path)
+    # own the file handle so a bundle that fails mid-parse still closes
+    # its descriptor (np.load would otherwise leak it on BadZipFile)
+    with open(path, "rb") as stream:
+        try:
+            with np.load(stream, allow_pickle=False) as data:
+                missing = {"offsets", "adjacency", "name"} - set(data.files)
+                if missing:
+                    raise GraphValidationError(
+                        f"{path}: CSR bundle is missing array(s) "
+                        f"{sorted(missing)}",
+                        path=str(path),
+                    )
+                weights = data["weights"] if "weights" in data.files else None
+                return CSRGraph(
+                    offsets=data["offsets"],
+                    adjacency=data["adjacency"],
+                    weights=weights,
+                    name=str(data["name"]),
+                )
+        except (zipfile.BadZipFile, EOFError, OSError) as exc:
+            raise GraphValidationError(
+                f"{path}: truncated or corrupt CSR bundle ({exc})",
+                path=str(path),
+            ) from exc
+        except ValueError as exc:
+            if isinstance(exc, GraphValidationError):
+                raise
+            raise GraphValidationError(
+                f"{path}: invalid CSR bundle ({exc})", path=str(path)
+            ) from exc
 
 
 def edge_list_round_trip(graph: CSRGraph, path: PathLike) -> Tuple[CSRGraph, bool]:

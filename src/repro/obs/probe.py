@@ -36,6 +36,10 @@ arb.grant        network   ``<arbiter name>``       arbiters
 slice.activate   slice     ``slice<i>``             sliced runtime
 superround       slice     ``superrounds``          multi-accel runtime
 busy/issue/xfer  resource  ``<resource name>``      sim.kernel resources
+fault.inject     resil     ``resilience``           fault injector
+fault.detect     resil     ``resilience``           invariants / parity
+recovery         resil     ``resilience``           repair / rollback / retry
+checkpoint       resil     ``resilience``           checkpoint manager
 <counters>       counter   ``counters``             engines / TimeSeries
 ===============  ========  =======================  =====================
 """
@@ -56,6 +60,7 @@ __all__ = [
     "CAT_NETWORK",
     "CAT_SLICE",
     "CAT_RESOURCE",
+    "CAT_RESIL",
     "round_span",
     "event_process",
     "event_generate",
@@ -71,6 +76,10 @@ __all__ = [
     "slice_activation",
     "super_round",
     "resource_busy",
+    "fault_injected",
+    "fault_detected",
+    "recovery_span",
+    "checkpoint_taken",
     "counter",
 ]
 
@@ -83,6 +92,7 @@ CAT_MEM = "mem"
 CAT_NETWORK = "network"
 CAT_SLICE = "slice"
 CAT_RESOURCE = "resource"
+CAT_RESIL = "resil"
 
 
 def _active() -> Optional[trace.Tracer]:
@@ -395,6 +405,74 @@ def resource_busy(
     if t is None or duration <= 0:
         return
     t.complete(kind, CAT_RESOURCE, start, duration, name, **args)
+
+
+# ----------------------------------------------------------------------
+# Resilience: fault -> detect -> recover timelines on one track
+# ----------------------------------------------------------------------
+def fault_injected(
+    kind: str, ts: float, *, vertex: int = -1, detail: str = ""
+) -> None:
+    """One injected fault (drop/duplicate/bitflip/dram/spill/lane)."""
+    t = _active()
+    if t is None:
+        return
+    args: dict = {"kind": kind}
+    if vertex >= 0:
+        args["vertex"] = vertex
+    if detail:
+        args["detail"] = detail
+    t.instant("fault.inject", CAT_RESIL, ts, "resilience", **args)
+
+
+def fault_detected(
+    mechanism: str, ts: float, *, vertex: int = -1, **extra: Any
+) -> None:
+    """A detector fired: ``mechanism`` is ``parity``, ``invariant``,
+    ``guard`` (NaN/overflow), ``watchdog``, ``dram-crc`` or ``lane``."""
+    t = _active()
+    if t is None:
+        return
+    args: dict = {"mechanism": mechanism}
+    if vertex >= 0:
+        args["vertex"] = vertex
+    args.update(extra)
+    t.instant("fault.detect", CAT_RESIL, ts, "resilience", **args)
+
+
+def recovery_span(
+    action: str, start: float, end: float, **extra: Any
+) -> None:
+    """One recovery action span: ``repair-epoch``, ``rollback``,
+    ``dram-retry`` or ``lane-removal``."""
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "recovery",
+        CAT_RESIL,
+        start,
+        max(end - start, 0.0),
+        "resilience",
+        action=action,
+        **extra,
+    )
+
+
+def checkpoint_taken(index: int, ts: float, *, vertices: int, pending: int) -> None:
+    """A checkpoint of vertex state + queue occupancy was captured."""
+    t = _active()
+    if t is None:
+        return
+    t.instant(
+        "checkpoint",
+        CAT_RESIL,
+        ts,
+        "resilience",
+        index=index,
+        vertices=vertices,
+        pending=pending,
+    )
 
 
 def counter(name: str, ts: float, **values: float) -> None:

@@ -1,0 +1,36 @@
+"""Resilience: fault injection, invariant watchdogs, checkpoint/recovery.
+
+The subsystem threads through every layer of the simulated stack — the
+functional engine, the cycle-accurate accelerator, the coalescing
+queue, the DRAM system and the sliced runtime — behind a single
+optional ``resilience=ResilienceConfig(...)`` engine argument.  See
+:mod:`repro.resilience.harness` for the site-oriented API and DESIGN.md
+for the fault model and the soundness argument for delta re-injection.
+"""
+
+from .campaign import CampaignResult, RunReport, format_report, run_campaign
+from .checkpoint import Checkpoint, CheckpointManager
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultRecord
+from .harness import ResilienceConfig, ResilienceHarness
+from .invariants import RepairPlan, compute_repairs, state_invalid
+from .watchdog import ProgressWatchdog, build_diagnostic
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultInjector",
+    "RepairPlan",
+    "compute_repairs",
+    "state_invalid",
+    "Checkpoint",
+    "CheckpointManager",
+    "ProgressWatchdog",
+    "build_diagnostic",
+    "ResilienceConfig",
+    "ResilienceHarness",
+    "CampaignResult",
+    "RunReport",
+    "run_campaign",
+    "format_report",
+]

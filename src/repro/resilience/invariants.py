@@ -1,0 +1,185 @@
+"""Invariant checking and delta re-injection repair (the defence side).
+
+Detection exploits the structure of delta-accumulative algorithms
+(paper Section II-B).  At any *quiescent* point — the event queue is
+empty, nothing is in flight — a fault-free run satisfies a per-vertex
+local fixed-point invariant::
+
+    state[v] == reduce( initial_delta(v),
+                        propagate(state[u], u, v, w_uv) for u -> v )
+
+because every vertex's final change was propagated to, and reduced
+into, all of its out-neighbours before the queue drained.  Each
+algorithm factory publishes this as ``AlgorithmSpec.local_target``, a
+vectorized function of (graph, current state):
+
+- **delta conservation** (PageRank, Adsorption; additive reduce): the
+  residual ``target - state`` is the event mass missing from (positive)
+  or erroneously added to (negative) the vertex.  A dropped event shows
+  up as exactly its lost delta; a duplicated event as its delta again.
+- **monotone consistency** (SSSP, BFS: min; CC: max): ``state`` must
+  equal ``target``; a state *worse* than target means a lost update, a
+  state *better* than target is impossible without corruption (min/max
+  can never overshoot), so the vertex is reset before repair.
+
+Repair is **delta re-injection**: for each suspect vertex the checker
+emits the event that restores consistency — the residual for additive
+algorithms, the recomputed target for monotonic ones.  This is sound
+because the delta-accumulative model converges from *any* intermediate
+state once the missing deltas are supplied (the same property that
+lets GraphPulse coalesce and reorder events freely):
+
+- additive specs are contractions (|propagate| < 1 along every path by
+  construction: alpha < 1, normalized weights), so injecting the
+  residual moves the state monotonically toward the unique fixed point;
+- monotonic specs re-derive each vertex from its in-neighbours; a
+  corrupted-better vertex is first reset to the reduce identity, after
+  which re-injection is ordinary (idempotent) propagation.  Vertices
+  contaminated downstream become inconsistent themselves once their
+  parent is fixed and are caught by the next repair epoch, so repair
+  cascades at one contamination-depth per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..algorithms.base import AlgorithmSpec
+from ..graph import CSRGraph
+
+__all__ = ["RepairPlan", "state_invalid", "compute_repairs"]
+
+#: float comparison slop for monotonic (exact-arithmetic) invariants —
+#: targets are recomputed with vectorized numpy while states were built
+#: scalar-by-scalar, so allow one ulp-scale band.
+_MONOTONE_ATOL = 1e-9
+
+#: once a sweep has *detected* a fault, residuals down to this floor are
+#: re-injected (not just the over-tolerance ones): the extra events are
+#: below the propagation threshold so they only touch their own vertex,
+#: and they park the repaired state at the invariant fixed point instead
+#: of one detection-tolerance away from it.
+_REPAIR_FLOOR = 1e-12
+
+
+def state_invalid(value: float, identity: float, overflow_limit: float) -> bool:
+    """NaN/overflow guard applied when a reduce result is written back.
+
+    A value is invalid when it is NaN, an infinity the algorithm does
+    not use (only the reduce identity may legitimately be infinite, as
+    in min/max algorithms), or — for finite-identity algorithms —
+    beyond ``overflow_limit``.
+    """
+    if math.isnan(value):
+        return True
+    if math.isinf(value):
+        return value != identity
+    return math.isfinite(identity) and abs(value) > overflow_limit
+
+
+@dataclass
+class RepairPlan:
+    """Outcome of one quiescent invariant sweep."""
+
+    #: vertices whose state was provably corrupted (reset to identity)
+    resets: List[int] = field(default_factory=list)
+    #: (vertex, delta) events restoring local consistency
+    injections: List[Tuple[int, float]] = field(default_factory=list)
+    #: largest residual magnitude seen (additive) or count mismatch
+    worst_residual: float = 0.0
+    #: vertices whose residual exceeded the detection tolerance (the
+    #: actual evidence; ``injections`` may add sub-tolerance cleanup)
+    detected: List[int] = field(default_factory=list)
+
+    @property
+    def suspects(self) -> List[int]:
+        seen = dict.fromkeys(self.resets)
+        for vertex, _ in self.injections:
+            seen.setdefault(vertex)
+        return list(seen)
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.resets and not self.injections
+
+
+def compute_repairs(
+    spec: AlgorithmSpec,
+    graph: CSRGraph,
+    state: np.ndarray,
+    *,
+    tolerance: float,
+) -> RepairPlan:
+    """Run the quiescent invariant check; returns the repair plan.
+
+    ``tolerance`` bounds the residual an *additive* algorithm may carry
+    fault-free (local termination leaves up to ~threshold of
+    unpropagated mass per vertex); monotonic algorithms are checked to
+    float exactness.  Requires ``spec.local_target``.
+    """
+    if spec.local_target is None:
+        raise ValueError(
+            f"algorithm {spec.name!r} publishes no local_target invariant"
+        )
+    plan = RepairPlan()
+
+    # NaN states poison the vectorized target computation (NaN wins any
+    # min/max and taints any sum), so quarantine them first: reset to
+    # identity and let the target derived from their neighbours repair
+    # them like any other corrupted vertex.
+    nan_mask = np.isnan(state)
+    if nan_mask.any():
+        for vertex in np.flatnonzero(nan_mask):
+            plan.resets.append(int(vertex))
+            plan.detected.append(int(vertex))
+        state[nan_mask] = spec.identity
+
+    target = np.asarray(spec.local_target(graph, state), dtype=np.float64)
+
+    if spec.additive:
+        residual = target - state
+        residual[~np.isfinite(residual)] = 0.0
+        magnitude = np.abs(residual)
+        suspect = magnitude > tolerance
+        plan.worst_residual = (
+            float(magnitude.max()) if residual.size else 0.0
+        )
+        if suspect.any() or plan.resets:
+            plan.detected.extend(int(v) for v in np.flatnonzero(suspect))
+            # fault proven somewhere: repair the whole residual field,
+            # not just the over-tolerance vertices (see _REPAIR_FLOOR)
+            for vertex in np.flatnonzero(magnitude > _REPAIR_FLOOR):
+                plan.injections.append((int(vertex), float(residual[vertex])))
+        return plan
+
+    # Monotonic: compare through the reduce operator itself so the same
+    # code serves min- and max-style algorithms.  state "better" than
+    # target (reduce keeps state, yet state != target) is impossible
+    # fault-free -> corruption; state "worse" than target is a lost
+    # update -> re-inject the target.
+    diff = ~np.isclose(state, target, rtol=0.0, atol=_MONOTONE_ATOL)
+    # treat inf == inf as equal regardless of isclose semantics
+    both_inf = np.isinf(state) & np.isinf(target) & (np.sign(state) == np.sign(target))
+    diff &= ~both_inf
+    for vertex in np.flatnonzero(diff):
+        v = int(vertex)
+        plan.detected.append(v)
+        s, t = float(state[v]), float(target[v])
+        if spec.reduce(s, t) == s:
+            # state strictly better than anything its neighbours can
+            # justify: corrupted payload escaped into the state
+            plan.resets.append(v)
+            state[v] = spec.identity
+            if math.isfinite(t) or t == spec.identity:
+                plan.injections.append((v, t))
+        else:
+            plan.injections.append((v, t))
+        plan.worst_residual = max(
+            plan.worst_residual,
+            abs(t - s) if math.isfinite(t - s) else math.inf,
+        )
+    return plan

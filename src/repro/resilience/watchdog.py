@@ -1,0 +1,113 @@
+"""Progress watchdog: turn non-termination into a structured abort.
+
+Event-driven termination (paper Section III-C) relies on deltas
+shrinking below the algorithm's threshold.  A mis-configured algorithm
+(oscillating propagate, threshold of zero, non-contracting weights) can
+instead generate events forever, and before this module the engines
+would spin to ``max_rounds`` and die with a one-line ``RuntimeError``.
+
+The watchdog watches two signals every round:
+
+- **round limit** — the engine's ``max_rounds`` budget ran out;
+- **no progress** — the queue keeps events pending but no event has
+  changed any vertex state for ``no_progress_rounds`` consecutive
+  rounds (events are being processed and regenerated without effect,
+  i.e. the run is livelocked rather than slow).
+
+On abort the watchdog assembles a diagnostic naming the fullest bins
+and a sample of the stuck vertices with their pending deltas, which
+:class:`repro.errors.NonConvergenceError` carries to the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ProgressWatchdog", "build_diagnostic"]
+
+#: how many stuck vertices / bins the diagnostic samples
+_DIAG_VERTICES = 8
+_DIAG_BINS = 4
+
+
+class ProgressWatchdog:
+    """Per-run watchdog state (one per engine invocation)."""
+
+    def __init__(
+        self,
+        round_limit: int,
+        no_progress_rounds: Optional[int] = None,
+    ):
+        if round_limit <= 0:
+            raise ValueError("round_limit must be positive")
+        if no_progress_rounds is not None and no_progress_rounds <= 0:
+            raise ValueError("no_progress_rounds must be positive")
+        self.round_limit = round_limit
+        self.no_progress_rounds = no_progress_rounds
+        self.rounds = 0
+        self.stalled_rounds = 0  #: current streak of change-free rounds
+
+    def observe_round(self, events_processed: int, state_changes: int) -> None:
+        """Feed one completed round's activity into the watchdog."""
+        self.rounds += 1
+        if events_processed > 0 and state_changes == 0:
+            self.stalled_rounds += 1
+        else:
+            self.stalled_rounds = 0
+
+    def verdict(self) -> Optional[str]:
+        """``"round-limit"``, ``"no-progress"``, or None to keep running."""
+        if (
+            self.no_progress_rounds is not None
+            and self.stalled_rounds >= self.no_progress_rounds
+        ):
+            return "no-progress"
+        if self.rounds >= self.round_limit:
+            return "round-limit"
+        return None
+
+
+def build_diagnostic(
+    engine: str,
+    reason: str,
+    rounds: int,
+    queue: Any,
+    *,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the JSON-serializable abort diagnostic from live state.
+
+    ``queue`` is duck-typed (any object with ``num_bins``, ``occupancy``
+    and ``peek_bin``) so the same builder serves the functional engine,
+    the cycle model and tests with stub queues.
+    """
+    occupancy = int(getattr(queue, "occupancy", 0))
+    per_bin: List[tuple] = []
+    pending: List[tuple] = []
+    num_bins = int(getattr(queue, "num_bins", 0))
+    for bin_index in range(num_bins):
+        events = queue.peek_bin(bin_index)
+        if not events:
+            continue
+        per_bin.append((len(events), bin_index))
+        for event in events:
+            pending.append((abs(event.delta), event.vertex, event.delta))
+    per_bin.sort(reverse=True)
+    pending.sort(reverse=True)
+    diagnostic: Dict[str, Any] = {
+        "reason": reason,
+        "engine": engine,
+        "rounds": rounds,
+        "queue_occupancy": occupancy,
+        "stuck_bins": [bin_index for _, bin_index in per_bin[:_DIAG_BINS]],
+        "stuck_bin_counts": {
+            str(bin_index): count for count, bin_index in per_bin[:_DIAG_BINS]
+        },
+        "stuck_vertices": [vertex for _, vertex, _ in pending[:_DIAG_VERTICES]],
+        "stuck_deltas": {
+            str(vertex): delta for _, vertex, delta in pending[:_DIAG_VERTICES]
+        },
+    }
+    if extra:
+        diagnostic.update(extra)
+    return diagnostic

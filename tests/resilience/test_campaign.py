@@ -1,0 +1,84 @@
+"""Campaign runner: every fault kind recovers at the target rate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import erdos_renyi_graph
+from repro.resilience import FAULT_KINDS, run_campaign
+from repro.resilience.campaign import format_report
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    graphs = {"er": erdos_renyi_graph(120, 700, seed=7)}
+    return run_campaign(graphs, rate=1e-3, seed=0)
+
+
+class TestRecoveryAtTargetRate:
+    def test_every_cell_converges_and_recovers(self, campaign):
+        failures = [
+            f"{r.algorithm}/{r.kind}: error={r.error} failure={r.failure}"
+            for r in campaign.reports
+            if not (r.converged and r.recovered)
+        ]
+        assert not failures, failures
+        assert campaign.convergence_rate == 1.0
+        assert campaign.recovery_rate == 1.0
+
+    def test_all_kinds_and_algorithms_covered(self, campaign):
+        cells = {(r.algorithm, r.kind) for r in campaign.reports}
+        assert cells == {
+            (a, k)
+            for a in ("pagerank", "sssp", "bfs", "cc")
+            for k in FAULT_KINDS
+        }
+
+    def test_kind_binds_to_its_engine_layer(self, campaign):
+        for report in campaign.reports:
+            if report.kind == "dram":
+                assert report.engine == "cycle"
+            elif report.kind == "spill":
+                assert report.engine == "sliced"
+            else:
+                assert report.engine == "functional"
+
+    def test_numeric_error_within_acceptance(self, campaign):
+        for report in campaign.reports:
+            if report.algorithm == "pagerank":
+                assert report.error <= 1e-6
+            else:  # sssp/bfs/cc compare exactly
+                assert report.error == 0.0
+
+    def test_faults_were_actually_injected(self, campaign):
+        assert campaign.total_faults > 0
+        by_kind = {}
+        for report in campaign.reports:
+            by_kind[report.kind] = by_kind.get(report.kind, 0) + report.faults
+        # additive workloads generate enough traffic that each per-event
+        # kind must land at least one fault at rate 1e-3
+        for kind in ("drop", "duplicate", "bitflip"):
+            assert by_kind[kind] > 0, kind
+
+    def test_serialization_round_trips(self, campaign):
+        payload = campaign.to_dict()
+        assert payload["convergence_rate"] == 1.0
+        assert len(payload["runs"]) == len(campaign.reports)
+        assert all("algorithm" in run for run in payload["runs"])
+
+    def test_format_report_table(self, campaign):
+        text = format_report(campaign)
+        assert "recovery 100%" in text
+        assert "recovered" in text
+        assert "FAILED" not in text
+
+
+class TestFaultFreeCampaign:
+    def test_zero_rate_reports_zero_faults(self):
+        graphs = {"er": erdos_renyi_graph(60, 300, seed=3)}
+        campaign = run_campaign(
+            graphs, rate=0.0, kinds=("drop",), algorithms=("pagerank",)
+        )
+        (report,) = campaign.reports
+        assert report.converged and report.recovered
+        assert report.faults == 0
+        assert report.error == 0.0

@@ -1,0 +1,85 @@
+"""Fault-free determinism: resilience on == resilience off, byte for byte.
+
+The acceptance bar for the subsystem: enabling detection + recovery with
+no faults planned must not change a single bit of any engine's output,
+and repeated runs must serialize to byte-identical JSON summaries and
+Chrome traces (PR/SSSP/BFS/CC on two generator graphs).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FunctionalGraphPulse
+from repro.obs import Tracer, export
+from repro.obs import trace as obs_trace
+from repro.resilience import ResilienceConfig
+from repro.resilience.campaign import _prepare_workload
+from repro.graph import erdos_renyi_graph, rmat_graph
+
+ALGORITHMS = ("pagerank", "sssp", "bfs", "cc")
+
+GRAPHS = {
+    "er": lambda: erdos_renyi_graph(150, 900, seed=11),
+    "rmat": lambda: rmat_graph(128, 768, seed=4),
+}
+
+
+def _run(graph, spec, resilience):
+    return FunctionalGraphPulse(graph, spec, resilience=resilience).run()
+
+
+def _run_summary_json(graph, spec):
+    result = _run(graph, spec, ResilienceConfig())
+    payload = {
+        "rounds": result.num_rounds,
+        "events_processed": result.total_events_processed,
+        "values": result.values.tolist(),
+        "resilience": result.resilience,
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def _run_trace_bytes(graph, spec, path):
+    tracer = Tracer(categories=["round", "resil"])
+    with obs_trace.tracing(tracer):
+        _run(graph, spec, ResilienceConfig())
+    export.write_chrome_trace(tracer, path)
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+class TestFaultFreeDeterminism:
+    def test_resilience_off_vs_on_bit_identical(self, graph_name, algorithm):
+        graph = GRAPHS[graph_name]()
+        prepared, spec = _prepare_workload(algorithm, graph)
+        baseline = _run(prepared, spec, None)
+        guarded = _run(prepared, spec, ResilienceConfig())
+        assert np.array_equal(baseline.values, guarded.values)
+        assert baseline.num_rounds == guarded.num_rounds
+        assert (
+            baseline.total_events_processed
+            == guarded.total_events_processed
+        )
+        # nothing fired: no faults, no repairs, no rollbacks
+        summary = guarded.resilience
+        assert summary["faults"]["total"] == 0
+        assert summary["repair"]["epochs"] == 0
+        assert summary["checkpoints"]["rollbacks"] == 0
+
+    def test_repeated_json_summaries_byte_identical(self, graph_name, algorithm):
+        graph = GRAPHS[graph_name]()
+        prepared, spec = _prepare_workload(algorithm, graph)
+        first = _run_summary_json(prepared, spec)
+        second = _run_summary_json(prepared, spec)
+        assert first == second
+
+    def test_repeated_traces_byte_identical(self, graph_name, algorithm, tmp_path):
+        graph = GRAPHS[graph_name]()
+        prepared, spec = _prepare_workload(algorithm, graph)
+        first = _run_trace_bytes(prepared, spec, tmp_path / "a.json")
+        second = _run_trace_bytes(prepared, spec, tmp_path / "b.json")
+        assert first  # the trace actually recorded something
+        assert first == second

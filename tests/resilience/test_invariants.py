@@ -1,0 +1,92 @@
+"""Quiescent invariant checks: detection and repair plan construction."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.core import FunctionalGraphPulse
+from repro.graph import erdos_renyi_graph
+from repro.resilience import compute_repairs, state_invalid
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(80, 400, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pagerank_quiescent(graph):
+    spec = algorithms.make_pagerank_delta()
+    result = FunctionalGraphPulse(graph, spec).run()
+    return spec, result.values
+
+
+class TestAdditiveInvariant:
+    def test_clean_state_yields_no_detections(self, graph, pagerank_quiescent):
+        spec, values = pagerank_quiescent
+        plan = compute_repairs(
+            spec, graph, values.copy(), tolerance=spec.residual_tolerance * 50
+        )
+        assert plan.detected == []
+        assert plan.is_clean
+
+    def test_corruption_detected_and_repaired(self, graph, pagerank_quiescent):
+        spec, values = pagerank_quiescent
+        state = values.copy()
+        state[17] += 0.5  # silent corruption well above any residual band
+        plan = compute_repairs(spec, graph, state, tolerance=1e-6)
+        assert plan.detected  # the perturbation is visible downstream
+        # draining the injections through the engine restores the values
+        injected = dict(plan.injections)
+        assert injected  # repair has work to do
+        for vertex, delta in plan.injections:
+            state[vertex] += delta
+        # one repair epoch moves the state onto the local fixed point;
+        # corrupted vertex 17 itself must be pulled back
+        assert abs(state[17] - values[17]) < 0.5
+
+    def test_nan_state_reset_and_detected(self, graph, pagerank_quiescent):
+        spec, values = pagerank_quiescent
+        state = values.copy()
+        state[3] = float("nan")
+        plan = compute_repairs(spec, graph, state, tolerance=1e-6)
+        assert 3 in plan.resets
+        assert 3 in plan.detected
+        assert not np.isnan(state).any()  # quarantined in place
+
+
+class TestMonotonicInvariant:
+    def test_lost_update_reinjects_target(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        spec = algorithms.make_bfs(root=root)
+        values = FunctionalGraphPulse(graph, spec).run().values
+        state = values.copy()
+        victim = int(
+            np.flatnonzero(np.isfinite(values) & (values > values.min()))[0]
+        )
+        state[victim] = np.inf  # a dropped event left the level unset
+        plan = compute_repairs(spec, graph, state, tolerance=0.0)
+        assert victim in plan.detected
+        injected = dict(plan.injections)
+        assert injected[victim] == values[victim]
+
+    def test_impossible_state_reset(self, graph):
+        root = int(np.argmax(graph.out_degrees()))
+        spec = algorithms.make_bfs(root=root)
+        values = FunctionalGraphPulse(graph, spec).run().values
+        state = values.copy()
+        victim = int(np.flatnonzero(np.isfinite(values) & (values > 1))[0])
+        state[victim] = 0.5  # better than any in-neighbour can justify
+        plan = compute_repairs(spec, graph, state, tolerance=0.0)
+        assert victim in plan.resets
+
+
+class TestStateInvalid:
+    def test_nan_and_overflow_flagged(self):
+        assert state_invalid(float("nan"), 0.0, 1e30)
+        assert state_invalid(2e30, 0.0, 1e30)
+        assert not state_invalid(1.0, 0.0, 1e30)
+
+    def test_infinite_identity_is_legal(self):
+        # SSSP's "unreached" state is +inf and must not be quarantined
+        assert not state_invalid(float("inf"), float("inf"), 1e30)

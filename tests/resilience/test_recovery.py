@@ -1,0 +1,176 @@
+"""Recovery paths: repair epochs, checkpoints, DRAM retry, dead lanes."""
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.core import (
+    FunctionalGraphPulse,
+    GraphPulseAccelerator,
+    run_sliced,
+)
+from repro.graph import erdos_renyi_graph
+from repro.resilience import (
+    CheckpointManager,
+    FaultPlan,
+    ResilienceConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(120, 700, seed=11)
+
+
+@pytest.fixture(scope="module")
+def pagerank_reference(graph):
+    return FunctionalGraphPulse(graph, algorithms.make_pagerank_delta()).run().values
+
+
+class TestRepairEpochs:
+    def test_scripted_drop_is_repaired(self, graph, pagerank_reference):
+        # drop the 5th inserted event: silent mass loss only the
+        # quiescent invariant sweep can see
+        config = ResilienceConfig(
+            fault_plan=FaultPlan(scripted={"drop": {5: -1}})
+        )
+        result = FunctionalGraphPulse(
+            graph, algorithms.make_pagerank_delta(), resilience=config
+        ).run()
+        summary = result.resilience
+        assert summary["faults"]["by_kind"] == {"drop": 1}
+        assert summary["repair"]["epochs"] >= 1
+        assert summary["repair"]["reinjected_events"] > 0
+        error = np.max(np.abs(result.values - pagerank_reference))
+        assert error <= 1e-6
+
+    def test_scripted_bitflip_detected_by_parity(self, graph, pagerank_reference):
+        config = ResilienceConfig(
+            fault_plan=FaultPlan(scripted={"bitflip": {3: 52}})
+        )
+        result = FunctionalGraphPulse(
+            graph, algorithms.make_pagerank_delta(), resilience=config
+        ).run()
+        summary = result.resilience
+        assert summary["faults"]["by_kind"] == {"bitflip": 1}
+        # single-bit model: the parity check discards the payload
+        assert summary["detections"].get("parity", 0) == 1
+        error = np.max(np.abs(result.values - pagerank_reference))
+        assert error <= 1e-6
+
+    def test_recovery_overhead_is_reported(self, graph):
+        config = ResilienceConfig(
+            fault_plan=FaultPlan.uniform(1e-3, seed=5, kinds=("drop",))
+        )
+        result = FunctionalGraphPulse(
+            graph, algorithms.make_pagerank_delta(), resilience=config
+        ).run()
+        summary = result.resilience
+        if summary["faults"]["total"]:
+            assert summary["recovery_overhead"] > 0
+
+
+class TestCheckpointManager:
+    def test_capture_cadence_and_keep_depth(self):
+        manager = CheckpointManager(5, keep=2)
+        state = np.zeros(4)
+        for round_index in range(1, 21):
+            if manager.due(round_index):
+                manager.take(round_index, float(round_index), state, [], 0)
+        assert manager.taken == 4  # rounds 5, 10, 15, 20
+        assert len(manager.checkpoints) == 2  # keep depth enforced
+        assert manager.latest.round_index == 20
+
+    def test_disabled_interval_never_due(self):
+        manager = CheckpointManager(None)
+        assert not any(manager.due(r) for r in range(1, 100))
+
+    def test_rollback_counts_and_preserves_checkpoint(self):
+        manager = CheckpointManager(1)
+        manager.take(1, 1.0, np.arange(3.0), ["snap"], 2)
+        first = manager.rollback()
+        second = manager.rollback()
+        assert first is second  # same restart point stays available
+        assert manager.rollbacks == 2
+        assert np.array_equal(first.state, np.arange(3.0))
+
+    def test_rollback_without_checkpoint_returns_none(self):
+        manager = CheckpointManager(None)
+        assert manager.rollback() is None
+
+    def test_checkpoint_state_is_a_private_copy(self):
+        manager = CheckpointManager(1)
+        state = np.arange(3.0)
+        manager.take(1, 1.0, state, [], 0)
+        state[0] = 99.0
+        assert manager.latest.state[0] == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(0)
+        with pytest.raises(ValueError):
+            CheckpointManager(5, keep=0)
+
+
+class TestCheckpointedRuns:
+    def test_checkpointing_does_not_perturb_results(self, graph, pagerank_reference):
+        config = ResilienceConfig(checkpoint_interval=5)
+        result = FunctionalGraphPulse(
+            graph, algorithms.make_pagerank_delta(), resilience=config
+        ).run()
+        assert np.array_equal(result.values, pagerank_reference)
+        assert result.resilience["checkpoints"]["taken"] > 0
+        assert result.resilience["checkpoints"]["rollbacks"] == 0
+
+
+class TestDramRetry:
+    def test_transient_dram_errors_are_retried_exactly(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        clean = GraphPulseAccelerator(graph, spec).run()
+        config = ResilienceConfig(
+            fault_plan=FaultPlan.uniform(1e-2, seed=9, kinds=("dram",))
+        )
+        faulty = GraphPulseAccelerator(graph, spec, resilience=config).run()
+        summary = faulty.resilience
+        assert summary["faults"]["by_kind"].get("dram", 0) > 0
+        assert summary["dram_retries"] > 0
+        # CRC + retry recovers every burst: values bit-identical (the
+        # backoff penalty may hide entirely inside round-boundary slack)
+        assert np.array_equal(faulty.values, clean.values)
+        assert faulty.converged
+
+
+class TestDeadLanes:
+    def test_mid_run_lane_death_degrades_gracefully(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        clean = GraphPulseAccelerator(graph, spec).run()
+        config = ResilienceConfig(
+            fault_plan=FaultPlan(dead_lanes={2: 3000, 5: 0})
+        )
+        degraded = GraphPulseAccelerator(graph, spec, resilience=config).run()
+        summary = degraded.resilience
+        assert sorted(summary["degraded_lanes"]) == [2, 5]
+        # remaining lanes complete the identical computation (the
+        # dispatch reshuffle can shift the cycle count either way)
+        assert np.array_equal(degraded.values, clean.values)
+        assert degraded.converged
+
+
+class TestSpillLoss:
+    def test_lost_spill_events_are_repaired(self, graph, pagerank_reference):
+        config = ResilienceConfig(
+            fault_plan=FaultPlan.uniform(1e-3, seed=13, kinds=("spill",))
+        )
+        result = run_sliced(
+            graph,
+            algorithms.make_pagerank_delta(threshold=1e-9),
+            num_slices=3,
+            resilience=config,
+        )
+        summary = result.resilience
+        assert summary["faults"]["by_kind"].get("spill", 0) > 0
+        reference = run_sliced(
+            graph, algorithms.make_pagerank_delta(threshold=1e-9), num_slices=3
+        )
+        error = np.max(np.abs(result.values - reference.values))
+        assert error <= 1e-6
