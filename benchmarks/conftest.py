@@ -19,6 +19,7 @@ import os
 from pathlib import Path
 
 from repro.analysis import run_comparison
+from repro.ioutil import atomic_write_text
 
 #: per-dataset extra scaling for the 5x5 sweep benchmarks
 SWEEP_SCALES = {
@@ -52,8 +53,12 @@ def get_comparison(dataset: str, algorithm: str):
 
 
 def publish(name: str, text: str) -> None:
-    """Print a regenerated artifact and persist it under results/."""
+    """Print a regenerated artifact and persist it under results/.
+
+    Written atomically (temp file + rename) so an interrupted run never
+    leaves a truncated artifact under a valid name.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")

@@ -22,11 +22,22 @@ Four subcommands:
     at one fault rate) and report convergence/recovery rates against
     fault-free references.
 
+``resume``
+    Continue a durable run (one started with ``repro run
+    --checkpoint-dir DIR``) from its newest on-disk checkpoint: the run
+    directory's manifest is validated against the re-prepared workload
+    (graph fingerprint included), state and queue are restored, and the
+    run continues to convergence with bit-identical final vertex state.
+
 Typed failures (:class:`repro.errors.ReproError` subclasses — invalid
 graph inputs, queue capacity overflow, watchdog halts, exhausted
-recovery) exit with status 2 and a one-line ``error:`` message instead
-of a traceback; with ``--json`` they also emit a structured
-``{"error": {...}}`` object.
+recovery, corrupt checkpoints, manifest mismatches) exit with status 2
+and a one-line ``error:`` message instead of a traceback; with
+``--json`` they also emit a structured ``{"error": {...}}`` object.
+Interrupts (SIGINT/SIGTERM) exit with status 130; on a durable run the
+engine first finishes its round and flushes a final checkpoint, and the
+``--json`` payload names it so the run can be continued with ``repro
+resume``.
 
 Observability flags on ``run``: ``--trace FILE`` writes a Chrome/
 Perfetto trace of the run, ``--metrics FILE`` a JSONL metrics stream
@@ -42,11 +53,15 @@ Examples::
     python -m repro run pagerank --dataset WG --engine cycle \
         --trace run.trace.json --metrics run.metrics.jsonl --json
     python -m repro compare cc --dataset FB --scale 0.2 --json
+    python -m repro run pagerank --dataset WG --scale 0.05 \
+        --checkpoint-dir runs/pr-wg
+    python -m repro resume runs/pr-wg --json
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import sys
 from contextlib import ExitStack
@@ -60,16 +75,26 @@ from .analysis.report import format_table
 from .baselines import LigraEngine, SynchronousDeltaEngine
 from .core import FunctionalGraphPulse, GraphPulseAccelerator, run_sliced
 from .errors import (
+    CheckpointCorruptError,
     GraphValidationError,
+    ManifestMismatchError,
     NonConvergenceError,
     QueueCapacityError,
     ReproError,
+    RunInterruptedError,
     UnrecoverableFaultError,
 )
 from .graph import DATASETS, dataset_names, erdos_renyi_graph, load_dataset
+from .ioutil import atomic_write_bytes, atomic_write_text
 from .obs import TimeSeries, Tracer, export
 from .obs import trace as obs_trace
-from .resilience import FAULT_KINDS, FaultPlan, ResilienceConfig
+from .resilience import (
+    FAULT_KINDS,
+    FaultPlan,
+    InterruptGuard,
+    ResilienceConfig,
+    resume_run,
+)
 from .resilience.campaign import (
     DEFAULT_ALGORITHMS,
     format_report,
@@ -194,6 +219,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="capture a rollback checkpoint every N rounds",
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="make the run durable: write a manifest plus periodic "
+        "on-disk checkpoints (and, with --engine sliced, a spill "
+        "journal) to DIR so a killed run can continue with "
+        "'repro resume DIR' (implies --resilience)",
+    )
+    run_parser.add_argument(
+        "--dump-values",
+        metavar="FILE",
+        default=None,
+        help="write the final vertex values to FILE as a .npy array "
+        "(raw float64 bits, for bit-identical resume verification)",
     )
     run_parser.add_argument(
         "--dead-lane",
@@ -325,6 +366,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="emit the campaign report as JSON (stdout when FILE omitted)",
     )
+
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help="continue a durable run from its newest on-disk checkpoint",
+    )
+    resume_parser.add_argument(
+        "run_dir",
+        metavar="RUN_DIR",
+        help="run directory written by 'repro run --checkpoint-dir'",
+    )
+    resume_parser.add_argument(
+        "--dump-values",
+        metavar="FILE",
+        default=None,
+        help="write the final vertex values to FILE as a .npy array "
+        "(raw float64 bits, for bit-identical resume verification)",
+    )
+    resume_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the resumed-run summary as JSON (stdout when FILE "
+        "omitted)",
+    )
     return parser
 
 
@@ -377,6 +444,7 @@ def _resilience_config(
         or args.fault_rate > 0.0
         or bool(args.dead_lane)
         or args.checkpoint_interval is not None
+        or args.checkpoint_dir is not None
     )
     if not enabled:
         return None
@@ -398,8 +466,28 @@ def _resilience_config(
         kinds=kinds,
         dead_lanes=dict(args.dead_lane or []),
     )
+    run_meta = None
+    if args.checkpoint_dir is not None:
+        engine_options: Dict[str, Any] = {}
+        if args.engine == "sliced":
+            engine_options = {
+                "num_slices": args.num_slices,
+                "queue_capacity": args.queue_capacity,
+                "auto_slice": not args.no_auto_slice,
+            }
+        run_meta = {
+            "workload": {
+                "algorithm": args.algorithm,
+                "dataset": args.dataset,
+                "scale": args.scale,
+            },
+            "engine_options": engine_options,
+        }
     return ResilienceConfig(
-        fault_plan=plan, checkpoint_interval=args.checkpoint_interval
+        fault_plan=plan,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_dir=args.checkpoint_dir,
+        run_meta=run_meta,
     )
 
 
@@ -418,18 +506,9 @@ def _resilience_lines(summary: Dict[str, Any]) -> List[str]:
     return [line]
 
 
-def _execute_engine(
-    args: argparse.Namespace,
-    graph,
-    spec,
-    timeseries: Optional[TimeSeries],
-) -> Tuple[np.ndarray, Dict[str, Any], List[str]]:
-    """Run the chosen engine; returns (values, summary dict, human lines)."""
-    resilience = _resilience_config(args)
-    if args.engine == "functional":
-        result = FunctionalGraphPulse(
-            graph, spec, timeseries=timeseries, resilience=resilience
-        ).run()
+def _result_info(engine: str, result: Any) -> Dict[str, Any]:
+    """Engine-result summary dict (shared by ``run`` and ``resume``)."""
+    if engine == "functional":
         info: Dict[str, Any] = {
             "rounds": result.num_rounds,
             "events_processed": result.total_events_processed,
@@ -437,15 +516,7 @@ def _execute_engine(
             "coalesce_rate": result.coalesce_rate(),
             "converged": result.converged,
         }
-        lines = [
-            f"rounds: {result.num_rounds}   events processed: "
-            f"{result.total_events_processed:,}   coalesced away: "
-            f"{result.coalesce_rate():.1%}"
-        ]
-    elif args.engine == "cycle":
-        result = GraphPulseAccelerator(
-            graph, spec, timeseries=timeseries, resilience=resilience
-        ).run()
+    elif engine == "cycle":
         info = {
             "cycles": result.total_cycles,
             "seconds": result.seconds,
@@ -456,13 +527,89 @@ def _execute_engine(
             "data_utilization": result.data_utilization(),
             "converged": result.converged,
         }
+    elif engine == "sliced":
+        info = {
+            "passes": result.num_passes,
+            "rounds": result.total_rounds,
+            "spill_bytes": result.total_spill_bytes,
+            "spill_overhead": result.spill_overhead(),
+            "converged": result.converged,
+        }
+    elif engine == "bsp":
+        info = {
+            "iterations": result.num_iterations,
+            "edges_scanned": result.total_edges_scanned,
+            "converged": result.converged,
+        }
+    else:  # ligra
+        info = {
+            "iterations": result.num_iterations,
+            "seconds": result.seconds,
+            "pull_fraction": result.pull_fraction,
+            "converged": result.converged,
+        }
+    summary = getattr(result, "resilience", None)
+    if summary is not None:
+        info["resilience"] = summary
+    return info
+
+
+def _result_lines(engine: str, result: Any, info: Dict[str, Any]) -> List[str]:
+    """Human one-liners, read back from ``info`` so ``resume`` can patch
+    relative round counters to absolute ones before printing."""
+    if engine == "functional":
         lines = [
-            f"cycles: {result.total_cycles:,} "
-            f"({result.seconds * 1e6:.1f} us at "
-            f"{result.config.clock_ghz:g} GHz)   rounds: "
-            f"{result.num_rounds}   off-chip: "
-            f"{result.offchip_bytes / 1e6:.2f} MB"
+            f"rounds: {info['rounds']}   events processed: "
+            f"{info['events_processed']:,}   coalesced away: "
+            f"{info['coalesce_rate']:.1%}"
         ]
+    elif engine == "cycle":
+        lines = [
+            f"cycles: {info['cycles']:,} "
+            f"({info['seconds'] * 1e6:.1f} us at "
+            f"{result.config.clock_ghz:g} GHz)   rounds: "
+            f"{info['rounds']}   off-chip: "
+            f"{info['offchip_bytes'] / 1e6:.2f} MB"
+        ]
+    elif engine == "sliced":
+        lines = [
+            f"passes: {info['passes']}   rounds: "
+            f"{info['rounds']}   spill traffic: "
+            f"{info['spill_bytes'] / 1e6:.2f} MB "
+            f"({info['spill_overhead']:.1%} of off-chip)"
+        ]
+    elif engine == "bsp":
+        lines = [
+            f"iterations: {info['iterations']}   edges scanned: "
+            f"{info['edges_scanned']:,}"
+        ]
+    else:  # ligra
+        lines = [
+            f"iterations: {info['iterations']}   modelled time: "
+            f"{info['seconds'] * 1e3:.3f} ms   pull fraction: "
+            f"{info['pull_fraction']:.0%}"
+        ]
+    if "resilience" in info:
+        lines.extend(_resilience_lines(info["resilience"]))
+    return lines
+
+
+def _execute_engine(
+    args: argparse.Namespace,
+    graph,
+    spec,
+    timeseries: Optional[TimeSeries],
+) -> Tuple[np.ndarray, Dict[str, Any], List[str]]:
+    """Run the chosen engine; returns (values, summary dict, human lines)."""
+    resilience = _resilience_config(args)
+    if args.engine == "functional":
+        result: Any = FunctionalGraphPulse(
+            graph, spec, timeseries=timeseries, resilience=resilience
+        ).run()
+    elif args.engine == "cycle":
+        result = GraphPulseAccelerator(
+            graph, spec, timeseries=timeseries, resilience=resilience
+        ).run()
     elif args.engine == "sliced":
         _check_num_slices(args.num_slices)
         result = run_sliced(
@@ -473,60 +620,34 @@ def _execute_engine(
             auto_slice=not args.no_auto_slice,
             resilience=resilience,
         )
-        info = {
-            "passes": result.num_passes,
-            "rounds": result.total_rounds,
-            "spill_bytes": result.total_spill_bytes,
-            "spill_overhead": result.spill_overhead(),
-            "converged": result.converged,
-        }
-        lines = [
-            f"passes: {result.num_passes}   rounds: "
-            f"{result.total_rounds}   spill traffic: "
-            f"{result.total_spill_bytes / 1e6:.2f} MB "
-            f"({result.spill_overhead():.1%} of off-chip)"
-        ]
     elif args.engine == "bsp":
         result = SynchronousDeltaEngine(graph, spec).run()
-        info = {
-            "iterations": result.num_iterations,
-            "edges_scanned": result.total_edges_scanned,
-            "converged": result.converged,
-        }
-        lines = [
-            f"iterations: {result.num_iterations}   edges scanned: "
-            f"{result.total_edges_scanned:,}"
-        ]
     else:  # ligra
         result = LigraEngine(graph, spec).run()
-        info = {
-            "iterations": result.num_iterations,
-            "seconds": result.seconds,
-            "pull_fraction": result.pull_fraction,
-            "converged": result.converged,
-        }
-        lines = [
-            f"iterations: {result.num_iterations}   modelled time: "
-            f"{result.seconds * 1e3:.3f} ms   pull fraction: "
-            f"{result.pull_fraction:.0%}"
-        ]
-    summary = getattr(result, "resilience", None)
-    if summary is not None:
-        info["resilience"] = summary
-        lines.extend(_resilience_lines(summary))
+    info = _result_info(args.engine, result)
+    lines = _result_lines(args.engine, result, info)
     return result.values, info, lines
 
 
 def _write_json(payload: Dict[str, Any], destination: str) -> None:
-    """Dump JSON to stdout (``"-"``) or a file."""
+    """Dump JSON to stdout (``"-"``) or atomically to a file."""
     # default=float coerces numpy scalars that leak into summaries
     text = json.dumps(payload, indent=2, sort_keys=True, default=float)
     if destination == "-":
         print(text)
     else:
-        with open(destination, "w") as handle:
-            handle.write(text)
-            handle.write("\n")
+        atomic_write_text(destination, text + "\n")
+
+
+def _dump_values(values: np.ndarray, destination: str) -> None:
+    """Atomically write the final vertex values as a ``.npy`` array.
+
+    Raw float64 bits — the crash-resume harness compares these files
+    bytewise to prove resumed runs are bit-identical.
+    """
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(values, dtype=np.float64))
+    atomic_write_bytes(destination, buffer.getvalue())
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -557,6 +678,10 @@ def _command_run(args: argparse.Namespace) -> int:
     say(f"workload: {args.algorithm} on {graph}")
 
     with ExitStack() as stack:
+        if args.checkpoint_dir is not None:
+            # durable runs stop gracefully: first SIGINT/SIGTERM finishes
+            # the round and flushes a final checkpoint before unwinding
+            stack.enter_context(InterruptGuard())
         if tracer is not None:
             stack.enter_context(obs_trace.tracing(tracer))
         values, info, lines = _execute_engine(args, graph, spec, timeseries)
@@ -600,6 +725,10 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         payload["metrics"] = {"path": args.metrics, "lines": written}
         say(f"metrics: {written:,} lines -> {args.metrics}")
+    if args.dump_values is not None:
+        _dump_values(values, args.dump_values)
+        payload["values"]["file"] = args.dump_values
+        say(f"values -> {args.dump_values}")
 
     status = 0
     if args.verify:
@@ -710,6 +839,79 @@ def _command_resilience(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _command_resume(args: argparse.Namespace) -> int:
+    outcome = resume_run(args.run_dir)
+    result = outcome.result
+    restored = outcome.restored
+    workload = outcome.manifest.get("workload") or {}
+    json_to_stdout = args.json == "-"
+
+    def say(text: str) -> None:
+        if not json_to_stdout:
+            print(text)
+
+    origin = (
+        f"checkpoint {restored.seq} (after round {restored.round_index})"
+        if restored is not None
+        else "the beginning (no checkpoint had been flushed yet)"
+    )
+    say(
+        f"resumed {workload.get('algorithm')} on {workload.get('dataset')} "
+        f"(scale {workload.get('scale')}, engine {outcome.engine}) "
+        f"from {origin}"
+    )
+
+    info = _result_info(outcome.engine, result)
+    # the resumed process only sees its own tail of the run; lift the
+    # counters that restart from zero back to absolute round numbers so
+    # run and run+resume report the same convergence round
+    if outcome.engine == "functional":
+        if result.rounds:
+            info["rounds"] = result.rounds[-1].round_index + 1
+        elif restored is not None:
+            info["rounds"] = restored.round_index + 1
+    elif outcome.engine == "sliced":
+        if not result.activations and restored is not None:
+            info["passes"] = restored.round_index
+    for line in _result_lines(outcome.engine, result, info):
+        say(line)
+
+    values = result.values
+    finite = values[np.isfinite(values)]
+    say(
+        f"values: {len(finite):,} finite of {len(values):,}; "
+        f"min {finite.min():.4g}  max {finite.max():.4g}"
+        if len(finite)
+        else "values: none finite"
+    )
+
+    payload: Dict[str, Any] = {
+        "resumed": {
+            "run_dir": args.run_dir,
+            "checkpoint": restored.seq if restored is not None else None,
+            "round_index": (
+                restored.round_index if restored is not None else None
+            ),
+        },
+        "workload": workload,
+        "engine": outcome.engine,
+        "result": info,
+        "values": {
+            "total": int(len(values)),
+            "finite": int(len(finite)),
+            "min": float(finite.min()) if len(finite) else None,
+            "max": float(finite.max()) if len(finite) else None,
+        },
+    }
+    if args.dump_values is not None:
+        _dump_values(values, args.dump_values)
+        payload["values"]["file"] = args.dump_values
+        say(f"values -> {args.dump_values}")
+    if args.json is not None:
+        _write_json(payload, args.json)
+    return 0
+
+
 def _error_payload(exc: ReproError) -> Dict[str, Any]:
     """Structured ``{"error": ...}`` object for a typed failure."""
     error: Dict[str, Any] = {
@@ -732,6 +934,8 @@ def _error_payload(exc: ReproError) -> Dict[str, Any]:
         error["diagnostic"] = exc.diagnostic
     elif isinstance(exc, UnrecoverableFaultError):
         error.update(exc.detail)
+    elif isinstance(exc, (CheckpointCorruptError, ManifestMismatchError)):
+        error.update(exc.context)
     return {"error": error}
 
 
@@ -750,6 +954,36 @@ def _report_error(exc: ReproError, json_dest: Optional[str]) -> int:
     return 2
 
 
+def _report_interrupt(
+    exc: Optional[RunInterruptedError], json_dest: Optional[str]
+) -> int:
+    """Clean exit 130 for an interrupted run (no traceback).
+
+    On a durable run ``exc`` carries the final flushed checkpoint, so
+    both the human hint and the ``--json`` partial-result object name
+    the exact ``repro resume`` invocation that continues the run.
+    """
+    detail = dict(exc.detail) if exc is not None else {}
+    run_dir = detail.get("run_dir")
+    if json_dest is not None:
+        interrupted: Dict[str, Any] = {
+            "message": str(exc) if exc is not None else "interrupted",
+            **detail,
+        }
+        if run_dir:
+            interrupted["resume"] = f"repro resume {run_dir}"
+        _write_json({"interrupted": interrupted}, json_dest)
+    if json_dest != "-":
+        message = str(exc) if exc is not None else "interrupted"
+        print(f"interrupted: {message}", file=sys.stderr)
+        if run_dir:
+            print(
+                f"hint: continue with 'repro resume {run_dir}'",
+                file=sys.stderr,
+            )
+    return 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -761,7 +995,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_compare(args)
         if args.command == "resilience":
             return _command_resilience(args)
+        if args.command == "resume":
+            return _command_resume(args)
         raise AssertionError(f"unhandled command {args.command!r}")
+    except RunInterruptedError as exc:
+        return _report_interrupt(exc, getattr(args, "json", None))
+    except KeyboardInterrupt:
+        return _report_interrupt(None, getattr(args, "json", None))
     except ReproError as exc:
         return _report_error(exc, getattr(args, "json", None))
 

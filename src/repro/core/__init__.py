@@ -24,6 +24,7 @@ from .slicing import (
     SlicedGraphPulse,
     SlicedResult,
     SuperRound,
+    build_sliced,
     run_sliced,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "SlicedGraphPulse",
     "SlicedResult",
     "SliceActivation",
+    "build_sliced",
     "run_sliced",
     "ParallelSlicedGraphPulse",
     "ParallelSlicedResult",

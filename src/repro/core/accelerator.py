@@ -287,6 +287,11 @@ class GraphPulseAccelerator:
         self._bin_insert_done = [0] * cfg.num_bins
         self._now = 0.0
         self._round_changes = 0
+        self._resumed = False
+        self._start_rounds = 0
+        self._start_cycle = 0
+        self._start_processed = 0
+        self._start_produced = 0
         self.resilience: Optional[ResilienceHarness] = None
         if resilience is not None:
             self.resilience = ResilienceHarness(resilience, spec, graph, "cycle")
@@ -318,20 +323,43 @@ class GraphPulseAccelerator:
         )
 
     # ------------------------------------------------------------------
+    def restore(self, restored) -> None:
+        """Adopt a durable checkpoint; the next ``run`` continues from it.
+
+        The cycle engine checkpoints with its already-incremented round
+        count, so the counter resumes exactly there; the clock resumes
+        at the capture cycle.  Values and the round count are
+        timing-independent (events are applied in drain order), so the
+        continued run converges to bit-identical state at the same
+        round; resource pipelines restart cold, making post-resume
+        *cycle counts* approximate rather than bit-equal.
+        """
+        self.state[:] = restored.state
+        self.queue.restore(restored.queue_snapshot)
+        self._start_rounds = restored.round_index
+        self._start_cycle = int(restored.at)
+        self._start_processed = int(restored.totals.get("events_processed", 0))
+        self._start_produced = int(restored.totals.get("events_produced", 0))
+        if self.resilience is not None and restored.fault_cursor:
+            self.resilience.injector.restore_cursor(restored.fault_cursor)
+        self._resumed = True
+
+    # ------------------------------------------------------------------
     def run(self) -> CycleResult:
         """Run to convergence; returns timing, profiles and values."""
         spec, queue = self.spec, self.queue
-        for vertex, delta in spec.initial_events(self.graph).items():
-            queue.insert(Event(vertex=vertex, delta=delta))
+        if not self._resumed:
+            for vertex, delta in spec.initial_events(self.graph).items():
+                queue.insert(Event(vertex=vertex, delta=delta))
 
         if self.resilience is not None:
             watchdog = self.resilience.make_watchdog(self.max_rounds)
         else:
             watchdog = ProgressWatchdog(self.max_rounds)
 
-        now = 0
-        rounds = 0
-        events_processed = 0
+        now = self._start_cycle
+        rounds = self._start_rounds
+        events_processed = self._start_processed
         converged = False
         early_stop = False
         while True:
@@ -371,7 +399,15 @@ class GraphPulseAccelerator:
                     self.timeseries.advance(now)
                 if self.resilience is not None:
                     self.resilience.maybe_checkpoint(
-                        rounds, float(now), self.state, queue
+                        rounds,
+                        float(now),
+                        self.state,
+                        queue,
+                        totals={
+                            "events_processed": events_processed,
+                            "events_produced": self._start_produced
+                            + int(queue.stats.inserted),
+                        },
                     )
                 if (
                     self.global_threshold is not None
@@ -404,7 +440,7 @@ class GraphPulseAccelerator:
             total_cycles=now,
             num_rounds=rounds,
             events_processed=events_processed,
-            events_produced=int(queue.stats.inserted),
+            events_produced=self._start_produced + int(queue.stats.inserted),
             stage_profile=self.stage,
             occupancy=self.occupancy,
             dram_stats=self.dram.stats.snapshot(),

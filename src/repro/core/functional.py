@@ -229,6 +229,9 @@ class FunctionalGraphPulse:
         self._out_degrees = graph.out_degrees()
         self.timeseries = timeseries
         self._now = 0.0
+        self._resumed = False
+        self._resume_round = 0
+        self._resume_totals: Dict[str, int] = {}
         self.resilience: Optional[ResilienceHarness] = None
         if resilience is not None:
             self.resilience = ResilienceHarness(
@@ -262,6 +265,25 @@ class FunctionalGraphPulse:
         return sorted(indices, key=lambda b: (-queue.bin_occupancy(b), b))
 
     # ------------------------------------------------------------------
+    def restore(self, restored) -> None:
+        """Adopt a durable checkpoint; the next ``run`` continues from it.
+
+        The capture was taken *after* round ``restored.round_index``
+        completed (the engine checkpoints before incrementing its round
+        counter), so execution resumes at the following round with the
+        checkpoint's vertex state, queue contents, running totals, and
+        fault-injector RNG cursor — everything the continuation needs to
+        be bit-identical to the uninterrupted run.
+        """
+        self.state[:] = restored.state
+        self.queue.restore(restored.queue_snapshot)
+        self._resume_round = restored.round_index + 1
+        self._resume_totals = dict(restored.totals)
+        if self.resilience is not None and restored.fault_cursor:
+            self.resilience.injector.restore_cursor(restored.fault_cursor)
+        self._resumed = True
+
+    # ------------------------------------------------------------------
     def run(self) -> FunctionalResult:
         """Execute until convergence; returns values plus measurements."""
         graph, spec, queue = self.graph, self.spec, self.queue
@@ -271,9 +293,15 @@ class FunctionalGraphPulse:
         total_processed = 0
         total_produced = 0
 
-        for vertex, delta in spec.initial_events(graph).items():
-            queue.insert(Event(vertex=vertex, delta=delta, generation=0))
-            total_produced += 1
+        if self._resumed:
+            total_processed = int(
+                self._resume_totals.get("events_processed", 0)
+            )
+            total_produced = int(self._resume_totals.get("events_produced", 0))
+        else:
+            for vertex, delta in spec.initial_events(graph).items():
+                queue.insert(Event(vertex=vertex, delta=delta, generation=0))
+                total_produced += 1
 
         if self.resilience is not None:
             watchdog = self.resilience.make_watchdog(self.max_rounds)
@@ -282,7 +310,7 @@ class FunctionalGraphPulse:
 
         converged = False
         early_stop = False
-        round_index = 0
+        round_index = self._resume_round
         while True:
             while not queue.is_empty:
                 verdict = watchdog.verdict()
@@ -311,7 +339,14 @@ class FunctionalGraphPulse:
                     self.timeseries.advance(round_index + 1)
                 if self.resilience is not None:
                     self.resilience.maybe_checkpoint(
-                        round_index, float(round_index + 1), state, queue
+                        round_index,
+                        float(round_index + 1),
+                        state,
+                        queue,
+                        totals={
+                            "events_processed": total_processed,
+                            "events_produced": total_produced,
+                        },
                     )
                 round_index += 1
                 if (

@@ -38,6 +38,7 @@ __all__ = [
     "SlicedGraphPulse",
     "SlicedResult",
     "SliceActivation",
+    "build_sliced",
     "run_sliced",
     "ParallelSlicedGraphPulse",
     "ParallelSlicedResult",
@@ -183,11 +184,103 @@ class SlicedGraphPulse:
                 )
         self._now = 0.0
         self._spill: List[Dict[int, Event]] = []
+        self._journal = None  #: SpillJournal on durable runs, else None
+        self._resumed = False
+        self._start_pass = 0
+        self._resume_spill: Optional[List[Dict[int, Event]]] = None
         self.state = spec.initial_state(partition.graph)
         self.resilience: Optional[ResilienceHarness] = None
         if resilience is not None:
             self.resilience = ResilienceHarness(
                 resilience, spec, partition.graph, "sliced"
+            )
+
+    # ------------------------------------------------------------------
+    def restore(self, restored) -> None:
+        """Adopt a durable checkpoint; the next ``run`` continues from it.
+
+        The checkpoint's spill snapshot is the restored truth; the spill
+        journal is independently replayed up to the commit the
+        checkpoint references and cross-checked bit-for-bit (raw f64
+        delta bits, generations) against it — a torn or inconsistent
+        journal fails loudly instead of silently diverging.  The journal
+        is then truncated at that commit so resumed appends continue
+        from a clean tail.
+        """
+        if len(restored.queue_snapshot) != self.partition.num_slices:
+            from ..errors import CheckpointCorruptError
+
+            raise CheckpointCorruptError(
+                f"checkpoint snapshot has {len(restored.queue_snapshot)} "
+                f"slices but the partition has {self.partition.num_slices}",
+                snapshot_slices=len(restored.queue_snapshot),
+                partition_slices=self.partition.num_slices,
+            )
+        self.state[:] = restored.state
+        self._resume_spill = [
+            {
+                v: Event(
+                    vertex=e.vertex,
+                    delta=e.delta,
+                    generation=e.generation,
+                    ready=e.ready,
+                )
+                for v, e in bucket.items()
+            }
+            for bucket in restored.queue_snapshot
+        ]
+        self._start_pass = restored.round_index
+        if self.resilience is not None and restored.fault_cursor:
+            self.resilience.injector.restore_cursor(restored.fault_cursor)
+        self._verify_and_trim_journal(restored)
+        self._resumed = True
+
+    def _verify_and_trim_journal(self, restored) -> None:
+        """Replay the WAL to the checkpoint's commit and cross-check it."""
+        if self.resilience is None or self.resilience.durable is None:
+            return
+        import struct
+
+        from ..errors import CheckpointCorruptError
+        from ..resilience.journal import SpillJournal
+
+        path = self.resilience.durable.store.journal_path
+        buffers, offset = SpillJournal.replay(
+            path,
+            self.partition.num_slices,
+            restored.journal_commit,
+            self.spec.reduce,
+        )
+
+        def bits(value: float) -> bytes:
+            return struct.pack("<d", value)
+
+        for slice_index, snap in enumerate(restored.queue_snapshot):
+            replayed = buffers[slice_index]
+            if set(replayed) != set(snap):
+                raise CheckpointCorruptError(
+                    f"{path}: journal replay disagrees with checkpoint on "
+                    f"slice {slice_index}'s pending vertices",
+                    path=str(path),
+                    slice=slice_index,
+                )
+            for vertex, event in snap.items():
+                delta, generation = replayed[vertex]
+                if bits(delta) != bits(event.delta) or generation != event.generation:
+                    raise CheckpointCorruptError(
+                        f"{path}: journal replay disagrees with checkpoint "
+                        f"on vertex {vertex} (slice {slice_index})",
+                        path=str(path),
+                        slice=slice_index,
+                        vertex=vertex,
+                    )
+        SpillJournal.truncate(path, offset)
+
+    def _journal_spill(self, slice_index: int, event: Event) -> None:
+        """WAL one event landing in a spill bucket (no-op when off)."""
+        if self._journal is not None:
+            self._journal.spill(
+                slice_index, event.vertex, event.generation, event.delta
             )
 
     # ------------------------------------------------------------------
@@ -207,72 +300,93 @@ class SlicedGraphPulse:
         ]
         self._spill = spill
         view = _SpillBufferView(spill)
-        for vertex, delta in spec.initial_events(graph).items():
-            s = int(partition.slice_of_vertex[vertex])
-            spill[s][vertex] = Event(vertex=vertex, delta=delta)
+        if self.resilience is not None:
+            self._journal = self.resilience.open_journal(partition.num_slices)
+        if self._resumed:
+            for bucket, snap in zip(spill, self._resume_spill or []):
+                bucket.update(snap)
+        else:
+            for vertex, delta in spec.initial_events(graph).items():
+                s = int(partition.slice_of_vertex[vertex])
+                spill[s][vertex] = Event(vertex=vertex, delta=delta)
+                if self._journal is not None:
+                    self._journal.spill(s, vertex, 0, delta)
+            if self._journal is not None:
+                self._journal.commit(0)
 
         if self.resilience is not None:
             watchdog = self.resilience.make_watchdog(self.max_passes)
         else:
             watchdog = ProgressWatchdog(self.max_passes)
 
-        pass_index = 0
-        while True:
-            while any(spill):
-                verdict = watchdog.verdict()
-                if verdict is not None:
-                    diagnostic = build_diagnostic(
-                        "sliced", verdict, watchdog.rounds, view
+        pass_index = self._start_pass
+        try:
+            while True:
+                while any(spill):
+                    verdict = watchdog.verdict()
+                    if verdict is not None:
+                        diagnostic = build_diagnostic(
+                            "sliced", verdict, watchdog.rounds, view
+                        )
+                        raise NonConvergenceError(
+                            f"{spec.name} did not converge within "
+                            f"{self.max_passes} slice passes"
+                            if verdict == "round-limit"
+                            else f"{spec.name} made no progress (livelock: "
+                            f"events flow but no state changes)",
+                            diagnostic,
+                        )
+                    writes_before = traffic.vertex_writes
+                    pass_processed = 0
+                    for slice_index in range(partition.num_slices):
+                        inbound = spill[slice_index]
+                        if not inbound:
+                            continue
+                        if self._journal is not None:
+                            self._journal.consume(slice_index)
+                        spill[slice_index] = {}
+                        spill_read += len(inbound) * _SPILL_EVENT_BYTES
+                        activation = self._activate(
+                            pass_index,
+                            slice_index,
+                            list(inbound.values()),
+                            state,
+                            traffic,
+                            spill,
+                        )
+                        spill_written += (
+                            activation.events_spilled * _SPILL_EVENT_BYTES
+                        )
+                        activations.append(activation)
+                        pass_processed += activation.events_processed
+                    watchdog.observe_round(
+                        pass_processed, traffic.vertex_writes - writes_before
                     )
-                    raise NonConvergenceError(
-                        f"{spec.name} did not converge within "
-                        f"{self.max_passes} slice passes"
-                        if verdict == "round-limit"
-                        else f"{spec.name} made no progress (livelock: "
-                        f"events flow but no state changes)",
-                        diagnostic,
-                    )
-                writes_before = traffic.vertex_writes
-                pass_processed = 0
-                for slice_index in range(partition.num_slices):
-                    inbound = spill[slice_index]
-                    if not inbound:
-                        continue
-                    spill[slice_index] = {}
-                    spill_read += len(inbound) * _SPILL_EVENT_BYTES
-                    activation = self._activate(
-                        pass_index,
-                        slice_index,
-                        list(inbound.values()),
-                        state,
-                        traffic,
-                        spill,
-                    )
-                    spill_written += (
-                        activation.events_spilled * _SPILL_EVENT_BYTES
-                    )
-                    activations.append(activation)
-                    pass_processed += activation.events_processed
-                watchdog.observe_round(
-                    pass_processed, traffic.vertex_writes - writes_before
-                )
-                pass_index += 1
-                if self.resilience is not None:
-                    self.resilience.maybe_checkpoint(
-                        pass_index, float(pass_index), state, view
-                    )
-            # quiescent invariant sweep: repairs re-populate the spill
-            # buffers and the pass loop resumes (see functional.py)
-            if self.resilience is None:
-                break
-            self.resilience.note_quiescence(float(pass_index))
-            if not self.resilience.repair(
-                state,
-                float(pass_index),
-                inject=self._inject_repair,
-                restore=self._restore_checkpoint,
-            ):
-                break
+                    pass_index += 1
+                    if self._journal is not None:
+                        # a pass is the durability unit: everything above
+                        # reaches stable storage before the checkpoint
+                        # that references this commit can be captured
+                        self._journal.commit(pass_index)
+                    if self.resilience is not None:
+                        self.resilience.maybe_checkpoint(
+                            pass_index, float(pass_index), state, view
+                        )
+                # quiescent invariant sweep: repairs re-populate the spill
+                # buffers and the pass loop resumes (see functional.py)
+                if self.resilience is None:
+                    break
+                self.resilience.note_quiescence(float(pass_index))
+                if not self.resilience.repair(
+                    state,
+                    float(pass_index),
+                    inject=self._inject_repair,
+                    restore=self._restore_checkpoint,
+                ):
+                    break
+        finally:
+            if self._journal is not None:
+                self._journal.close()
         converged = True
 
         summary = None
@@ -303,6 +417,7 @@ class SlicedGraphPulse:
             if existing is not None
             else event
         )
+        self._journal_spill(target, event)
 
     def _restore_checkpoint(self, checkpoint) -> None:
         """Roll state and spill buffers back to a checkpoint."""
@@ -316,6 +431,15 @@ class SlicedGraphPulse:
                     generation=e.generation,
                     ready=e.ready,
                 )
+        if self._journal is not None:
+            # in-memory rollback rewrote the buffers without history;
+            # re-baseline the WAL so replay-to-commit stays equivalent
+            self._journal.reset(
+                [
+                    {v: (e.delta, e.generation) for v, e in bucket.items()}
+                    for bucket in self._spill
+                ]
+            )
 
     # ------------------------------------------------------------------
     def _activate(
@@ -382,6 +506,7 @@ class SlicedGraphPulse:
                 if existing is not None
                 else event
             )
+            self._journal_spill(slice_index, event)
             spilled += 1
 
         if obs_trace.ACTIVE is not None:
@@ -461,7 +586,7 @@ class SlicedGraphPulse:
                 if self.resilience is not None and self.resilience.spill_lost(
                     new_event, self._now
                 ):
-                    continue  # lost in the DRAM spill buffer
+                    continue  # lost in the DRAM spill buffer (not journaled)
                 bucket = spill[target_slice]
                 existing = bucket.get(dst)
                 bucket[dst] = (
@@ -469,6 +594,7 @@ class SlicedGraphPulse:
                     if existing is not None
                     else new_event
                 )
+                self._journal_spill(target_slice, new_event)
         return spilled
 
     # ------------------------------------------------------------------
@@ -494,6 +620,41 @@ class SlicedGraphPulse:
         traffic.edge_bytes_useful += degree * graph.edge_bytes
 
 
+def build_sliced(
+    graph: CSRGraph,
+    spec: AlgorithmSpec,
+    *,
+    num_slices: int = 1,
+    queue_capacity: Optional[int] = None,
+    auto_slice: bool = True,
+    partition_fn=contiguous_partition,
+    **kwargs,
+) -> SlicedGraphPulse:
+    """Partition a graph and build a sliced runner, auto-sizing slices.
+
+    The construction half of :func:`run_sliced`, exposed separately so
+    ``repro resume`` can rebuild the exact runner a durable run used
+    (same deterministic auto-slice decision) and restore a checkpoint
+    into it before running.
+    """
+    try:
+        return SlicedGraphPulse(
+            partition_fn(graph, num_slices),
+            spec,
+            queue_capacity=queue_capacity,
+            **kwargs,
+        )
+    except QueueCapacityError as exc:
+        if not auto_slice or exc.required_slices <= num_slices:
+            raise
+        return SlicedGraphPulse(
+            partition_fn(graph, exc.required_slices),
+            spec,
+            queue_capacity=queue_capacity,
+            **kwargs,
+        )
+
+
 def run_sliced(
     graph: CSRGraph,
     spec: AlgorithmSpec,
@@ -515,23 +676,15 @@ def run_sliced(
     that suggestion, otherwise the error propagates for the caller (or
     the CLI) to surface.
     """
-    try:
-        runner = SlicedGraphPulse(
-            partition_fn(graph, num_slices),
-            spec,
-            queue_capacity=queue_capacity,
-            **kwargs,
-        )
-    except QueueCapacityError as exc:
-        if not auto_slice or exc.required_slices <= num_slices:
-            raise
-        runner = SlicedGraphPulse(
-            partition_fn(graph, exc.required_slices),
-            spec,
-            queue_capacity=queue_capacity,
-            **kwargs,
-        )
-    return runner.run()
+    return build_sliced(
+        graph,
+        spec,
+        num_slices=num_slices,
+        queue_capacity=queue_capacity,
+        auto_slice=auto_slice,
+        partition_fn=partition_fn,
+        **kwargs,
+    ).run()
 
 
 @dataclass

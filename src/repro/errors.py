@@ -23,6 +23,9 @@ __all__ = [
     "QueueCapacityError",
     "NonConvergenceError",
     "UnrecoverableFaultError",
+    "CheckpointCorruptError",
+    "ManifestMismatchError",
+    "RunInterruptedError",
 ]
 
 
@@ -94,6 +97,52 @@ class UnrecoverableFaultError(ReproError, RuntimeError):
     Raised only when resilience is enabled and the configured recovery
     budget cannot restore a consistent state — the structured equivalent
     of a machine check.
+    """
+
+    def __init__(self, message: str, **detail: Any):
+        super().__init__(message)
+        self.detail: Dict[str, Any] = detail
+
+
+class CheckpointCorruptError(ReproError, ValueError):
+    """A durable checkpoint or journal file failed integrity validation.
+
+    Raised for bad magic, unsupported format versions, CRC32 mismatches,
+    truncation, and journals that end before the commit a checkpoint
+    references.  Corruption is *never* silently repaired or partially
+    loaded — a resume either restores a verified-consistent state or
+    fails with this error.  ``context`` names the offending ``path`` and
+    whatever the validator knows (expected/actual CRC, offset, commit).
+    """
+
+    def __init__(self, message: str, **context: Any):
+        super().__init__(message)
+        self.context: Dict[str, Any] = context
+
+
+class ManifestMismatchError(ReproError, ValueError):
+    """A run directory's manifest does not match the resume environment.
+
+    Raised by ``repro resume`` when the manifest is missing, names an
+    unknown engine/workload, or its recorded graph fingerprint disagrees
+    with the graph the workload reproduces — resuming against a
+    different graph would silently produce wrong answers.
+    """
+
+    def __init__(self, message: str, **context: Any):
+        super().__init__(message)
+        self.context: Dict[str, Any] = context
+
+
+class RunInterruptedError(ReproError):
+    """A run stopped cleanly on SIGINT/SIGTERM after flushing a checkpoint.
+
+    Not a failure: the engine finished its current round, persisted a
+    final durable checkpoint, and unwound.  ``detail`` carries the
+    structured partial summary the CLI reports (run directory, last
+    checkpoint sequence/file, round index) so ``repro resume`` can be
+    suggested.  Exits the CLI with status 130, mirroring shell SIGINT
+    convention.
     """
 
     def __init__(self, message: str, **detail: Any):

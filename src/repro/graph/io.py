@@ -8,6 +8,7 @@ in directly.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import zipfile
@@ -17,6 +18,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import GraphValidationError
+from ..ioutil import atomic_open
 from .csr import CSRGraph
 
 __all__ = [
@@ -24,6 +26,7 @@ __all__ = [
     "save_edge_list",
     "save_csr",
     "load_csr",
+    "graph_fingerprint",
 ]
 
 PathLike = Union[str, os.PathLike]
@@ -119,7 +122,10 @@ def load_edge_list(
 def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
     """Write a graph as a ``src dst [weight]`` text file."""
     path = Path(path)
-    with open(path, "w") as handle:
+    # atomic_open writes to a temp file in the same directory and
+    # os.replace()s it in, so a crash mid-save never leaves a truncated
+    # edge list where a good one (or nothing) used to be
+    with atomic_open(path, "w") as handle:
         handle.write(f"# {graph.name}: {graph.num_vertices} vertices, "
                      f"{graph.num_edges} edges\n")
         for index, (src, dst) in enumerate(graph.edges()):
@@ -138,7 +144,35 @@ def save_csr(graph: CSRGraph, path: PathLike) -> None:
     }
     if graph.weights is not None:
         arrays["weights"] = graph.weights
-    np.savez_compressed(Path(path), **arrays)
+    # np.savez appends ".npz" when given a bare path but not a handle;
+    # resolve the final name ourselves so the atomic rename lands where
+    # the non-atomic version used to write
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    with atomic_open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """SHA-256 over the graph's structural content.
+
+    Covers vertex count, CSR offsets, adjacency, and (when present) the
+    raw weight bits — everything an algorithm's result depends on, and
+    nothing it doesn't (the display ``name`` is excluded).  Stored in a
+    durable run's manifest so ``repro resume`` can refuse to continue a
+    checkpointed run against a different graph.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"v{graph.num_vertices}".encode())
+    digest.update(np.ascontiguousarray(graph.offsets, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.adjacency, dtype=np.int64).tobytes())
+    if graph.weights is not None:
+        digest.update(b"w")
+        digest.update(
+            np.ascontiguousarray(graph.weights, dtype=np.float64).tobytes()
+        )
+    return digest.hexdigest()
 
 
 def load_csr(path: PathLike) -> CSRGraph:

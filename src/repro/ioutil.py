@@ -1,0 +1,64 @@
+"""Crash-safe file writes shared across the reproduction.
+
+Every artifact the toolkit persists — graph bundles, durable
+checkpoints, run manifests, benchmark results, JSON summaries — goes
+through the same discipline: write the full content to a temporary file
+in the *same directory* as the destination, fsync it, then publish with
+``os.replace``.  On POSIX the rename is atomic, so a reader (or a
+process that crashed mid-save and restarted) only ever observes the old
+complete file or the new complete file, never a truncated hybrid.
+
+The temp file lives next to the destination (not in ``/tmp``) because
+``os.replace`` must not cross filesystem boundaries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator, Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_open"]
+
+PathLike = Union[str, os.PathLike]
+
+
+@contextlib.contextmanager
+def atomic_open(path: PathLike, mode: str = "w") -> Iterator[IO]:
+    """Open a temp file that atomically replaces ``path`` on success.
+
+    Yields a writable handle (text or binary per ``mode``).  On a clean
+    exit the data is flushed, fsynced and renamed over ``path``; on an
+    exception the temp file is removed and ``path`` is untouched.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_open supports 'w' or 'wb', got {mode!r}")
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix="." + os.path.basename(path) + ".", suffix=".tmp"
+    )
+    handle = os.fdopen(fd, mode)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        handle.close()
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically publish ``data`` as the contents of ``path``."""
+    with atomic_open(path, "wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: PathLike, text: str, encoding: str = "utf-8") -> None:
+    """Atomically publish ``text`` as the contents of ``path``."""
+    atomic_write_bytes(path, text.encode(encoding))

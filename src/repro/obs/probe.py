@@ -80,6 +80,9 @@ __all__ = [
     "fault_detected",
     "recovery_span",
     "checkpoint_taken",
+    "checkpoint_write",
+    "journal_flush",
+    "resume_span",
     "counter",
 ]
 
@@ -472,6 +475,60 @@ def checkpoint_taken(index: int, ts: float, *, vertices: int, pending: int) -> N
         index=index,
         vertices=vertices,
         pending=pending,
+    )
+
+
+def checkpoint_write(
+    index: int, ts: float, *, path: str, nbytes: int, round_index: int
+) -> None:
+    """A checkpoint was durably persisted (atomic write + manifest)."""
+    t = _active()
+    if t is None:
+        return
+    t.instant(
+        "checkpoint.write",
+        CAT_RESIL,
+        ts,
+        "durability",
+        index=index,
+        path=path,
+        bytes=nbytes,
+        round=round_index,
+    )
+
+
+def journal_flush(ts: float, *, commit: int, records: int, nbytes: int) -> None:
+    """The spill journal flushed a pass's records and fsynced a commit."""
+    t = _active()
+    if t is None:
+        return
+    t.instant(
+        "journal.flush",
+        CAT_RESIL,
+        ts,
+        "durability",
+        commit=commit,
+        records=records,
+        bytes=nbytes,
+    )
+
+
+def resume_span(
+    start: float, end: float, *, checkpoint: int, round_index: int, engine: str
+) -> None:
+    """One restore-from-disk: manifest validation through engine restart."""
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "resume",
+        CAT_RESIL,
+        start,
+        max(end - start, 0.0),
+        "durability",
+        checkpoint=checkpoint,
+        round=round_index,
+        engine=engine,
     )
 
 

@@ -10,12 +10,48 @@ for the fault model and the soundness argument for delta re-injection.
 
 from .campaign import CampaignResult, RunReport, format_report, run_campaign
 from .checkpoint import Checkpoint, CheckpointManager
+from .crash import (
+    CrashCampaignResult,
+    CrashTrial,
+    format_crash_report,
+    run_crash_campaign,
+    run_crash_trial,
+)
+from .durable import (
+    DurableCheckpointManager,
+    DurableCheckpointStore,
+    InterruptGuard,
+    RestoredRun,
+    ResumeOutcome,
+    build_manifest,
+    deserialize_checkpoint,
+    resume_run,
+    serialize_checkpoint,
+    stop_requested,
+)
 from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultRecord
 from .harness import ResilienceConfig, ResilienceHarness
 from .invariants import RepairPlan, compute_repairs, state_invalid
+from .journal import SpillJournal
 from .watchdog import ProgressWatchdog, build_diagnostic
 
 __all__ = [
+    "CrashCampaignResult",
+    "CrashTrial",
+    "format_crash_report",
+    "run_crash_campaign",
+    "run_crash_trial",
+    "DurableCheckpointManager",
+    "DurableCheckpointStore",
+    "InterruptGuard",
+    "RestoredRun",
+    "ResumeOutcome",
+    "SpillJournal",
+    "build_manifest",
+    "deserialize_checkpoint",
+    "resume_run",
+    "serialize_checkpoint",
+    "stop_requested",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultRecord",

@@ -85,6 +85,7 @@ class CheckpointManager:
         self.taken += 1
         self.checkpoints.append(checkpoint)
         del self.checkpoints[: -self.keep]
+        self._persist(checkpoint)
         if obs_trace.ACTIVE is not None:
             probe.checkpoint_taken(
                 checkpoint.index,
@@ -93,6 +94,11 @@ class CheckpointManager:
                 pending=pending_events,
             )
         return checkpoint
+
+    def _persist(self, checkpoint: Checkpoint) -> None:
+        """Durability hook: the base manager keeps checkpoints in memory
+        only; :class:`repro.resilience.durable.DurableCheckpointManager`
+        overrides this to serialize the capture to disk."""
 
     @property
     def latest(self) -> Optional[Checkpoint]:

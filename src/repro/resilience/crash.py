@@ -1,0 +1,363 @@
+"""Crash-injection harness: kill real runs, resume them, verify bits.
+
+This is the durability layer's end-to-end proof.  Everything in
+:mod:`repro.resilience.durable` is exercised in-process by the unit
+tests, but the core promise — *kill the process at any round, resume,
+get bit-identical final vertex state and the same convergence round* —
+can only be demonstrated on an actual process death.  The harness runs
+the CLI in subprocesses:
+
+1. an uninterrupted **reference** run dumps its final values
+   (``--dump-values``, raw float64 bits) and its run summary;
+2. a **victim** run with ``--checkpoint-dir`` is SIGKILLed from inside
+   the engine (``REPRO_CRASH_AT_ROUND=N`` in its environment — a hard
+   death on a round boundary, like power loss mid-campaign);
+3. ``repro resume <run-dir>`` continues the victim to convergence and
+   dumps its values;
+4. the trial passes iff the resumed value file is **byte-identical** to
+   the reference and the resumed summary reports the same convergence
+   round.
+
+``run_crash_campaign`` sweeps trials over algorithms x engines with
+deterministically drawn crash rounds and reports a recovery-rate table
+(the EXPERIMENTS.md crash-resume campaign); the CI smoke job and the
+tier-2 crash tests run single :func:`run_crash_trial` cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CrashTrial",
+    "CrashCampaignResult",
+    "repro_command",
+    "run_crash_trial",
+    "run_crash_campaign",
+    "format_crash_report",
+]
+
+
+def repro_command(*args: str) -> List[str]:
+    """A ``python -m repro ...`` argv for the current interpreter."""
+    return [sys.executable, "-m", "repro", *args]
+
+
+def _subprocess_env(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Child environment whose PYTHONPATH can import this very package."""
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    previous = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{package_root}{os.pathsep}{previous}" if previous else package_root
+    )
+    env.pop("REPRO_CRASH_AT_ROUND", None)
+    env.pop("REPRO_SIGINT_AT_ROUND", None)
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _run_cli(
+    args: Sequence[str],
+    *,
+    extra_env: Optional[Dict[str, str]] = None,
+    timeout: float = 300.0,
+) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        repro_command(*args),
+        env=_subprocess_env(extra_env),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@dataclass
+class CrashTrial:
+    """One kill-and-resume cell."""
+
+    algorithm: str
+    engine: str
+    dataset: str
+    scale: float
+    crash_round: int
+    #: the victim actually died to SIGKILL (False: it converged first,
+    #: which makes the trial a plain determinism check)
+    crashed: bool = False
+    resume_returncode: Optional[int] = None
+    bit_identical: bool = False
+    rounds_match: bool = False
+    reference_rounds: Optional[int] = None
+    resumed_rounds: Optional[int] = None
+    resumed_from_checkpoint: Optional[int] = None
+    error: Optional[str] = None
+
+    @property
+    def recovered(self) -> bool:
+        return (
+            self.resume_returncode == 0
+            and self.bit_identical
+            and self.rounds_match
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "crash_round": self.crash_round,
+            "crashed": self.crashed,
+            "resume_returncode": self.resume_returncode,
+            "bit_identical": self.bit_identical,
+            "rounds_match": self.rounds_match,
+            "reference_rounds": self.reference_rounds,
+            "resumed_rounds": self.resumed_rounds,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
+            "recovered": self.recovered,
+            "error": self.error,
+        }
+
+
+def _round_key(engine: str) -> str:
+    """The summary counter that defines the convergence round."""
+    return "passes" if engine == "sliced" else "rounds"
+
+
+def _engine_args(engine: str) -> List[str]:
+    args = ["--engine", engine]
+    if engine == "sliced":
+        args += ["--num-slices", "2"]
+    return args
+
+
+def run_crash_trial(
+    algorithm: str,
+    engine: str,
+    *,
+    dataset: str = "WG",
+    scale: float = 0.05,
+    crash_round: int = 7,
+    checkpoint_interval: int = 3,
+    work_dir: Path,
+    reference: Optional[Tuple[Path, Dict[str, Any]]] = None,
+) -> CrashTrial:
+    """Kill one run at ``crash_round``, resume it, compare to reference.
+
+    ``reference`` reuses an earlier trial's uninterrupted run (values
+    file + summary) so a sweep pays for each workload's reference once.
+    """
+    trial = CrashTrial(
+        algorithm=algorithm,
+        engine=engine,
+        dataset=dataset,
+        scale=scale,
+        crash_round=crash_round,
+    )
+    work_dir = Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    workload = [
+        algorithm,
+        "--dataset",
+        dataset,
+        "--scale",
+        str(scale),
+        *_engine_args(engine),
+    ]
+
+    # 1. uninterrupted reference (no --checkpoint-dir: also proves the
+    #    durable machinery is zero-overhead when off)
+    if reference is None:
+        ref_values = work_dir / "reference.npy"
+        proc = _run_cli(
+            ["run", *workload, "--dump-values", str(ref_values), "--json", "-"]
+        )
+        if proc.returncode != 0:
+            trial.error = f"reference run failed: {proc.stderr.strip()}"
+            return trial
+        ref_summary = json.loads(proc.stdout)
+    else:
+        ref_values, ref_summary = reference
+    trial.reference_rounds = ref_summary["result"][_round_key(engine)]
+
+    # 2. the victim: SIGKILLed from inside the engine at crash_round
+    run_dir = work_dir / f"run-{algorithm}-{engine}-r{crash_round}"
+    proc = _run_cli(
+        [
+            "run",
+            *workload,
+            "--checkpoint-dir",
+            str(run_dir),
+            "--checkpoint-interval",
+            str(checkpoint_interval),
+        ],
+        extra_env={"REPRO_CRASH_AT_ROUND": str(crash_round)},
+    )
+    trial.crashed = proc.returncode == -signal.SIGKILL
+    if not trial.crashed and proc.returncode != 0:
+        trial.error = f"victim run failed: {proc.stderr.strip()}"
+        return trial
+
+    # 3. resume to convergence
+    resumed_values = run_dir / "resumed.npy"
+    proc = _run_cli(
+        [
+            "resume",
+            str(run_dir),
+            "--dump-values",
+            str(resumed_values),
+            "--json",
+            "-",
+        ]
+    )
+    trial.resume_returncode = proc.returncode
+    if proc.returncode != 0:
+        trial.error = f"resume failed: {proc.stderr.strip()}"
+        return trial
+    resumed_summary = json.loads(proc.stdout)
+    trial.resumed_from_checkpoint = resumed_summary["resumed"]["checkpoint"]
+    trial.resumed_rounds = resumed_summary["result"][_round_key(engine)]
+    trial.rounds_match = trial.resumed_rounds == trial.reference_rounds
+
+    # 4. byte-for-byte equality of the final vertex state
+    trial.bit_identical = (
+        Path(ref_values).read_bytes() == resumed_values.read_bytes()
+    )
+    if not trial.bit_identical:
+        reference_array = np.load(ref_values)
+        resumed_array = np.load(resumed_values)
+        differing = int(
+            np.sum(
+                reference_array.view(np.int64)
+                != resumed_array.view(np.int64)
+            )
+        )
+        trial.error = f"{differing} vertex values differ bitwise"
+    return trial
+
+
+@dataclass
+class CrashCampaignResult:
+    """A sweep of crash trials plus its scoreboard."""
+
+    trials: List[CrashTrial] = field(default_factory=list)
+
+    @property
+    def kill_count(self) -> int:
+        return sum(1 for t in self.trials if t.crashed)
+
+    @property
+    def recovery_rate(self) -> float:
+        if not self.trials:
+            return 1.0
+        return sum(1 for t in self.trials if t.recovered) / len(self.trials)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trials": [t.to_dict() for t in self.trials],
+            "kills": self.kill_count,
+            "recovery_rate": self.recovery_rate,
+        }
+
+
+def run_crash_campaign(
+    *,
+    algorithms: Sequence[str] = ("pagerank", "sssp"),
+    engines: Sequence[str] = ("functional", "cycle", "sliced"),
+    dataset: str = "WG",
+    scale: float = 0.05,
+    trials_per_cell: int = 1,
+    max_crash_round: int = 12,
+    checkpoint_interval: int = 3,
+    seed: int = 0,
+    work_dir: Path,
+) -> CrashCampaignResult:
+    """Sweep kill-and-resume trials over algorithms x engines.
+
+    Crash rounds are drawn from a seeded generator, so a campaign is as
+    reproducible as everything else in the repository.  Each workload's
+    uninterrupted reference run happens once and is shared across that
+    cell's trials.
+    """
+    rng = np.random.default_rng(seed)
+    campaign = CrashCampaignResult()
+    work_dir = Path(work_dir)
+    for algorithm in algorithms:
+        for engine in engines:
+            cell_dir = work_dir / f"{algorithm}-{engine}"
+            reference: Optional[Tuple[Path, Dict[str, Any]]] = None
+            for _ in range(trials_per_cell):
+                crash_round = int(rng.integers(1, max_crash_round + 1))
+                trial = run_crash_trial(
+                    algorithm,
+                    engine,
+                    dataset=dataset,
+                    scale=scale,
+                    crash_round=crash_round,
+                    checkpoint_interval=checkpoint_interval,
+                    work_dir=cell_dir,
+                )
+                campaign.trials.append(trial)
+                if trial.error is None and reference is None:
+                    reference = (
+                        cell_dir / "reference.npy",
+                        {
+                            "result": {
+                                _round_key(engine): trial.reference_rounds
+                            }
+                        },
+                    )
+    return campaign
+
+
+def format_crash_report(campaign: CrashCampaignResult) -> str:
+    """The EXPERIMENTS.md recovery-rate table."""
+    from ..analysis.report import format_table
+
+    rows = []
+    for trial in campaign.trials:
+        rows.append(
+            [
+                trial.algorithm,
+                trial.engine,
+                trial.crash_round,
+                "killed" if trial.crashed else "survived",
+                trial.resumed_from_checkpoint
+                if trial.resumed_from_checkpoint is not None
+                else "-",
+                "yes" if trial.bit_identical else "NO",
+                "yes" if trial.rounds_match else "NO",
+                "OK" if trial.recovered else (trial.error or "FAILED"),
+            ]
+        )
+    table = format_table(
+        [
+            "algorithm",
+            "engine",
+            "crash@",
+            "fate",
+            "resume ckpt",
+            "bit-identical",
+            "round match",
+            "verdict",
+        ],
+        rows,
+        title="crash-resume campaign",
+    )
+    return (
+        f"{table}\n"
+        f"kills: {campaign.kill_count}/{len(campaign.trials)}   "
+        f"recovery rate: {campaign.recovery_rate:.0%}"
+    )

@@ -39,7 +39,7 @@ n-th insertion, with a chosen bit for flips) for targeted tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -120,6 +120,35 @@ class FaultPlan:
     def any_event_faults(self) -> bool:
         return any(self.rate(k) > 0 for k in FAULT_KINDS) or bool(self.scripted)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for the durable run manifest."""
+        return {
+            "seed": int(self.seed),
+            "rates": {k: float(v) for k, v in self.rates.items()},
+            "dead_lanes": {str(k): int(v) for k, v in self.dead_lanes.items()},
+            "scripted": {
+                kind: {str(i): int(bit) for i, bit in hits.items()}
+                for kind, hits in self.scripted.items()
+            },
+            "parity_coverage": float(self.parity_coverage),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (manifest resume)."""
+        return cls(
+            seed=int(data.get("seed", 0)),
+            rates=dict(data.get("rates", {})),
+            dead_lanes={
+                int(k): int(v) for k, v in data.get("dead_lanes", {}).items()
+            },
+            scripted={
+                kind: {int(i): int(bit) for i, bit in hits.items()}
+                for kind, hits in data.get("scripted", {}).items()
+            },
+            parity_coverage=float(data.get("parity_coverage", 1.0)),
+        )
+
 
 @dataclass
 class FaultRecord:
@@ -152,6 +181,11 @@ class FaultInjector:
         self._parity_rng = np.random.default_rng((plan.seed, len(FAULT_KINDS)))
         self._bit_rng = np.random.default_rng((plan.seed, len(FAULT_KINDS) + 1))
         self._opportunities: Dict[str, int] = {k: 0 for k in FAULT_KINDS}
+        # scalar draws consumed per stream, so a durable resume can
+        # fast-forward the generators to the exact same point
+        self._draws: Dict[str, int] = {k: 0 for k in FAULT_KINDS}
+        self._parity_draws = 0
+        self._bit_draws = 0
         self.records: List[FaultRecord] = []
         self.counts: Dict[str, int] = {}
 
@@ -170,6 +204,7 @@ class FaultInjector:
         rate = self.plan.rate(kind)
         if rate <= 0.0:
             return False, -1
+        self._draws[kind] += 1
         return bool(self._rngs[kind].random() < rate), -1
 
     def _record(self, kind: str, at: float, vertex: int, detail: str = "") -> None:
@@ -209,6 +244,7 @@ class FaultInjector:
         flipped, bit = self.decide("bitflip")
         if flipped:
             if bit < 0:
+                self._bit_draws += 1
                 bit = int(self._bit_rng.integers(0, 64))
             corrupted = Event(
                 vertex=event.vertex,
@@ -218,10 +254,14 @@ class FaultInjector:
             )
             # the parity tag: a single-bit flip always breaks parity; a
             # draw above ``parity_coverage`` models a multi-bit escape
-            corrupted._parity_bad = (  # type: ignore[attr-defined]
-                self.plan.parity_coverage >= 1.0
-                or bool(self._parity_rng.random() < self.plan.parity_coverage)
-            )
+            if self.plan.parity_coverage >= 1.0:
+                parity_bad = True
+            else:
+                self._parity_draws += 1
+                parity_bad = bool(
+                    self._parity_rng.random() < self.plan.parity_coverage
+                )
+            corrupted._parity_bad = parity_bad  # type: ignore[attr-defined]
             self._record("bitflip", at, event.vertex, detail=f"bit={bit}")
             out[0] = corrupted
         return out
@@ -259,7 +299,53 @@ class FaultInjector:
         return death is not None and now >= death
 
     def total_faults(self) -> int:
-        return len(self.records)
+        # counts, not len(records): a durable resume restores the counts
+        # from the checkpoint cursor but does not replay the record list
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    # Durable-resume cursor
+    # ------------------------------------------------------------------
+    def cursor(self) -> Dict[str, Any]:
+        """Serializable position of every decision stream.
+
+        Captured into durable checkpoints so that a resumed run draws
+        the exact same fault sequence the killed run would have drawn.
+        """
+        return {
+            "opportunities": dict(self._opportunities),
+            "draws": dict(self._draws),
+            "parity_draws": self._parity_draws,
+            "bit_draws": self._bit_draws,
+            "counts": dict(self.counts),
+        }
+
+    def restore_cursor(self, cursor: Mapping[str, Any]) -> None:
+        """Fast-forward freshly-seeded streams to a :meth:`cursor`.
+
+        The generators are advanced by repeating the *same scalar calls*
+        the original run made — numpy does not guarantee that one bulk
+        draw is stream-equivalent to n scalar draws, so no shortcut.
+        """
+        draws = {k: int(v) for k, v in cursor.get("draws", {}).items()}
+        for kind, count in draws.items():
+            rng = self._rngs[kind]
+            for _ in range(count):
+                rng.random()
+        for _ in range(int(cursor.get("parity_draws", 0))):
+            self._parity_rng.random()
+        for _ in range(int(cursor.get("bit_draws", 0))):
+            self._bit_rng.integers(0, 64)
+        self._opportunities = {
+            k: int(v) for k, v in cursor.get("opportunities", {}).items()
+        }
+        for kind in FAULT_KINDS:
+            self._opportunities.setdefault(kind, 0)
+            draws.setdefault(kind, 0)
+        self._draws = draws
+        self._parity_draws = int(cursor.get("parity_draws", 0))
+        self._bit_draws = int(cursor.get("bit_draws", 0))
+        self.counts = {k: int(v) for k, v in cursor.get("counts", {}).items()}
 
 
 def _flip_bit(value: float, bit: int) -> float:

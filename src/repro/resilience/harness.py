@@ -36,13 +36,13 @@ determinism regression tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..algorithms.base import AlgorithmSpec
 from ..core.event import Event
-from ..errors import UnrecoverableFaultError
+from ..errors import RunInterruptedError, UnrecoverableFaultError
 from ..graph import CSRGraph
 from ..obs import probe
 from ..obs import trace as obs_trace
@@ -86,6 +86,21 @@ class ResilienceConfig:
     dram_retry_backoff:
         Base retry penalty in cycles; attempt ``k`` costs
         ``backoff * 2**k``.
+    checkpoint_dir:
+        Directory for durable on-disk checkpoints (None: in-memory
+        rollback only, the pre-durability behaviour).  Setting it turns
+        on periodic disk captures (every ``checkpoint_interval`` rounds,
+        defaulting to
+        :attr:`repro.resilience.durable.DurableCheckpointManager.DEFAULT_INTERVAL`),
+        a run manifest, the spill journal on the sliced engine, and
+        graceful SIGINT/SIGTERM unwinding.
+    run_meta:
+        Workload identity recorded in the durable manifest (the CLI
+        passes ``{"workload": ..., "engine_options": ...}``) so
+        ``repro resume`` can rebuild the run.
+    resume:
+        True when this configuration continues an existing run
+        directory (opens the manifest instead of creating it).
     """
 
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
@@ -98,6 +113,9 @@ class ResilienceConfig:
     overflow_limit: float = 1e30
     dram_max_retries: int = 4
     dram_retry_backoff: float = 8.0
+    checkpoint_dir: Optional[str] = None
+    run_meta: Optional[Mapping[str, Any]] = None
+    resume: bool = False
 
 
 class ResilienceHarness:
@@ -115,9 +133,42 @@ class ResilienceHarness:
         self.graph = graph
         self.engine = engine
         self.injector = FaultInjector(config.fault_plan)
-        self.checkpoints = CheckpointManager(
-            config.checkpoint_interval, keep=config.checkpoint_keep
-        )
+        self.durable = None  #: DurableCheckpointManager when checkpoint_dir set
+        self.journal = None  #: SpillJournal on durable sliced runs
+        if config.checkpoint_dir is not None:
+            # lazy import: durability is optional machinery and ``durable``
+            # itself imports back through the resilience package
+            from .durable import (
+                DurableCheckpointManager,
+                DurableCheckpointStore,
+                build_manifest,
+            )
+
+            store = DurableCheckpointStore(config.checkpoint_dir)
+            if config.resume:
+                store.open()
+            else:
+                store.create(build_manifest(config, graph, engine, spec))
+            interval = (
+                config.checkpoint_interval
+                if config.checkpoint_interval is not None
+                else DurableCheckpointManager.DEFAULT_INTERVAL
+            )
+            self.durable = DurableCheckpointManager(
+                interval,
+                keep=config.checkpoint_keep,
+                store=store,
+                engine=engine,
+                algorithm=spec.name,
+                queue_kind="spill" if engine == "sliced" else "bins",
+            )
+            if config.resume:
+                self.durable.taken = store.next_seq()
+            self.checkpoints: CheckpointManager = self.durable
+        else:
+            self.checkpoints = CheckpointManager(
+                config.checkpoint_interval, keep=config.checkpoint_keep
+            )
         self.watchdog: Optional[ProgressWatchdog] = None
         self.detections: Dict[str, int] = {}
         self.repair_epochs = 0
@@ -231,14 +282,77 @@ class ResilienceHarness:
 
     # -- checkpoints ---------------------------------------------------
     def maybe_checkpoint(
-        self, round_index: int, at: float, state: np.ndarray, queue: Any
+        self,
+        round_index: int,
+        at: float,
+        state: np.ndarray,
+        queue: Any,
+        totals: Optional[Mapping[str, int]] = None,
     ) -> None:
-        """Capture a checkpoint when one is due after this round."""
-        if not self.checkpoints.due(round_index):
+        """Capture a checkpoint when one is due after this round.
+
+        On durable runs this is also the per-round durability barrier:
+        the engine's running ``totals`` and the fault-injector cursor
+        are staged for persistence, the crash-injection chaos hooks
+        fire, and a pending SIGINT/SIGTERM stop request flushes a final
+        checkpoint and unwinds via
+        :class:`repro.errors.RunInterruptedError`.
+        """
+        if self.durable is not None:
+            self.durable.stage(
+                totals=dict(totals or {}),
+                fault_cursor=self.injector.cursor(),
+                journal_commit=round_index if self.journal is not None else None,
+            )
+        due = self.checkpoints.due(round_index)
+        if due:
+            self.checkpoints.take(
+                round_index, at, state, queue.snapshot(), int(queue.occupancy)
+            )
+        if self.durable is None:
             return
-        self.checkpoints.take(
-            round_index, at, state, queue.snapshot(), int(queue.occupancy)
-        )
+        self.durable.chaos_hook(round_index)
+        from .durable import stop_requested
+
+        if stop_requested():
+            if not due:
+                # finish-current-round semantics: the interrupt lands on
+                # a round boundary with a freshly flushed checkpoint
+                self.checkpoints.take(
+                    round_index,
+                    at,
+                    state,
+                    queue.snapshot(),
+                    int(queue.occupancy),
+                )
+            last = self.checkpoints.latest
+            raise RunInterruptedError(
+                f"interrupted after round {round_index}; durable checkpoint "
+                f"{last.index if last else '<none>'} flushed to "
+                f"{self.durable.store.run_dir}",
+                run_dir=str(self.durable.store.run_dir),
+                checkpoint=last.index if last is not None else None,
+                checkpoint_file=(
+                    str(self.durable.last_path)
+                    if self.durable.last_path is not None
+                    else None
+                ),
+                round_index=round_index,
+                engine=self.engine,
+            )
+
+    def open_journal(self, num_slices: int) -> Optional[Any]:
+        """The sliced engine's spill journal (None unless durable+sliced)."""
+        if self.durable is None or self.engine != "sliced":
+            return None
+        from .journal import SpillJournal
+
+        path = self.durable.store.journal_path
+        if self.config.resume:
+            self.journal = SpillJournal.open_append(path, num_slices)
+        else:
+            self.journal = SpillJournal.create(path, num_slices)
+        return self.journal
 
     # -- quiescent repair ----------------------------------------------
     def note_quiescence(self, at: float) -> None:
@@ -345,7 +459,7 @@ class ResilienceHarness:
 
     def summary(self) -> Dict[str, Any]:
         """JSON-serializable account of the run's resilience activity."""
-        return {
+        summary = {
             "faults": {
                 "total": self.injector.total_faults(),
                 "by_kind": dict(sorted(self.injector.counts.items())),
@@ -364,3 +478,17 @@ class ResilienceHarness:
             "degraded_lanes": list(self.degraded_lanes),
             "recovery_overhead": self.overhead,
         }
+        if self.durable is not None:
+            summary["durable"] = {
+                "run_dir": str(self.durable.store.run_dir),
+                "checkpoints_written": self.durable.written,
+                "last_checkpoint": (
+                    str(self.durable.last_path)
+                    if self.durable.last_path is not None
+                    else None
+                ),
+                "journal_commits": (
+                    self.journal.commits if self.journal is not None else None
+                ),
+            }
+        return summary

@@ -1,0 +1,326 @@
+"""Write-ahead journal for inter-slice spill traffic.
+
+The sliced engine models GraphPulse's scaled configuration (Section
+IV-F): events destined for an inactive slice are spilled "to DRAM" and
+injected when that slice is next activated.  The spill buffers are the
+one piece of engine state that lives *outside* the coalescing queue, so
+a durable checkpoint of vertex state + queue contents is not enough to
+restart a sliced run — the in-flight cross-slice events would be lost.
+
+``SpillJournal`` closes that hole with a write-ahead log:
+
+* every spill-buffer mutation (a cross-slice event landing in a bucket,
+  a slice's buffer being consumed at activation) appends a record;
+* records buffer in memory and hit the disk — ``flush`` + ``fsync`` —
+  only at ``commit``, which the engine calls once per pass.  A pass is
+  therefore the durability unit: after a crash, replaying the journal
+  up to the last commit a checkpoint references reproduces the exact
+  spill buffers that existed when that checkpoint was taken.
+
+Binary format (little-endian throughout)::
+
+    header:  magic b"GPJL" | version u16 | num_slices u32
+    record:  type u8 | payload | crc32 u32 over (type + payload)
+
+    SPILL   (0x01): slice u32 | vertex i64 | generation i64 | delta f64
+    CONSUME (0x02): slice u32
+    COMMIT  (0x03): commit id i64
+
+Each record carries its own CRC32 so replay can distinguish a torn tail
+(the crash interrupted an in-progress flush — everything after the last
+commit is discarded, by design) from corruption *before* the commit a
+checkpoint needs, which raises
+:class:`repro.errors.CheckpointCorruptError` instead of silently
+replaying garbage.
+
+Spill buckets coalesce on write (``existing.coalesced_with(new,
+reduce)``), so replay needs the algorithm's reduce operator to
+reproduce them — the journal records the *incoming* event, not the
+merged bucket.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import CheckpointCorruptError
+from ..obs import probe
+from ..obs import trace as obs_trace
+
+__all__ = ["SpillJournal", "JOURNAL_MAGIC", "JOURNAL_VERSION"]
+
+PathLike = Union[str, os.PathLike]
+
+JOURNAL_MAGIC = b"GPJL"
+JOURNAL_VERSION = 1
+
+_HEADER = struct.Struct("<HI")  # version, num_slices
+_SPILL = struct.Struct("<Iqqd")  # slice, vertex, generation, delta (raw bits)
+_CONSUME = struct.Struct("<I")  # slice
+_COMMIT = struct.Struct("<q")  # commit id
+_CRC = struct.Struct("<I")
+
+_TYPE_SPILL = 0x01
+_TYPE_CONSUME = 0x02
+_TYPE_COMMIT = 0x03
+
+_HEADER_LEN = len(JOURNAL_MAGIC) + _HEADER.size
+
+
+def _record(record_type: int, payload: bytes) -> bytes:
+    body = bytes([record_type]) + payload
+    return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+class SpillJournal:
+    """Append-only WAL of spill-buffer mutations, committed per pass."""
+
+    def __init__(self, path: Path, handle: BinaryIO, num_slices: int):
+        self.path = path
+        self._handle = handle
+        self.num_slices = num_slices
+        self._buffer: List[bytes] = []
+        self.commits = 0
+        self.records_flushed = 0
+        self.bytes_flushed = 0
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(cls, path: PathLike, num_slices: int) -> "SpillJournal":
+        """Start a fresh journal, truncating any previous file."""
+        path = Path(path)
+        handle = open(path, "wb")
+        handle.write(
+            JOURNAL_MAGIC + _HEADER.pack(JOURNAL_VERSION, num_slices)
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(path, handle, num_slices)
+
+    @classmethod
+    def open_append(cls, path: PathLike, num_slices: int) -> "SpillJournal":
+        """Reopen an existing journal for appending (resume path).
+
+        The caller is expected to have already replayed and truncated the
+        file to its last durable commit; this just validates the header
+        and positions at the end.
+        """
+        path = Path(path)
+        with open(path, "rb") as probe_handle:
+            header = probe_handle.read(_HEADER_LEN)
+        _validate_header(header, path, num_slices)
+        handle = open(path, "ab")
+        return cls(path, handle, num_slices)
+
+    # -- recording ------------------------------------------------------
+
+    def spill(
+        self, slice_index: int, vertex: int, generation: int, delta: float
+    ) -> None:
+        """Record one event landing in ``slice_index``'s spill bucket."""
+        self._buffer.append(
+            _record(
+                _TYPE_SPILL,
+                _SPILL.pack(slice_index, vertex, generation, delta),
+            )
+        )
+
+    def consume(self, slice_index: int) -> None:
+        """Record a slice's spill buffer being drained at activation."""
+        self._buffer.append(_record(_TYPE_CONSUME, _CONSUME.pack(slice_index)))
+
+    def reset(self, buffers: List[Dict[int, Tuple[float, int]]]) -> None:
+        """Re-baseline the journal after an in-memory rollback.
+
+        Rollback restores the spill buffers from a checkpoint snapshot
+        without replaying history, which would desynchronize the log.
+        Emitting a consume-all followed by the full restored contents
+        keeps replay-to-commit equivalent to the live buffers.
+        """
+        self._buffer = []  # drop anything uncommitted from the abandoned pass
+        for slice_index in range(self.num_slices):
+            self.consume(slice_index)
+        for slice_index, bucket in enumerate(buffers):
+            for vertex, (delta, generation) in bucket.items():
+                self.spill(slice_index, vertex, generation, delta)
+
+    def commit(self, commit_id: int) -> None:
+        """Flush all buffered records + a commit marker to stable storage."""
+        self._buffer.append(_record(_TYPE_COMMIT, _COMMIT.pack(commit_id)))
+        data = b"".join(self._buffer)
+        records = len(self._buffer)
+        self._buffer = []
+        self._handle.write(data)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.commits += 1
+        self.records_flushed += records
+        self.bytes_flushed += len(data)
+        if obs_trace.ACTIVE is not None:
+            probe.journal_flush(
+                float(commit_id),
+                commit=commit_id,
+                records=records,
+                nbytes=len(data),
+            )
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+    # -- recovery -------------------------------------------------------
+
+    @staticmethod
+    def replay(
+        path: PathLike,
+        num_slices: int,
+        upto: Optional[int],
+        reduce_fn: Callable[[float, float], float],
+    ) -> Tuple[List[Dict[int, Tuple[float, int]]], int]:
+        """Rebuild the spill buffers as of commit ``upto``.
+
+        Returns ``(buffers, offset)`` where ``buffers[s]`` maps vertex to
+        ``(delta, generation)`` — coalesced with ``reduce_fn`` exactly as
+        the live engine coalesces bucket writes — and ``offset`` is the
+        file position just past commit ``upto`` (the truncation point for
+        resuming appends).  ``upto=None`` replays to the last durable
+        commit found, whatever it is.
+
+        A torn tail — a partial or CRC-failing record *after* the target
+        commit — is tolerated and discarded.  Corruption at or before the
+        target commit raises :class:`CheckpointCorruptError`.
+        """
+        path = Path(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        _validate_header(data[:_HEADER_LEN], path, num_slices)
+
+        buffers: List[Dict[int, Tuple[float, int]]] = [
+            {} for _ in range(num_slices)
+        ]
+        # replay applies mutations tentatively and re-baselines at each
+        # commit marker; anything after the last commit <= upto is dropped
+        committed: List[Dict[int, Tuple[float, int]]] = [
+            dict(bucket) for bucket in buffers
+        ]
+        committed_offset = _HEADER_LEN
+        reached: Optional[int] = None
+
+        pos = _HEADER_LEN
+        corrupt: Optional[CheckpointCorruptError] = None
+        while pos < len(data):
+            record_type = data[pos]
+            if record_type == _TYPE_SPILL:
+                payload_len = _SPILL.size
+            elif record_type == _TYPE_CONSUME:
+                payload_len = _CONSUME.size
+            elif record_type == _TYPE_COMMIT:
+                payload_len = _COMMIT.size
+            else:
+                corrupt = CheckpointCorruptError(
+                    f"{path}: unknown journal record type "
+                    f"0x{record_type:02x} at offset {pos}",
+                    path=str(path),
+                    offset=pos,
+                )
+                break
+            end = pos + 1 + payload_len + _CRC.size
+            if end > len(data):
+                break  # torn tail: crash mid-flush
+            body = data[pos : pos + 1 + payload_len]
+            (crc,) = _CRC.unpack_from(data, pos + 1 + payload_len)
+            if crc != zlib.crc32(body) & 0xFFFFFFFF:
+                corrupt = CheckpointCorruptError(
+                    f"{path}: journal record CRC mismatch at offset {pos}",
+                    path=str(path),
+                    offset=pos,
+                )
+                break
+            payload = body[1:]
+            if record_type == _TYPE_SPILL:
+                slice_index, vertex, generation, delta = _SPILL.unpack(payload)
+                if slice_index >= num_slices:
+                    corrupt = CheckpointCorruptError(
+                        f"{path}: journal names slice {slice_index} but the "
+                        f"run has {num_slices}",
+                        path=str(path),
+                        offset=pos,
+                    )
+                    break
+                bucket = buffers[slice_index]
+                existing = bucket.get(vertex)
+                if existing is None:
+                    bucket[vertex] = (delta, generation)
+                else:
+                    bucket[vertex] = (
+                        reduce_fn(existing[0], delta),
+                        max(existing[1], generation),
+                    )
+            elif record_type == _TYPE_CONSUME:
+                (slice_index,) = _CONSUME.unpack(payload)
+                if slice_index >= num_slices:
+                    corrupt = CheckpointCorruptError(
+                        f"{path}: journal names slice {slice_index} but the "
+                        f"run has {num_slices}",
+                        path=str(path),
+                        offset=pos,
+                    )
+                    break
+                buffers[slice_index] = {}
+            else:
+                (commit_id,) = _COMMIT.unpack(payload)
+                committed = [dict(bucket) for bucket in buffers]
+                committed_offset = end
+                reached = commit_id
+                if upto is not None and commit_id >= upto:
+                    break
+            pos = end
+
+        if upto is not None and (reached is None or reached < upto):
+            if corrupt is not None:
+                raise corrupt
+            raise CheckpointCorruptError(
+                f"{path}: journal ends at commit "
+                f"{reached if reached is not None else '<none>'} but the "
+                f"checkpoint references commit {upto}",
+                path=str(path),
+                last_commit=reached,
+                wanted_commit=upto,
+            )
+        return committed, committed_offset
+
+    @staticmethod
+    def truncate(path: PathLike, offset: int) -> None:
+        """Discard everything past ``offset`` (the torn tail) in place."""
+        with open(path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+def _validate_header(header: bytes, path: Path, num_slices: int) -> None:
+    if len(header) < _HEADER_LEN or header[:4] != JOURNAL_MAGIC:
+        raise CheckpointCorruptError(
+            f"{path}: not a spill journal (bad magic)", path=str(path)
+        )
+    version, recorded_slices = _HEADER.unpack_from(header, 4)
+    if version != JOURNAL_VERSION:
+        raise CheckpointCorruptError(
+            f"{path}: unsupported journal version {version} "
+            f"(expected {JOURNAL_VERSION})",
+            path=str(path),
+            version=version,
+        )
+    if recorded_slices != num_slices:
+        raise CheckpointCorruptError(
+            f"{path}: journal was written for {recorded_slices} slices "
+            f"but the run has {num_slices}",
+            path=str(path),
+            journal_slices=recorded_slices,
+            run_slices=num_slices,
+        )
