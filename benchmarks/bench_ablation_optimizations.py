@@ -11,7 +11,7 @@ only, parallel generation only, and both (the Table III configuration).
 from conftest import publish
 
 from repro.analysis import format_table, prepare_workload, time_graphpulse
-from repro.core import FunctionalGraphPulse, GraphPulseConfig
+from repro.core import GraphPulseConfig, build_engine
 
 CONFIGS = [
     (
@@ -51,7 +51,7 @@ CONFIGS = [
 
 def run_ablation():
     graph, spec = prepare_workload("LJ", "pagerank", scale=0.3)
-    functional = FunctionalGraphPulse(graph, spec).run()
+    functional = build_engine("functional", (graph, spec)).run().raw
     rows = []
     timings = {}
     for name, config in CONFIGS:

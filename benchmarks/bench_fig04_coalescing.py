@@ -11,12 +11,12 @@ elimination rate.
 from conftest import publish
 
 from repro.analysis import format_series, prepare_workload
-from repro.core import FunctionalGraphPulse
+from repro.core import build_engine
 
 
 def regenerate_figure4():
     graph, spec = prepare_workload("LJ", "pagerank", scale=0.5)
-    result = FunctionalGraphPulse(graph, spec).run()
+    result = build_engine("functional", (graph, spec)).run().raw
     produced = [float(r.events_produced) for r in result.rounds]
     remaining = [float(r.events_remaining) for r in result.rounds]
     text = format_series(

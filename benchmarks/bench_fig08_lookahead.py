@@ -10,7 +10,7 @@ histogram on the LJ proxy with the same 256-bin queue geometry.
 from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
-from repro.core import LOOKAHEAD_BUCKETS, FunctionalGraphPulse
+from repro.core import LOOKAHEAD_BUCKETS, build_engine
 
 BUCKET_ORDER = ["0"] + [f"<{b}" for b in LOOKAHEAD_BUCKETS[1:]] + [
     f">{LOOKAHEAD_BUCKETS[-1]}"
@@ -19,13 +19,15 @@ BUCKET_ORDER = ["0"] + [f"<{b}" for b in LOOKAHEAD_BUCKETS[1:]] + [
 
 def regenerate_figure8():
     graph, spec = prepare_workload("LJ", "pagerank", scale=0.5)
-    result = FunctionalGraphPulse(
-        graph,
-        spec,
-        num_bins=256,
-        block_size=8,  # queue geometry scaled with the proxy graph
-        track_lookahead=True,
-    ).run()
+    result = build_engine(
+        "functional",
+        (graph, spec),
+        {
+            "num_bins": 256,
+            "block_size": 8,  # queue geometry scaled with the proxy graph
+            "track_lookahead": True,
+        },
+    ).run().raw
     rows = []
     for record in result.rounds:
         histogram = record.lookahead_histogram

@@ -18,7 +18,7 @@ import pytest
 from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
-from repro.core import GraphPulseAccelerator
+from repro.core import build_engine
 from repro.obs import Tracer, export, tracing
 
 #: small scales: the cycle model times every event individually
@@ -45,7 +45,7 @@ def run_cycle_model(algorithm, dataset):
         dataset, algorithm, scale=CYCLE_SCALES[dataset]
     )
     with tracing(Tracer(categories=("proc", "gen"))) as tracer:
-        result = GraphPulseAccelerator(graph, spec).run()
+        result = build_engine("cycle", (graph, spec)).run().raw
     return result, export.stage_breakdown(tracer)
 
 

@@ -17,7 +17,7 @@ import pytest
 from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
-from repro.core import GraphPulseAccelerator
+from repro.core import build_engine
 from repro.obs import Tracer, export, tracing
 
 CYCLE_SCALES = {"WG": 0.06, "FB": 0.05, "LJ": 0.04}
@@ -39,7 +39,7 @@ def run_cycle_model(algorithm, dataset):
         dataset, algorithm, scale=CYCLE_SCALES[dataset]
     )
     with tracing(Tracer(categories=("proc", "gen"))) as tracer:
-        result = GraphPulseAccelerator(graph, spec).run()
+        result = build_engine("cycle", (graph, spec)).run().raw
     return result, export.occupancy_breakdown(tracer)
 
 

@@ -12,18 +12,18 @@ import numpy as np
 from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
-from repro.core import FunctionalGraphPulse, ParallelSlicedGraphPulse
-from repro.graph import contiguous_partition
+from repro.core import build_engine
 
 
 def run_scaling_sweep():
     graph, spec = prepare_workload("TW", "pagerank", scale=0.03)
-    single = FunctionalGraphPulse(graph, spec).run()
+    single = build_engine("functional", (graph, spec)).run().raw
     rows = [["1 (monolithic)", single.num_rounds, 0, "1.00"]]
     results = {1: None}
     for num_accels in (2, 4, 8):
-        partition = contiguous_partition(graph, num_accels)
-        result = ParallelSlicedGraphPulse(partition, spec).run()
+        result = build_engine(
+            "parallel-sliced", (graph, spec), {"num_slices": num_accels}
+        ).run().raw
         assert np.allclose(result.values, single.values, atol=1e-7)
         results[num_accels] = result
         rows.append(

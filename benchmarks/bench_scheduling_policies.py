@@ -10,7 +10,7 @@ property) while work/rounds may shift.
 from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
-from repro.core import FunctionalGraphPulse
+from repro.core import FunctionalGraphPulse, build_engine
 
 
 def run_policy_sweep():
@@ -19,9 +19,11 @@ def run_policy_sweep():
     for algorithm in ("pagerank", "sssp"):
         graph, spec = prepare_workload("LJ", algorithm, scale=0.2)
         for policy in FunctionalGraphPulse.SCHEDULING_POLICIES:
-            result = FunctionalGraphPulse(
-                graph, spec, scheduling=policy, block_size=16
-            ).run()
+            result = build_engine(
+                "functional",
+                (graph, spec),
+                {"scheduling": policy, "block_size": 16},
+            ).run().raw
             results[(algorithm, policy)] = result
             rows.append(
                 [

@@ -11,13 +11,13 @@ import numpy as np
 from conftest import publish
 
 from repro.analysis import format_table, prepare_workload
-from repro.core import FunctionalGraphPulse, SlicedGraphPulse
+from repro.core import build_engine
 from repro.graph import contiguous_partition
 
 
 def run_slicing_sweep():
     graph, spec = prepare_workload("TW", "pagerank", scale=0.04)
-    unsliced = FunctionalGraphPulse(graph, spec).run()
+    unsliced = build_engine("functional", (graph, spec)).run().raw
     rows = [
         [
             "unsliced",
@@ -29,8 +29,12 @@ def run_slicing_sweep():
     ]
     results = {}
     for num_slices in (2, 3, 5):
+        # same contiguous partition build_engine's default produces;
+        # materialized here only for the cut-fraction column
         partition = contiguous_partition(graph, num_slices)
-        result = SlicedGraphPulse(partition, spec).run()
+        result = build_engine(
+            "sliced", (graph, spec), {"num_slices": num_slices}
+        ).run().raw
         assert np.allclose(result.values, unsliced.values, atol=1e-7)
         results[num_slices] = result
         rows.append(

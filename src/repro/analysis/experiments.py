@@ -19,9 +19,10 @@ import numpy as np
 
 from .. import algorithms
 from ..algorithms.base import AlgorithmSpec
-from ..baselines import LigraEngine, LigraResult, SynchronousDeltaEngine
+from ..baselines import LigraResult
 from ..core.config import baseline_config, optimized_config
-from ..core.functional import FunctionalGraphPulse, FunctionalResult
+from ..core.engines import build_engine
+from ..core.functional import FunctionalResult
 from ..graph import CSRGraph, load_dataset
 from ..graph.datasets import DATASETS
 from .throughput import TimingBreakdown, time_graphicionado, time_graphpulse
@@ -140,19 +141,21 @@ def run_comparison(
     """
     graph, spec = prepare_workload(dataset, algorithm, scale=scale)
 
-    functional = FunctionalGraphPulse(graph, spec).run()
+    # the timing models consume the engines' native results (per-round
+    # records, iteration lists), so keep the registry results' .raw
+    functional = build_engine("functional", (graph, spec)).run().raw
     graphpulse = time_graphpulse(functional.rounds, optimized_config())
     graphpulse_base = time_graphpulse(functional.rounds, baseline_config())
 
-    bsp = SynchronousDeltaEngine(graph, spec).run()
+    bsp = build_engine("bsp", (graph, spec)).run().raw
     graphicionado = time_graphicionado(bsp.iterations, graph)
 
     original_vertices = DATASETS[dataset.upper()].original_vertices
-    ligra = LigraEngine(
-        graph,
-        spec,
-        random_footprint_bytes=original_vertices * graph.vertex_bytes,
-    ).run()
+    ligra = build_engine(
+        "ligra",
+        (graph, spec),
+        {"random_footprint_bytes": original_vertices * graph.vertex_bytes},
+    ).run().raw
 
     if verify:
         _verify_values(graph, spec, algorithm, functional.values, "functional")

@@ -6,12 +6,16 @@ Four subcommands:
     List the Table IV proxy datasets and their shapes.
 
 ``run``
-    Run one algorithm on one dataset proxy through a chosen engine
-    (functional event model, cycle-level accelerator, sliced runtime,
-    BSP, or the Ligra baseline) and print convergence and event
-    statistics.  ``--fault-rate``/``--dead-lane``/``--resilience``
-    enable the fault-injection + recovery harness on the functional,
-    cycle and sliced engines.
+    Run one algorithm on one dataset proxy through a chosen engine —
+    any name in the :func:`repro.core.build_engine` registry (functional
+    event model, cycle-level accelerator, sliced runtime, its
+    multi-process variant ``sliced-mp`` with ``--workers N``, the
+    multi-accelerator ``parallel-sliced`` model, BSP, or the Ligra
+    baseline) — and print convergence and event statistics.  The
+    ``--json`` result payload is the engine-independent
+    :class:`repro.core.RunResult` schema for every engine.
+    ``--fault-rate``/``--dead-lane``/``--resilience`` enable the
+    fault-injection + recovery harness on the resilient engines.
 
 ``compare``
     Run the full cross-system comparison (the Figure 10/11/12 pipeline)
@@ -72,8 +76,12 @@ import numpy as np
 from . import algorithms
 from .analysis import ALGORITHMS, prepare_workload, run_comparison
 from .analysis.report import format_table
-from .baselines import LigraEngine, SynchronousDeltaEngine
-from .core import FunctionalGraphPulse, GraphPulseAccelerator, run_sliced
+from .core import (
+    RunResult,
+    build_engine,
+    engine_names,
+    resilient_engine_names,
+)
 from .errors import (
     CheckpointCorruptError,
     GraphValidationError,
@@ -103,10 +111,15 @@ from .resilience.campaign import (
 
 __all__ = ["main", "build_parser"]
 
-ENGINES = ("functional", "cycle", "sliced", "bsp", "ligra")
+#: every engine the registry knows; the CLI constructs exclusively
+#: through :func:`repro.core.build_engine`
+ENGINES = engine_names()
 
 #: engines that accept a ``resilience=ResilienceConfig`` argument
-RESILIENT_ENGINES = ("functional", "cycle", "sliced")
+RESILIENT_ENGINES = resilient_engine_names()
+
+#: engines whose --num-slices / --queue-capacity flags apply
+SLICED_ENGINES = ("sliced", "sliced-mp", "parallel-sliced")
 
 
 def _dead_lane(value: str) -> Tuple[int, int]:
@@ -182,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="V",
         help="queue vertex capacity for --engine sliced; slices that "
         "exceed it raise a QueueCapacityError",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker process count for --engine sliced-mp (default 2; "
+        "clamped to the slice count)",
     )
     run_parser.add_argument(
         "--no-auto-slice",
@@ -343,7 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     res_parser.add_argument(
         "--engine",
         default="functional",
-        choices=RESILIENT_ENGINES,
+        # sliced-mp is resilient (leases + journal replay) but refuses
+        # event-fault plans, so campaigns stay on the in-process engines
+        choices=("functional", "cycle", "sliced"),
         help="engine for layer-agnostic kinds; dram always runs the "
         "cycle model and spill the sliced runtime",
     )
@@ -458,7 +481,7 @@ def _resilience_config(
         kinds = ("drop", "duplicate", "bitflip")
         if args.engine == "cycle":
             kinds += ("dram",)
-        elif args.engine == "sliced":
+        elif args.engine in ("sliced", "sliced-mp"):
             kinds += ("spill",)
     plan = FaultPlan.uniform(
         args.fault_rate,
@@ -469,12 +492,14 @@ def _resilience_config(
     run_meta = None
     if args.checkpoint_dir is not None:
         engine_options: Dict[str, Any] = {}
-        if args.engine == "sliced":
+        if args.engine in ("sliced", "sliced-mp"):
             engine_options = {
                 "num_slices": args.num_slices,
                 "queue_capacity": args.queue_capacity,
                 "auto_slice": not args.no_auto_slice,
             }
+        if args.engine == "sliced-mp":
+            engine_options["num_workers"] = args.workers
         run_meta = {
             "workload": {
                 "algorithm": args.algorithm,
@@ -506,92 +531,74 @@ def _resilience_lines(summary: Dict[str, Any]) -> List[str]:
     return [line]
 
 
-def _result_info(engine: str, result: Any) -> Dict[str, Any]:
-    """Engine-result summary dict (shared by ``run`` and ``resume``)."""
-    if engine == "functional":
-        info: Dict[str, Any] = {
-            "rounds": result.num_rounds,
-            "events_processed": result.total_events_processed,
-            "events_produced": result.total_events_produced,
-            "coalesce_rate": result.coalesce_rate(),
-            "converged": result.converged,
-        }
-    elif engine == "cycle":
-        info = {
-            "cycles": result.total_cycles,
-            "seconds": result.seconds,
-            "rounds": result.num_rounds,
-            "events_processed": result.events_processed,
-            "events_produced": result.events_produced,
-            "offchip_bytes": result.offchip_bytes,
-            "data_utilization": result.data_utilization(),
-            "converged": result.converged,
-        }
-    elif engine == "sliced":
-        info = {
-            "passes": result.num_passes,
-            "rounds": result.total_rounds,
-            "spill_bytes": result.total_spill_bytes,
-            "spill_overhead": result.spill_overhead(),
-            "converged": result.converged,
-        }
-    elif engine == "bsp":
-        info = {
-            "iterations": result.num_iterations,
-            "edges_scanned": result.total_edges_scanned,
-            "converged": result.converged,
-        }
-    else:  # ligra
-        info = {
-            "iterations": result.num_iterations,
-            "seconds": result.seconds,
-            "pull_fraction": result.pull_fraction,
-            "converged": result.converged,
-        }
-    summary = getattr(result, "resilience", None)
-    if summary is not None:
-        info["resilience"] = summary
-    return info
-
-
-def _result_lines(engine: str, result: Any, info: Dict[str, Any]) -> List[str]:
-    """Human one-liners, read back from ``info`` so ``resume`` can patch
-    relative round counters to absolute ones before printing."""
+def _result_lines(result: RunResult, info: Dict[str, Any]) -> List[str]:
+    """Human one-liners, read back from ``info`` (the ``to_json`` dict)
+    so ``resume`` can patch relative round counters to absolute ones
+    before printing."""
+    engine = info["engine"]
+    stats = info["stats"]
     if engine == "functional":
         lines = [
             f"rounds: {info['rounds']}   events processed: "
-            f"{info['events_processed']:,}   coalesced away: "
-            f"{info['coalesce_rate']:.1%}"
+            f"{stats['events_processed']:,}   coalesced away: "
+            f"{stats['coalesce_rate']:.1%}"
         ]
     elif engine == "cycle":
         lines = [
-            f"cycles: {info['cycles']:,} "
-            f"({info['seconds'] * 1e6:.1f} us at "
-            f"{result.config.clock_ghz:g} GHz)   rounds: "
+            f"cycles: {stats['cycles']:,} "
+            f"({stats['seconds'] * 1e6:.1f} us at "
+            f"{result.raw.config.clock_ghz:g} GHz)   rounds: "
             f"{info['rounds']}   off-chip: "
-            f"{info['offchip_bytes'] / 1e6:.2f} MB"
+            f"{stats['offchip_bytes'] / 1e6:.2f} MB"
         ]
-    elif engine == "sliced":
+    elif engine in ("sliced", "sliced-mp"):
         lines = [
             f"passes: {info['passes']}   rounds: "
             f"{info['rounds']}   spill traffic: "
-            f"{info['spill_bytes'] / 1e6:.2f} MB "
-            f"({info['spill_overhead']:.1%} of off-chip)"
+            f"{stats['spill_bytes'] / 1e6:.2f} MB "
+            f"({stats['spill_overhead']:.1%} of off-chip)"
+        ]
+        if engine == "sliced-mp":
+            lines.append(
+                f"workers: {stats['workers']}   "
+                f"recoveries: {stats['recoveries']}"
+            )
+    elif engine == "parallel-sliced":
+        lines = [
+            f"super-rounds: {info['passes']}   messages: "
+            f"{stats['messages']:,}   load balance: "
+            f"{stats['load_balance']:.2f}"
         ]
     elif engine == "bsp":
         lines = [
-            f"iterations: {info['iterations']}   edges scanned: "
-            f"{info['edges_scanned']:,}"
+            f"iterations: {info['rounds']}   edges scanned: "
+            f"{stats['edges_scanned']:,}"
         ]
     else:  # ligra
         lines = [
-            f"iterations: {info['iterations']}   modelled time: "
-            f"{info['seconds'] * 1e3:.3f} ms   pull fraction: "
-            f"{info['pull_fraction']:.0%}"
+            f"iterations: {info['rounds']}   modelled time: "
+            f"{stats['seconds'] * 1e3:.3f} ms   pull fraction: "
+            f"{stats['pull_fraction']:.0%}"
         ]
-    if "resilience" in info:
+    if info.get("resilience"):
         lines.extend(_resilience_lines(info["resilience"]))
     return lines
+
+
+def _engine_options(args: argparse.Namespace) -> Dict[str, Any]:
+    """Translate ``run`` flags into the engine's ``build_engine`` config."""
+    options: Dict[str, Any] = {}
+    if args.engine in SLICED_ENGINES:
+        _check_num_slices(args.num_slices)
+        options["num_slices"] = args.num_slices
+    if args.engine in ("sliced", "sliced-mp"):
+        options["queue_capacity"] = args.queue_capacity
+        options["auto_slice"] = not args.no_auto_slice
+    if args.engine == "sliced-mp":
+        if args.workers < 1:
+            raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        options["num_workers"] = args.workers
+    return options
 
 
 def _execute_engine(
@@ -600,32 +607,23 @@ def _execute_engine(
     spec,
     timeseries: Optional[TimeSeries],
 ) -> Tuple[np.ndarray, Dict[str, Any], List[str]]:
-    """Run the chosen engine; returns (values, summary dict, human lines)."""
+    """Run the chosen engine; returns (values, summary dict, human lines).
+
+    Engines are constructed exclusively through the
+    :func:`repro.core.build_engine` registry; the summary dict is the
+    engine-independent :meth:`repro.core.RunResult.to_json` payload.
+    """
     resilience = _resilience_config(args)
-    if args.engine == "functional":
-        result: Any = FunctionalGraphPulse(
-            graph, spec, timeseries=timeseries, resilience=resilience
-        ).run()
-    elif args.engine == "cycle":
-        result = GraphPulseAccelerator(
-            graph, spec, timeseries=timeseries, resilience=resilience
-        ).run()
-    elif args.engine == "sliced":
-        _check_num_slices(args.num_slices)
-        result = run_sliced(
-            graph,
-            spec,
-            num_slices=args.num_slices,
-            queue_capacity=args.queue_capacity,
-            auto_slice=not args.no_auto_slice,
-            resilience=resilience,
-        )
-    elif args.engine == "bsp":
-        result = SynchronousDeltaEngine(graph, spec).run()
-    else:  # ligra
-        result = LigraEngine(graph, spec).run()
-    info = _result_info(args.engine, result)
-    lines = _result_lines(args.engine, result, info)
+    handle = build_engine(
+        args.engine,
+        (graph, spec),
+        _engine_options(args),
+        resilience=resilience,
+        timeseries=timeseries,
+    )
+    result = handle.run()
+    info = result.to_json()
+    lines = _result_lines(result, info)
     return result.values, info, lines
 
 
@@ -719,7 +717,14 @@ def _command_run(args: argparse.Namespace) -> int:
         payload["trace"] = {"path": args.trace, "events": count}
         say(f"trace: {count:,} events -> {args.trace}")
     if args.metrics is not None:
-        stats = {"engine": args.engine, **info}
+        # flatten the RunResult payload into one stats record
+        stats = {
+            "engine": info["engine"],
+            "converged": info["converged"],
+            "rounds": info["rounds"],
+            "passes": info["passes"],
+            **info["stats"],
+        }
         written = export.write_metrics_jsonl(
             args.metrics, timeseries=timeseries, stats=stats
         )
@@ -861,19 +866,19 @@ def _command_resume(args: argparse.Namespace) -> int:
         f"from {origin}"
     )
 
-    info = _result_info(outcome.engine, result)
+    info = result.to_json()
     # the resumed process only sees its own tail of the run; lift the
     # counters that restart from zero back to absolute round numbers so
     # run and run+resume report the same convergence round
     if outcome.engine == "functional":
-        if result.rounds:
-            info["rounds"] = result.rounds[-1].round_index + 1
+        if result.raw.rounds:
+            info["rounds"] = result.raw.rounds[-1].round_index + 1
         elif restored is not None:
             info["rounds"] = restored.round_index + 1
-    elif outcome.engine == "sliced":
-        if not result.activations and restored is not None:
+    elif outcome.engine in ("sliced", "sliced-mp"):
+        if not result.raw.activations and restored is not None:
             info["passes"] = restored.round_index
-    for line in _result_lines(outcome.engine, result, info):
+    for line in _result_lines(result, info):
         say(line)
 
     values = result.values

@@ -7,6 +7,19 @@ from .accelerator import (
     StageProfile,
 )
 from .config import GraphPulseConfig, baseline_config, optimized_config
+from .engines import (
+    Engine,
+    EngineSpec,
+    RunResult,
+    RUN_RESULT_SCHEMA,
+    build_engine,
+    engine_names,
+    engine_spec,
+    register_engine,
+    resilient_engine_names,
+    resumable_engine_names,
+    validate_run_result,
+)
 from .event import Event
 from .functional import (
     LOOKAHEAD_BUCKETS,
@@ -15,6 +28,7 @@ from .functional import (
     RoundRecord,
     TrafficCounters,
 )
+from .mpsliced import MultiprocessSlicedGraphPulse, MultiprocessSlicedResult
 from .queue import CoalescingQueue, QueueStats, VertexBinMap
 from .rowqueue import BinGeometry, BinStorage
 from .slicing import (
@@ -25,6 +39,8 @@ from .slicing import (
     SlicedResult,
     SuperRound,
     build_sliced,
+    resolve_partition,
+    run_slice_activation,
     run_sliced,
 )
 
@@ -52,7 +68,22 @@ __all__ = [
     "SliceActivation",
     "build_sliced",
     "run_sliced",
+    "resolve_partition",
+    "run_slice_activation",
     "ParallelSlicedGraphPulse",
     "ParallelSlicedResult",
     "SuperRound",
+    "MultiprocessSlicedGraphPulse",
+    "MultiprocessSlicedResult",
+    "Engine",
+    "EngineSpec",
+    "RunResult",
+    "RUN_RESULT_SCHEMA",
+    "build_engine",
+    "engine_names",
+    "engine_spec",
+    "register_engine",
+    "resilient_engine_names",
+    "resumable_engine_names",
+    "validate_run_result",
 ]

@@ -1,0 +1,567 @@
+"""The Engine API: one registry, one result shape, for every engine.
+
+Historically each engine grew its own constructor signature and its own
+result dataclass (``FunctionalResult``, accelerator stats,
+``SlicedResult``, ``ParallelSlicedResult``, the baselines' records),
+so every consumer — the CLI, the crash harness, the campaign runner,
+benchmarks — carried a per-engine ``if`` ladder.  This module replaces
+those ladders with:
+
+``build_engine(name, workload, config, *, resilience=None,
+timeseries=None)``
+    The single construction path.  ``workload`` is ``(graph, spec)``,
+    ``config`` is a plain option mapping validated against the engine's
+    accepted options (an unknown key raises
+    :class:`repro.errors.ReproError` — options are never silently
+    dropped).  Engines that do not accept resilience refuse it here,
+    before any work happens.
+
+:class:`RunResult`
+    The unified result: final ``values``, ``converged``, the
+    ``rounds``/``passes`` counters (``None`` where an engine has no such
+    notion), engine-specific counters under ``stats``, the resilience
+    summary, the active trace handle, and ``raw`` — the engine's native
+    result object for callers that need the long tail (activation lists,
+    per-round records, model configs).  ``to_json()`` emits the one
+    schema every ``--json`` consumer sees; ``validate_run_result``
+    checks a payload against it.
+
+:class:`Engine`
+    The protocol a registered engine satisfies: ``name``, ``runner``
+    (the underlying engine object), ``run() -> RunResult``, and
+    ``restore(restored)`` for resumable engines.
+
+The legacy constructors (``FunctionalGraphPulse(...)``,
+``SlicedGraphPulse(partition, ...)`` …) remain importable for callers
+with exotic needs, but new code should not grow third copies of the
+construction logic — register here instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..obs import trace as obs_trace
+
+__all__ = [
+    "Engine",
+    "EngineSpec",
+    "RunResult",
+    "RUN_RESULT_SCHEMA",
+    "validate_run_result",
+    "register_engine",
+    "engine_names",
+    "engine_spec",
+    "resilient_engine_names",
+    "resumable_engine_names",
+    "build_engine",
+]
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Engine-independent run outcome (module docs)."""
+
+    engine: str
+    values: np.ndarray
+    converged: bool
+    #: fine-grained work counter (engine rounds / BSP iterations);
+    #: None when the engine has no such notion
+    rounds: Optional[int]
+    #: coarse slice-schedule counter (sliced passes / super-rounds);
+    #: None for single-queue engines
+    passes: Optional[int]
+    #: engine-specific counters (cycles, spill bytes, coalesce rate, …)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    #: resilience harness activity summary; None when resilience was off
+    resilience: Optional[Dict[str, Any]] = None
+    #: the tracer active during the run, when tracing was on
+    trace: Optional[Any] = None
+    #: the engine's native result object (escape hatch for the long tail)
+    raw: Any = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """The one ``--json`` result schema, identical across engines."""
+        return {
+            "engine": self.engine,
+            "converged": bool(self.converged),
+            "rounds": None if self.rounds is None else int(self.rounds),
+            "passes": None if self.passes is None else int(self.passes),
+            "stats": dict(self.stats),
+            "resilience": self.resilience,
+        }
+
+
+#: key -> allowed types of the ``RunResult.to_json()`` payload
+RUN_RESULT_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "engine": (str,),
+    "converged": (bool,),
+    "rounds": (int, type(None)),
+    "passes": (int, type(None)),
+    "stats": (dict,),
+    "resilience": (dict, type(None)),
+}
+
+
+def validate_run_result(payload: Dict[str, Any]) -> None:
+    """Assert ``payload`` matches the RunResult JSON schema exactly.
+
+    Raises ``ValueError`` naming the first violation: a missing key, an
+    unexpected key, or a mistyped value.  Used by the tests and the CI
+    smoke jobs to hold every engine to the same contract.
+    """
+    missing = sorted(set(RUN_RESULT_SCHEMA) - set(payload))
+    if missing:
+        raise ValueError(f"result payload missing keys: {missing}")
+    extra = sorted(set(payload) - set(RUN_RESULT_SCHEMA))
+    if extra:
+        raise ValueError(f"result payload has unexpected keys: {extra}")
+    for key, types in RUN_RESULT_SCHEMA.items():
+        if not isinstance(payload[key], types):
+            raise ValueError(
+                f"result[{key!r}] should be "
+                f"{'/'.join(t.__name__ for t in types)}, "
+                f"got {type(payload[key]).__name__}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+class Engine(Protocol):
+    """What ``build_engine`` returns."""
+
+    name: str
+    runner: Any
+
+    def run(self) -> RunResult: ...
+
+    def restore(self, restored: Any) -> None: ...
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registry entry."""
+
+    name: str
+    build: Callable[..., Any]
+    summarize: Callable[[Any], RunResult]
+    resilient: bool = False
+    resumable: bool = False
+    description: str = ""
+
+
+_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(
+    name: str,
+    build: Callable[..., Any],
+    summarize: Callable[[Any], RunResult],
+    *,
+    resilient: bool = False,
+    resumable: bool = False,
+    description: str = "",
+) -> None:
+    """Add an engine to the registry (last registration wins)."""
+    _REGISTRY[name] = EngineSpec(
+        name=name,
+        build=build,
+        summarize=summarize,
+        resilient=resilient,
+        resumable=resumable,
+        description=description,
+    )
+
+
+def engine_names() -> Tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def resilient_engine_names() -> Tuple[str, ...]:
+    return tuple(s.name for s in _REGISTRY.values() if s.resilient)
+
+
+def resumable_engine_names() -> Tuple[str, ...]:
+    return tuple(s.name for s in _REGISTRY.values() if s.resumable)
+
+
+def engine_spec(name: str) -> EngineSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(_REGISTRY)}"
+        ) from None
+
+
+class EngineHandle:
+    """Concrete :class:`Engine`: a built runner plus its summarizer."""
+
+    def __init__(
+        self,
+        name: str,
+        runner: Any,
+        summarize: Callable[[Any], RunResult],
+    ):
+        self.name = name
+        self.runner = runner
+        self._summarize = summarize
+
+    def restore(self, restored: Any) -> None:
+        """Adopt a durable checkpoint (resumable engines only)."""
+        self.runner.restore(restored)
+
+    def run(self) -> RunResult:
+        result = self._summarize(self.runner.run())
+        result.trace = obs_trace.ACTIVE
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EngineHandle({self.name!r}, {self.runner!r})"
+
+
+def build_engine(
+    name: str,
+    workload: Tuple[Any, Any],
+    config: Optional[Dict[str, Any]] = None,
+    *,
+    resilience: Optional[Any] = None,
+    timeseries: Optional[Any] = None,
+) -> EngineHandle:
+    """Construct a registered engine (the single construction path).
+
+    ``workload`` is ``(graph, spec)``; ``config`` maps engine option
+    names to values and is validated strictly.  ``resilience`` is a
+    :class:`repro.resilience.ResilienceConfig` and is refused by
+    engines not registered as resilient.
+    """
+    entry = engine_spec(name)
+    graph, spec = workload
+    if resilience is not None and not entry.resilient:
+        raise ReproError(
+            f"engine {name!r} does not support resilience; choose one of: "
+            f"{', '.join(resilient_engine_names())}"
+        )
+    options = dict(config or {})
+    runner = entry.build(
+        graph, spec, options, resilience=resilience, timeseries=timeseries
+    )
+    if options:
+        raise ReproError(
+            f"engine {name!r} does not accept option(s) "
+            f"{', '.join(sorted(options))}"
+        )
+    return EngineHandle(name, runner, entry.summarize)
+
+
+# ----------------------------------------------------------------------
+# Built-in engines
+# ----------------------------------------------------------------------
+
+
+def _take(options: Dict[str, Any], **defaults: Any) -> Dict[str, Any]:
+    """Pop the engine's known options, leaving unknowns for the caller
+    check in :func:`build_engine` to reject."""
+    return {
+        key: options.pop(key, default) for key, default in defaults.items()
+    }
+
+
+def _build_functional(graph, spec, options, *, resilience, timeseries):
+    from .functional import FunctionalGraphPulse
+
+    kwargs = _take(
+        options,
+        num_bins=64,
+        block_size=128,
+        track_lookahead=False,
+        global_threshold=None,
+        max_rounds=100_000,
+        scheduling="round-robin",
+    )
+    return FunctionalGraphPulse(
+        graph, spec, timeseries=timeseries, resilience=resilience, **kwargs
+    )
+
+
+def _summarize_functional(result) -> RunResult:
+    return RunResult(
+        engine="functional",
+        values=result.values,
+        converged=result.converged,
+        rounds=result.num_rounds,
+        passes=None,
+        stats={
+            "events_processed": result.total_events_processed,
+            "events_produced": result.total_events_produced,
+            "coalesce_rate": result.coalesce_rate(),
+        },
+        resilience=result.resilience,
+        raw=result,
+    )
+
+
+def _build_cycle(graph, spec, options, *, resilience, timeseries):
+    from .accelerator import GraphPulseAccelerator
+
+    kwargs = _take(
+        options, config=None, global_threshold=None, max_rounds=10_000
+    )
+    config = kwargs.pop("config")
+    return GraphPulseAccelerator(
+        graph,
+        spec,
+        config,
+        timeseries=timeseries,
+        resilience=resilience,
+        **kwargs,
+    )
+
+
+def _summarize_cycle(result) -> RunResult:
+    return RunResult(
+        engine="cycle",
+        values=result.values,
+        converged=result.converged,
+        rounds=result.num_rounds,
+        passes=None,
+        stats={
+            "cycles": result.total_cycles,
+            "seconds": result.seconds,
+            "events_processed": result.events_processed,
+            "events_produced": result.events_produced,
+            "offchip_bytes": result.offchip_bytes,
+            "data_utilization": result.data_utilization(),
+        },
+        resilience=result.resilience,
+        raw=result,
+    )
+
+
+def _sliced_stats(result) -> Dict[str, Any]:
+    return {
+        "spill_bytes": result.total_spill_bytes,
+        "spill_overhead": result.spill_overhead(),
+    }
+
+
+def _build_sliced(graph, spec, options, *, resilience, timeseries):
+    from .slicing import build_sliced, contiguous_partition
+
+    kwargs = _take(
+        options,
+        num_slices=1,
+        queue_capacity=None,
+        auto_slice=True,
+        partition_fn=contiguous_partition,
+        num_bins=64,
+        block_size=128,
+        max_passes=10_000,
+        rounds_per_activation=None,
+    )
+    return build_sliced(graph, spec, resilience=resilience, **kwargs)
+
+
+def _summarize_sliced(result) -> RunResult:
+    return RunResult(
+        engine="sliced",
+        values=result.values,
+        converged=result.converged,
+        rounds=result.total_rounds,
+        passes=result.num_passes,
+        stats=_sliced_stats(result),
+        resilience=result.resilience,
+        raw=result,
+    )
+
+
+def _build_sliced_mp(graph, spec, options, *, resilience, timeseries):
+    from .mpsliced import MultiprocessSlicedGraphPulse
+    from .slicing import contiguous_partition, resolve_partition
+
+    kwargs = _take(
+        options,
+        num_slices=1,
+        queue_capacity=None,
+        auto_slice=True,
+        partition_fn=contiguous_partition,
+        num_workers=2,
+        lease_dir=None,
+        lease_timeout=None,
+        max_recoveries=8,
+        num_bins=64,
+        block_size=128,
+        max_passes=10_000,
+        rounds_per_activation=None,
+    )
+    partition = resolve_partition(
+        graph,
+        num_slices=kwargs.pop("num_slices"),
+        queue_capacity=kwargs["queue_capacity"],
+        auto_slice=kwargs.pop("auto_slice"),
+        partition_fn=kwargs.pop("partition_fn"),
+    )
+    if kwargs["lease_timeout"] is None:
+        from ..resilience.lease import DEFAULT_LEASE_TIMEOUT
+
+        kwargs["lease_timeout"] = DEFAULT_LEASE_TIMEOUT
+    return MultiprocessSlicedGraphPulse(
+        partition, spec, resilience=resilience, **kwargs
+    )
+
+
+def _summarize_sliced_mp(result) -> RunResult:
+    summary = _summarize_sliced(result)
+    summary.engine = "sliced-mp"
+    summary.stats["workers"] = result.num_workers
+    summary.stats["recoveries"] = result.recoveries
+    return summary
+
+
+def _build_parallel_sliced(graph, spec, options, *, resilience, timeseries):
+    from .slicing import (
+        ParallelSlicedGraphPulse,
+        contiguous_partition,
+        resolve_partition,
+    )
+
+    kwargs = _take(
+        options,
+        num_slices=2,
+        partition_fn=contiguous_partition,
+        num_bins=64,
+        block_size=128,
+        max_super_rounds=100_000,
+    )
+    partition = resolve_partition(
+        graph,
+        num_slices=kwargs.pop("num_slices"),
+        partition_fn=kwargs.pop("partition_fn"),
+    )
+    return ParallelSlicedGraphPulse(partition, spec, **kwargs)
+
+
+def _summarize_parallel_sliced(result) -> RunResult:
+    return RunResult(
+        engine="parallel-sliced",
+        values=result.values,
+        converged=result.converged,
+        rounds=None,
+        passes=result.num_super_rounds,
+        stats={
+            "messages": result.total_messages,
+            "load_balance": result.load_balance(),
+        },
+        raw=result,
+    )
+
+
+def _build_bsp(graph, spec, options, *, resilience, timeseries):
+    from ..baselines import SynchronousDeltaEngine
+
+    kwargs = _take(options, max_iterations=100_000)
+    return SynchronousDeltaEngine(graph, spec, **kwargs)
+
+
+def _summarize_bsp(result) -> RunResult:
+    return RunResult(
+        engine="bsp",
+        values=result.values,
+        converged=result.converged,
+        rounds=result.num_iterations,
+        passes=None,
+        stats={"edges_scanned": result.total_edges_scanned},
+        raw=result,
+    )
+
+
+def _build_ligra(graph, spec, options, *, resilience, timeseries):
+    from ..baselines import LigraEngine
+
+    kwargs = _take(
+        options,
+        cpu_config=None,
+        random_footprint_bytes=None,
+        max_iterations=100_000,
+    )
+    return LigraEngine(graph, spec, **kwargs)
+
+
+def _summarize_ligra(result) -> RunResult:
+    return RunResult(
+        engine="ligra",
+        values=result.values,
+        converged=result.converged,
+        rounds=result.num_iterations,
+        passes=None,
+        stats={
+            "seconds": result.seconds,
+            "pull_fraction": result.pull_fraction,
+        },
+        raw=result,
+    )
+
+
+register_engine(
+    "functional",
+    _build_functional,
+    _summarize_functional,
+    resilient=True,
+    resumable=True,
+    description="event-model functional engine (coalescing queue)",
+)
+register_engine(
+    "cycle",
+    _build_cycle,
+    _summarize_cycle,
+    resilient=True,
+    resumable=True,
+    description="cycle-level accelerator model",
+)
+register_engine(
+    "sliced",
+    _build_sliced,
+    _summarize_sliced,
+    resilient=True,
+    resumable=True,
+    description="sequential large-graph slicing runtime (Sec IV-F)",
+)
+register_engine(
+    "sliced-mp",
+    _build_sliced_mp,
+    _summarize_sliced_mp,
+    resilient=True,
+    resumable=True,
+    description="multi-process sliced workers with per-slice leases",
+)
+register_engine(
+    "parallel-sliced",
+    _build_parallel_sliced,
+    _summarize_parallel_sliced,
+    description="multi-accelerator super-round model (Sec IV-F, option b)",
+)
+register_engine(
+    "bsp",
+    _build_bsp,
+    _summarize_bsp,
+    description="synchronous delta baseline (BSP)",
+)
+register_engine(
+    "ligra",
+    _build_ligra,
+    _summarize_ligra,
+    description="direction-optimizing CPU baseline (Ligra model)",
+)

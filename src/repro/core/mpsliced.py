@@ -1,0 +1,748 @@
+"""Multi-process sliced execution with per-slice leases (crash isolation).
+
+``SlicedGraphPulse`` drains slices one at a time inside a single
+process; a stray segfault or OOM kill anywhere loses the whole run.
+This module moves each slice's drain into its own **worker process**
+while a supervisor keeps the parts of the algorithm that must be
+centralized: pass barriers, spill-buffer ownership, the WAL, checkpoint
+capture, and convergence detection.
+
+Execution model
+---------------
+Workers are stateless between activations.  For each activation the
+supervisor ships the slice's **state shard** (the vertex values of that
+slice only) plus its inbound spill events; the worker drains the slice
+with :func:`repro.core.slicing.run_slice_activation` and ships back the
+updated shard together with the **ordered outbound spill stream**.  The
+supervisor replays that stream through the same coalesce-and-journal
+path the sequential engine uses, so spill buffers, journal bytes and
+final vertex state are bit-identical to a sequential run.  Dispatch is
+sequential in slice order — intra-pass chaining (slice ``k`` sees
+spills from slices ``< k`` of the same pass) is part of the sequential
+schedule, so what the process boundary buys is *crash isolation*, not
+wall-clock speedup.
+
+Crash recovery
+--------------
+Every worker holds a per-slice **lease file**
+(:mod:`repro.resilience.lease`) in the durable run directory, refreshed
+by a heartbeat thread.  When a worker dies mid-pass (SIGKILL included)
+the supervisor observes the broken pipe, verifies the lease is stale,
+and then:
+
+1. rolls vertex state, spill buffers and traffic counters back to the
+   pass-start snapshot;
+2. rewinds the WAL to the last per-pass commit
+   (:meth:`SpillJournal.discard_uncommitted` — mid-pass records never
+   reached disk, so this is a buffer drop, not a disk rewrite);
+3. on durable runs, replays the on-disk journal up to that commit and
+   adopts the replayed buffers after cross-checking them bit-for-bit
+   against the snapshot;
+4. breaks the stale lease, re-leases the dead worker's slices to a
+   fresh process (chaos hooks disabled, epoch bumped), and retries the
+   pass from slice 0.
+
+The run completes without restarting, and the final values are
+bit-identical to ``SlicedGraphPulse`` — asserted by the tests and the
+CI chaos job.  Set ``REPRO_KILL_WORKER=SLICE:PASS`` to make the worker
+owning ``SLICE`` SIGKILL itself when that activation starts.
+
+Event-fault injection (drop/duplicate/bitflip/spill/dram scripts) is
+rejected here: the injector's decision streams are cursor-stateful and
+cannot be split across processes without changing the fault schedule.
+Checkpointing, the watchdog, and durable resume all work.
+
+Prefer constructing through :func:`repro.core.engines.build_engine`
+(``name="sliced-mp"``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import threading
+from dataclasses import dataclass, fields as dataclass_fields
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import AlgorithmSpec
+from ..errors import ReproError, UnrecoverableFaultError
+from ..graph.partition import Partition
+from ..obs import probe
+from ..obs import trace as obs_trace
+from ..resilience.lease import (
+    DEFAULT_LEASE_TIMEOUT,
+    SliceLease,
+    break_stale,
+    lease_path,
+)
+from .event import Event
+from .functional import TrafficCounters
+from .slicing import (
+    _SPILL_EVENT_BYTES,
+    SliceActivation,
+    SlicedGraphPulse,
+    SlicedResult,
+    run_slice_activation,
+)
+
+__all__ = [
+    "MultiprocessSlicedGraphPulse",
+    "MultiprocessSlicedResult",
+    "KILL_WORKER_ENV",
+]
+
+#: chaos hook: ``SLICE:PASS`` — the worker owning SLICE SIGKILLs itself
+#: when it starts that activation (respawned workers ignore it)
+KILL_WORKER_ENV = "REPRO_KILL_WORKER"
+
+#: seconds between worker heartbeat touches of its lease files
+HEARTBEAT_INTERVAL = 0.2
+
+
+@dataclass
+class MultiprocessSlicedResult(SlicedResult):
+    """A sliced result plus the worker fleet's crash ledger."""
+
+    num_workers: int = 0
+    #: worker deaths recovered via lease re-acquisition + WAL rewind
+    recoveries: int = 0
+
+
+class _WorkerDied(Exception):
+    """Internal: a worker process stopped responding mid-pass."""
+
+    def __init__(self, worker_id: int, slice_index: int, reason: str):
+        super().__init__(reason)
+        self.worker_id = worker_id
+        self.slice_index = slice_index
+        self.reason = reason
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: object
+    conn: object
+    epoch: int
+    owned: Tuple[int, ...]
+
+
+def _parse_kill_spec(raw: Optional[str]) -> Optional[Tuple[int, int]]:
+    """``"SLICE:PASS"`` -> (slice, pass); None when unset/malformed."""
+    if not raw:
+        return None
+    try:
+        slice_part, _, pass_part = raw.partition(":")
+        return int(slice_part), int(pass_part or 0)
+    except ValueError:
+        return None
+
+
+def _traffic_dict(traffic: TrafficCounters) -> Dict[str, int]:
+    return {
+        f.name: getattr(traffic, f.name)
+        for f in dataclass_fields(TrafficCounters)
+    }
+
+
+def _merge_traffic(total: TrafficCounters, delta: Dict[str, int]) -> None:
+    for name, value in delta.items():
+        setattr(total, name, getattr(total, name) + value)
+
+
+def _restore_traffic(total: TrafficCounters, snapshot: Dict[str, int]) -> None:
+    for name, value in snapshot.items():
+        setattr(total, name, value)
+
+
+def _worker_main(
+    worker_id: int,
+    epoch: int,
+    conn,
+    partition: Partition,
+    spec: AlgorithmSpec,
+    owned_slices: Tuple[int, ...],
+    lease_dir: str,
+    options: Dict[str, object],
+    chaos: Optional[Tuple[int, int]],
+) -> None:
+    """Worker process loop: lease, heartbeat, activate on request.
+
+    Spawned via fork, so ``partition``/``spec`` arrive by inheritance
+    (closures in ``AlgorithmSpec`` work unchanged).  The worker is
+    stateless across activations: its scratch ``state`` array only ever
+    has the active slice's shard written before a drain and read after.
+    """
+    # the parent's tracer must not leak into workers: spans are the
+    # supervisor's to emit, per-worker, into the one merged trace
+    if obs_trace.ACTIVE is not None:
+        obs_trace.uninstall()
+    try:
+        leases = [
+            SliceLease.acquire(
+                lease_dir, s, owner=f"worker-{worker_id}", epoch=epoch
+            )
+            for s in owned_slices
+        ]
+    except Exception as exc:
+        conn.send(("error", epoch, worker_id, type(exc).__name__, str(exc)))
+        conn.close()
+        return
+
+    stop = threading.Event()
+
+    def heartbeat() -> None:
+        while not stop.wait(HEARTBEAT_INTERVAL):
+            for lease in leases:
+                lease.refresh()
+
+    threading.Thread(target=heartbeat, daemon=True).start()
+    state = np.zeros(partition.graph.num_vertices, dtype=np.float64)
+    conn.send(("ready", epoch, worker_id))
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            (_, task_epoch, pass_index, slice_index, shard, inbound) = message
+            if chaos is not None and chaos == (slice_index, pass_index):
+                os.kill(os.getpid(), signal.SIGKILL)
+            vertices = partition.slices[slice_index].vertices
+            state[vertices] = shard
+            traffic = TrafficCounters()
+            outbound: List[Tuple[int, Event]] = []
+            processed, rounds, spilled = run_slice_activation(
+                partition,
+                spec,
+                pass_index,
+                slice_index,
+                inbound,
+                state,
+                traffic,
+                lambda target, event: outbound.append((target, event)),
+                num_bins=options["num_bins"],
+                block_size=options["block_size"],
+                rounds_per_activation=options["rounds_per_activation"],
+            )
+            conn.send(
+                (
+                    "result",
+                    task_epoch,
+                    pass_index,
+                    slice_index,
+                    state[vertices].copy(),
+                    outbound,
+                    processed,
+                    rounds,
+                    spilled,
+                    _traffic_dict(traffic),
+                )
+            )
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # supervisor went away; release and exit
+    finally:
+        stop.set()
+        for lease in leases:
+            lease.release()
+        conn.close()
+
+
+class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
+    """Supervisor for the multi-process sliced runtime (module docs)."""
+
+    ENGINE_NAME = "sliced-mp"
+
+    def __init__(
+        self,
+        partition: Partition,
+        spec: AlgorithmSpec,
+        *,
+        num_workers: int = 2,
+        lease_dir=None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_recoveries: int = 8,
+        **kwargs,
+    ):
+        """
+        Parameters
+        ----------
+        num_workers:
+            Worker process count; slice ``s`` is owned by worker
+            ``s % num_workers``.  Clamped to the slice count.
+        lease_dir:
+            Where lease files live.  Defaults to the durable run
+            directory when checkpointing is on, else a scratch
+            directory cleaned up after the run.
+        lease_timeout:
+            Heartbeat age beyond which a live-pid lease counts stale.
+        max_recoveries:
+            Worker-death budget; exceeding it raises
+            :class:`repro.errors.UnrecoverableFaultError`.
+        """
+        super().__init__(partition, spec, **kwargs)
+        if num_workers < 1:
+            raise ReproError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = min(int(num_workers), partition.num_slices)
+        self.lease_timeout = float(lease_timeout)
+        self.max_recoveries = int(max_recoveries)
+        self._lease_dir = None if lease_dir is None else Path(lease_dir)
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self._epoch = 0
+        self.recoveries = 0
+        if self.resilience is not None:
+            plan = self.resilience.config.fault_plan
+            if plan.any_event_faults or plan.dead_lanes:
+                raise ReproError(
+                    "the sliced-mp engine does not support fault injection "
+                    "(the injector's decision streams are single-process); "
+                    "use --engine sliced for fault campaigns"
+                )
+
+    # -- worker fleet ---------------------------------------------------
+    def _resolve_lease_dir(self) -> Path:
+        if self._lease_dir is not None:
+            self._lease_dir.mkdir(parents=True, exist_ok=True)
+            return self._lease_dir
+        if self.resilience is not None and self.resilience.durable is not None:
+            return Path(self.resilience.durable.store.run_dir)
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-leases-")
+        return Path(self._tempdir.name)
+
+    def _sweep_stale_leases(self, lease_dir: Path) -> None:
+        """Clear leases left by dead processes (e.g. a SIGKILLed run).
+
+        A *fresh* lease means another live run owns this directory —
+        that raises :class:`repro.errors.LeaseHeldError` instead of
+        silently double-running.
+        """
+        for slice_index in range(self.partition.num_slices):
+            break_stale(
+                lease_path(lease_dir, slice_index), timeout=self.lease_timeout
+            )
+
+    def _spawn_worker(
+        self,
+        ctx,
+        worker_id: int,
+        lease_dir: Path,
+        options: Dict[str, object],
+        chaos: Optional[Tuple[int, int]],
+    ) -> _WorkerHandle:
+        owned = tuple(
+            range(worker_id, self.partition.num_slices, self.num_workers)
+        )
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._epoch,
+                child_conn,
+                self.partition,
+                self.spec,
+                owned,
+                str(lease_dir),
+                options,
+                chaos,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            message = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            raise UnrecoverableFaultError(
+                f"worker {worker_id} died during startup: {exc!r}",
+                worker=worker_id,
+            )
+        if message[0] == "error":
+            _, _, _, kind, text = message
+            process.join(timeout=5.0)
+            if kind == "LeaseHeldError":
+                from ..errors import LeaseHeldError
+
+                raise LeaseHeldError(text, worker=worker_id)
+            raise UnrecoverableFaultError(
+                f"worker {worker_id} failed to start: {text}",
+                worker=worker_id,
+            )
+        return _WorkerHandle(worker_id, process, parent_conn, self._epoch, owned)
+
+    def _shutdown(self, workers: List[Optional[_WorkerHandle]]) -> None:
+        for handle in workers:
+            if handle is None:
+                continue
+            try:
+                handle.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+            handle.conn.close()
+        for handle in workers:
+            if handle is None:
+                continue
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+
+    # -- dispatch -------------------------------------------------------
+    def _dispatch(
+        self,
+        workers: List[Optional[_WorkerHandle]],
+        pass_index: int,
+        slice_index: int,
+        inbound: List[Event],
+        state: np.ndarray,
+        traffic: TrafficCounters,
+        spill: List[Dict[int, Event]],
+    ) -> SliceActivation:
+        """Run one activation on the owning worker; apply its results."""
+        worker_id = slice_index % self.num_workers
+        handle = workers[worker_id]
+        vertices = self.partition.slices[slice_index].vertices
+        try:
+            handle.conn.send(
+                (
+                    "activate",
+                    handle.epoch,
+                    pass_index,
+                    slice_index,
+                    state[vertices].copy(),
+                    inbound,
+                )
+            )
+            message = handle.conn.recv()
+        except Exception as exc:
+            # After a SIGKILL the kernel closes the child's pipe ends
+            # (we see EOF) before the child is reapable, so is_alive()
+            # can transiently report True.  Join briefly to reap an
+            # exiting child before deciding whether it died.
+            handle.process.join(timeout=5.0)
+            if not handle.process.is_alive():
+                raise _WorkerDied(worker_id, slice_index, repr(exc)) from None
+            raise
+        if message[0] != "result":
+            raise UnrecoverableFaultError(
+                f"worker {worker_id} sent unexpected {message[0]!r}",
+                worker=worker_id,
+            )
+        (
+            _,
+            epoch,
+            reply_pass,
+            reply_slice,
+            shard,
+            outbound,
+            processed,
+            rounds,
+            spilled,
+            traffic_delta,
+        ) = message
+        if (epoch, reply_pass, reply_slice) != (
+            handle.epoch,
+            pass_index,
+            slice_index,
+        ):
+            raise UnrecoverableFaultError(
+                f"worker {worker_id} replied out of order "
+                f"(epoch {epoch}, pass {reply_pass}, slice {reply_slice})",
+                worker=worker_id,
+            )
+        state[vertices] = shard
+        _merge_traffic(traffic, traffic_delta)
+        # replay the ordered outbound stream through the exact
+        # coalesce-and-journal path the sequential engine uses
+        for target, event in outbound:
+            self._absorb_spill(spill, target, event)
+        if obs_trace.ACTIVE is not None:
+            probe.slice_activation(
+                slice_index,
+                pass_index,
+                events_in=len(inbound),
+                events_processed=processed,
+                events_spilled=spilled,
+                rounds=rounds,
+            )
+            probe.worker_activation(
+                worker_id,
+                slice_index,
+                pass_index,
+                events_in=len(inbound),
+                events_processed=processed,
+                events_spilled=spilled,
+                rounds=rounds,
+                epoch=handle.epoch,
+            )
+        return SliceActivation(
+            pass_index=pass_index,
+            slice_index=slice_index,
+            events_in=len(inbound),
+            events_processed=processed,
+            events_spilled=spilled,
+            rounds=rounds,
+        )
+
+    # -- recovery -------------------------------------------------------
+    def _replayed_spill_from_journal(
+        self, pass_index: int
+    ) -> Optional[List[Dict[int, Event]]]:
+        """Rebuild spill buffers from the WAL's last per-pass commit.
+
+        At the start of the pass with index ``P`` the journal's newest
+        durable commit is always ``P`` (commit 0 covers the initial
+        events; ``commit(P)`` sealed pass ``P - 1``; resume truncates at
+        the restored commit), so recovery replays ``upto=P``.
+        """
+        if (
+            self.resilience is None
+            or self.resilience.durable is None
+            or self._journal is None
+        ):
+            return None
+        from ..resilience.journal import SpillJournal
+
+        path = self.resilience.durable.store.journal_path
+        buffers, _ = SpillJournal.replay(
+            path, self.partition.num_slices, pass_index, self.spec.reduce
+        )
+        return [
+            {
+                vertex: Event(
+                    vertex=vertex, delta=delta, generation=generation
+                )
+                for vertex, (delta, generation) in bucket.items()
+            }
+            for bucket in buffers
+        ]
+
+    def _recover(
+        self,
+        death: _WorkerDied,
+        workers: List[Optional[_WorkerHandle]],
+        ctx,
+        lease_dir: Path,
+        options: Dict[str, object],
+        state: np.ndarray,
+        spill: List[Dict[int, Event]],
+        snapshot_state: np.ndarray,
+        snapshot_spill: List[Dict[int, Event]],
+        snapshot_traffic: Dict[str, int],
+        traffic: TrafficCounters,
+        pass_index: int,
+    ) -> None:
+        """Re-lease a dead worker's slices and rewind to the pass start."""
+        self.recoveries += 1
+        if self.recoveries > self.max_recoveries:
+            raise UnrecoverableFaultError(
+                f"worker death budget exhausted "
+                f"({self.max_recoveries} recoveries)",
+                worker=death.worker_id,
+                slice=death.slice_index,
+            )
+        handle = workers[death.worker_id]
+        handle.process.join(timeout=10.0)
+        handle.conn.close()
+
+        # 1. roll back to the pass-start snapshot
+        state[:] = snapshot_state
+        for i, snap in enumerate(snapshot_spill):
+            spill[i] = dict(snap)
+        _restore_traffic(traffic, snapshot_traffic)
+
+        # 2. rewind the WAL to the last per-pass commit
+        if self._journal is not None:
+            self._journal.discard_uncommitted()
+
+        # 3. durable runs: replay the on-disk journal up to that commit,
+        #    cross-check against the snapshot, adopt the replayed buffers
+        replayed = self._replayed_spill_from_journal(pass_index)
+        if replayed is not None:
+            self._check_replay_matches(replayed, spill, pass_index)
+            for i, bucket in enumerate(replayed):
+                spill[i] = bucket
+
+        # 4. break the stale leases and re-lease to a fresh worker
+        #    (chaos disabled: the replacement must not re-trigger)
+        for slice_index in handle.owned:
+            break_stale(
+                lease_path(lease_dir, slice_index), timeout=self.lease_timeout
+            )
+        self._epoch += 1
+        workers[death.worker_id] = self._spawn_worker(
+            ctx, death.worker_id, lease_dir, options, chaos=None
+        )
+        if obs_trace.ACTIVE is not None:
+            probe.recovery_span(
+                "worker-relaunch",
+                float(pass_index),
+                float(pass_index),
+                worker=death.worker_id,
+                slice=death.slice_index,
+                epoch=self._epoch,
+            )
+
+    def _check_replay_matches(
+        self,
+        replayed: List[Dict[int, Event]],
+        snapshot: List[Dict[int, Event]],
+        pass_index: int,
+    ) -> None:
+        """The WAL and the in-memory snapshot must agree bit-for-bit."""
+        import struct
+
+        from ..errors import CheckpointCorruptError
+
+        def bits(value: float) -> bytes:
+            return struct.pack("<d", value)
+
+        for slice_index, (disk, memory) in enumerate(zip(replayed, snapshot)):
+            if set(disk) != set(memory):
+                raise CheckpointCorruptError(
+                    f"journal replay disagrees with the pass-{pass_index} "
+                    f"snapshot on slice {slice_index}'s pending vertices",
+                    slice=slice_index,
+                    pass_index=pass_index,
+                )
+            for vertex, event in memory.items():
+                other = disk[vertex]
+                if (
+                    bits(other.delta) != bits(event.delta)
+                    or other.generation != event.generation
+                ):
+                    raise CheckpointCorruptError(
+                        f"journal replay disagrees with the pass-"
+                        f"{pass_index} snapshot on vertex {vertex} "
+                        f"(slice {slice_index})",
+                        slice=slice_index,
+                        vertex=vertex,
+                        pass_index=pass_index,
+                    )
+
+    # -- run ------------------------------------------------------------
+    def run(self) -> MultiprocessSlicedResult:
+        partition = self.partition
+        state = self.state
+        traffic = TrafficCounters()
+        activations: List[SliceActivation] = []
+        spill_written = 0
+        spill_read = 0
+
+        spill, view, watchdog = self._setup_run()
+        lease_dir = self._resolve_lease_dir()
+        self._sweep_stale_leases(lease_dir)
+        chaos = _parse_kill_spec(os.environ.get(KILL_WORKER_ENV))
+        options = {
+            "num_bins": self.num_bins,
+            "block_size": self.block_size,
+            "rounds_per_activation": self.rounds_per_activation,
+        }
+        ctx = get_context("fork")
+        workers: List[Optional[_WorkerHandle]] = [None] * self.num_workers
+
+        pass_index = self._start_pass
+        try:
+            for worker_id in range(self.num_workers):
+                workers[worker_id] = self._spawn_worker(
+                    ctx, worker_id, lease_dir, options, chaos
+                )
+            while True:
+                while any(spill):
+                    verdict = watchdog.verdict()
+                    if verdict is not None:
+                        self._halt_nonconvergence(verdict, watchdog, view)
+                    snapshot_state = state.copy()
+                    snapshot_spill = [dict(bucket) for bucket in spill]
+                    snapshot_traffic = _traffic_dict(traffic)
+                    marks = (spill_read, spill_written, len(activations))
+                    writes_before = traffic.vertex_writes
+                    pass_processed = 0
+                    try:
+                        for slice_index in range(partition.num_slices):
+                            inbound = spill[slice_index]
+                            if not inbound:
+                                continue
+                            if self._journal is not None:
+                                self._journal.consume(slice_index)
+                            spill[slice_index] = {}
+                            spill_read += len(inbound) * _SPILL_EVENT_BYTES
+                            activation = self._dispatch(
+                                workers,
+                                pass_index,
+                                slice_index,
+                                list(inbound.values()),
+                                state,
+                                traffic,
+                                spill,
+                            )
+                            spill_written += (
+                                activation.events_spilled * _SPILL_EVENT_BYTES
+                            )
+                            activations.append(activation)
+                            pass_processed += activation.events_processed
+                    except _WorkerDied as death:
+                        spill_read, spill_written = marks[0], marks[1]
+                        del activations[marks[2] :]
+                        self._recover(
+                            death,
+                            workers,
+                            ctx,
+                            lease_dir,
+                            options,
+                            state,
+                            spill,
+                            snapshot_state,
+                            snapshot_spill,
+                            snapshot_traffic,
+                            traffic,
+                            pass_index,
+                        )
+                        continue  # retry the pass from slice 0
+                    watchdog.observe_round(
+                        pass_processed, traffic.vertex_writes - writes_before
+                    )
+                    pass_index += 1
+                    if self._journal is not None:
+                        self._journal.commit(pass_index)
+                    if self.resilience is not None:
+                        self.resilience.maybe_checkpoint(
+                            pass_index, float(pass_index), state, view
+                        )
+                if self.resilience is None:
+                    break
+                self.resilience.note_quiescence(float(pass_index))
+                if not self.resilience.repair(
+                    state,
+                    float(pass_index),
+                    inject=self._inject_repair,
+                    restore=self._restore_checkpoint,
+                ):
+                    break
+        finally:
+            self._shutdown(workers)
+            if self._journal is not None:
+                self._journal.close()
+            if self._tempdir is not None:
+                self._tempdir.cleanup()
+                self._tempdir = None
+
+        summary = None
+        if self.resilience is not None:
+            self.resilience.finalize(float(pass_index))
+            summary = self.resilience.summary()
+        return MultiprocessSlicedResult(
+            values=state,
+            activations=activations,
+            traffic=traffic,
+            spill_bytes_written=spill_written,
+            spill_bytes_read=spill_read,
+            converged=True,
+            resilience=summary,
+            num_workers=self.num_workers,
+            recoveries=self.recoveries,
+        )

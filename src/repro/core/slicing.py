@@ -18,7 +18,7 @@ the overhead the paper accepts for Twitter-scale graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,8 @@ __all__ = [
     "SliceActivation",
     "build_sliced",
     "run_sliced",
+    "resolve_partition",
+    "run_slice_activation",
     "ParallelSlicedGraphPulse",
     "ParallelSlicedResult",
     "SuperRound",
@@ -137,8 +139,229 @@ class _SpillBufferView:
         ]
 
 
+def resolve_partition(
+    graph: CSRGraph,
+    *,
+    num_slices: int = 1,
+    queue_capacity: Optional[int] = None,
+    auto_slice: bool = True,
+    partition_fn=contiguous_partition,
+) -> Partition:
+    """Partition ``graph``, auto-sizing the slice count to the queue.
+
+    The single place the Section IV-F slice-count decision lives: when
+    ``queue_capacity`` is given and the largest slice does not fit, the
+    raised :class:`repro.errors.QueueCapacityError` names the minimum
+    working count (``required_slices``, the single source of truth);
+    with ``auto_slice`` the helper retries once with that suggestion.
+    ``build_sliced``, the multi-process engine, and the CLI all route
+    through here, so every caller makes the same deterministic decision.
+    """
+    num_slices = max(1, int(num_slices))
+    partition = partition_fn(graph, num_slices)
+    if queue_capacity is None:
+        return partition
+    largest = max(s.num_vertices for s in partition.slices)
+    if largest <= queue_capacity:
+        return partition
+    exc = QueueCapacityError(graph.num_vertices, queue_capacity)
+    if not auto_slice or exc.required_slices <= num_slices:
+        raise exc
+    partition = partition_fn(graph, exc.required_slices)
+    largest = max(s.num_vertices for s in partition.slices)
+    if largest > queue_capacity:
+        # pathological partitioner (e.g. badly skewed greedy cut):
+        # even the suggested count produced an oversized slice
+        raise QueueCapacityError(graph.num_vertices, queue_capacity)
+    return partition
+
+
+# ----------------------------------------------------------------------
+# The slice-activation kernel, shared by the sequential engine and the
+# multi-process workers.  ``emit(target_slice, event)`` receives every
+# spilled event — cross-slice spills and the swap-out residue — in
+# exactly the order the sequential engine would apply them, which is
+# what keeps both execution modes bit-identical.
+# ----------------------------------------------------------------------
+
+
+def _account_vertex_batch(
+    graph: CSRGraph, batch: List[Event], traffic: TrafficCounters
+) -> None:
+    lines = {graph.vertex_address(e.vertex) // _CACHE_LINE for e in batch}
+    traffic.vertex_bytes_fetched += 2 * len(lines) * _CACHE_LINE
+    traffic.vertex_bytes_useful += 2 * len(batch) * graph.vertex_bytes
+
+
+def _account_edge_slice(
+    graph: CSRGraph, vertex: int, degree: int, traffic: TrafficCounters
+) -> None:
+    start = graph.edge_address(int(graph.offsets[vertex]))
+    stop = graph.edge_address(int(graph.offsets[vertex + 1]))
+    first = start // _CACHE_LINE
+    last = (stop - 1) // _CACHE_LINE
+    traffic.edge_bytes_fetched += (last - first + 1) * _CACHE_LINE
+    traffic.edge_bytes_useful += degree * graph.edge_bytes
+
+
+def _process_slice_event(
+    partition: Partition,
+    spec: AlgorithmSpec,
+    event: Event,
+    state: np.ndarray,
+    traffic: TrafficCounters,
+    queue: CoalescingQueue,
+    slice_index: int,
+    emit: Callable[[int, Event], None],
+    resilience,
+    now: float,
+) -> int:
+    """Process one event; returns the number of events spilled."""
+    graph = partition.graph
+    u = event.vertex
+    traffic.vertex_reads += 1
+    result = spec.apply(float(state[u]), event.delta)
+    if not result.changed:
+        return 0
+    new_state = result.state
+    if resilience is not None:
+        ok, new_state = resilience.guard_value(u, new_state, now)
+        if not ok:
+            # quarantine: reset to identity, never propagate garbage
+            state[u] = new_state
+            traffic.vertex_writes += 1
+            return 0
+    state[u] = new_state
+    traffic.vertex_writes += 1
+    if not spec.should_propagate(result.change):
+        return 0
+    degree = graph.out_degree(u)
+    if degree == 0:
+        return 0
+    traffic.edge_reads += degree
+    _account_edge_slice(graph, u, degree, traffic)
+    neighbors = graph.neighbors(u)
+    weights = graph.edge_weights(u) if spec.uses_weights else None
+    generation = event.generation + 1
+    spilled = 0
+    for k in range(degree):
+        dst = int(neighbors[k])
+        weight = float(weights[k]) if weights is not None else 1.0
+        delta = spec.propagate(result.change, u, dst, weight, degree)
+        if delta == spec.identity:
+            continue
+        new_event = Event(vertex=dst, delta=delta, generation=generation)
+        target_slice = int(partition.slice_of_vertex[dst])
+        if target_slice == slice_index:
+            if resilience is not None:
+                for survivor in resilience.filter_insert(new_event, now):
+                    queue.insert(survivor)
+            else:
+                queue.insert(new_event)
+        else:
+            spilled += 1
+            if resilience is not None and resilience.spill_lost(
+                new_event, now
+            ):
+                continue  # lost in the DRAM spill buffer (not journaled)
+            emit(target_slice, new_event)
+    return spilled
+
+
+def run_slice_activation(
+    partition: Partition,
+    spec: AlgorithmSpec,
+    pass_index: int,
+    slice_index: int,
+    inbound: List[Event],
+    state: np.ndarray,
+    traffic: TrafficCounters,
+    emit: Callable[[int, Event], None],
+    *,
+    num_bins: int = 64,
+    block_size: int = 128,
+    rounds_per_activation: Optional[int] = None,
+    resilience=None,
+) -> Tuple[int, int, int]:
+    """Swap one slice in, drain it, emit outbound spills in order.
+
+    Returns ``(events_processed, rounds, events_spilled)``.  The caller
+    owns what ``emit`` means: the sequential engine coalesces into its
+    in-memory spill buckets and appends to the WAL, a worker process
+    appends to the outbound stream it ships back to the supervisor.
+    Only the vertices of ``partition.slices[slice_index]`` are read or
+    written in ``state`` — the contract that lets the supervisor ship
+    workers a single slice's state shard.
+    """
+    graph = partition.graph
+    now = float(pass_index)
+    queue = CoalescingQueue(
+        graph.num_vertices,
+        spec.reduce,
+        num_bins=num_bins,
+        block_size=block_size,
+    )
+    if resilience is not None:
+        plan = resilience.config.fault_plan
+        if plan.rate("bitflip") > 0 or "bitflip" in plan.scripted:
+            queue.payload_check = lambda event: (
+                resilience.payload_ok(event, now)
+            )
+        for event in inbound:
+            for survivor in resilience.filter_insert(event, now):
+                queue.insert(survivor)
+    else:
+        for event in inbound:
+            queue.insert(event)
+
+    processed = 0
+    spilled = 0
+    rounds = 0
+    while not queue.is_empty:
+        if (
+            rounds_per_activation is not None
+            and rounds >= rounds_per_activation
+        ):
+            break
+        rounds += 1
+        for bin_index in range(queue.num_bins):
+            batch = queue.drain_bin(bin_index)
+            if not batch:
+                continue
+            processed += len(batch)
+            _account_vertex_batch(graph, batch, traffic)
+            for event in batch:
+                spilled += _process_slice_event(
+                    partition,
+                    spec,
+                    event,
+                    state,
+                    traffic,
+                    queue,
+                    slice_index,
+                    emit,
+                    resilience,
+                    now,
+                )
+    # events still queued at swap-out are spilled back to this slice's
+    # own buffer
+    for event in queue.drain_all():
+        emit(slice_index, event)
+        spilled += 1
+    return processed, rounds, spilled
+
+
 class SlicedGraphPulse:
-    """Multi-slice functional GraphPulse execution."""
+    """Multi-slice functional GraphPulse execution.
+
+    Prefer constructing through :func:`repro.core.engines.build_engine`
+    (``name="sliced"``); direct construction remains supported for
+    callers that need a custom :class:`Partition`.
+    """
+
+    #: registry name; subclasses override (the resilience harness keys
+    #: journal/tolerance behavior off it)
+    ENGINE_NAME = "sliced"
 
     def __init__(
         self,
@@ -192,7 +415,7 @@ class SlicedGraphPulse:
         self.resilience: Optional[ResilienceHarness] = None
         if resilience is not None:
             self.resilience = ResilienceHarness(
-                resilience, spec, partition.graph, "sliced"
+                resilience, spec, partition.graph, self.ENGINE_NAME
             )
 
     # ------------------------------------------------------------------
@@ -284,15 +507,14 @@ class SlicedGraphPulse:
             )
 
     # ------------------------------------------------------------------
-    def run(self) -> SlicedResult:
-        partition, spec = self.partition, self.spec
-        graph = partition.graph
-        state = self.state
-        traffic = TrafficCounters()
-        activations: List[SliceActivation] = []
-        spill_written = 0
-        spill_read = 0
+    def _setup_run(self):
+        """Shared run preamble: spill buffers, WAL, seed events, watchdog.
 
+        Returns ``(spill, view, watchdog)``; used by both this class and
+        the multi-process subclass so resume/journal semantics cannot
+        drift between them.
+        """
+        partition, spec = self.partition, self.spec
         # per-slice spill buffers of inbound events (global vertex ids);
         # coalesced on arrival like the DRAM-page burst buffers would be
         spill: List[Dict[int, Event]] = [
@@ -306,18 +528,41 @@ class SlicedGraphPulse:
             for bucket, snap in zip(spill, self._resume_spill or []):
                 bucket.update(snap)
         else:
-            for vertex, delta in spec.initial_events(graph).items():
+            for vertex, delta in spec.initial_events(partition.graph).items():
                 s = int(partition.slice_of_vertex[vertex])
                 spill[s][vertex] = Event(vertex=vertex, delta=delta)
                 if self._journal is not None:
                     self._journal.spill(s, vertex, 0, delta)
             if self._journal is not None:
                 self._journal.commit(0)
-
         if self.resilience is not None:
             watchdog = self.resilience.make_watchdog(self.max_passes)
         else:
             watchdog = ProgressWatchdog(self.max_passes)
+        return spill, view, watchdog
+
+    def _halt_nonconvergence(self, verdict, watchdog, view) -> None:
+        diagnostic = build_diagnostic(
+            "sliced", verdict, watchdog.rounds, view
+        )
+        raise NonConvergenceError(
+            f"{self.spec.name} did not converge within "
+            f"{self.max_passes} slice passes"
+            if verdict == "round-limit"
+            else f"{self.spec.name} made no progress (livelock: "
+            f"events flow but no state changes)",
+            diagnostic,
+        )
+
+    def run(self) -> SlicedResult:
+        partition, spec = self.partition, self.spec
+        state = self.state
+        traffic = TrafficCounters()
+        activations: List[SliceActivation] = []
+        spill_written = 0
+        spill_read = 0
+
+        spill, view, watchdog = self._setup_run()
 
         pass_index = self._start_pass
         try:
@@ -325,17 +570,7 @@ class SlicedGraphPulse:
                 while any(spill):
                     verdict = watchdog.verdict()
                     if verdict is not None:
-                        diagnostic = build_diagnostic(
-                            "sliced", verdict, watchdog.rounds, view
-                        )
-                        raise NonConvergenceError(
-                            f"{spec.name} did not converge within "
-                            f"{self.max_passes} slice passes"
-                            if verdict == "round-limit"
-                            else f"{spec.name} made no progress (livelock: "
-                            f"events flow but no state changes)",
-                            diagnostic,
-                        )
+                        self._halt_nonconvergence(verdict, watchdog, view)
                     writes_before = traffic.vertex_writes
                     pass_processed = 0
                     for slice_index in range(partition.num_slices):
@@ -442,6 +677,22 @@ class SlicedGraphPulse:
             )
 
     # ------------------------------------------------------------------
+    def _absorb_spill(
+        self,
+        spill: List[Dict[int, Event]],
+        target_slice: int,
+        event: Event,
+    ) -> None:
+        """Coalesce one spilled event into its bucket and WAL it."""
+        bucket = spill[target_slice]
+        existing = bucket.get(event.vertex)
+        bucket[event.vertex] = (
+            existing.coalesced_with(event, self.spec.reduce)
+            if existing is not None
+            else event
+        )
+        self._journal_spill(target_slice, event)
+
     def _activate(
         self,
         pass_index: int,
@@ -452,63 +703,21 @@ class SlicedGraphPulse:
         spill: List[Dict[int, Event]],
     ) -> SliceActivation:
         """Swap a slice in, run it, spill outbound events."""
-        partition, spec = self.partition, self.spec
-        graph = partition.graph
         self._now = float(pass_index)
-        queue = CoalescingQueue(
-            graph.num_vertices,
-            spec.reduce,
+        processed, rounds, spilled = run_slice_activation(
+            self.partition,
+            self.spec,
+            pass_index,
+            slice_index,
+            inbound,
+            state,
+            traffic,
+            lambda target, event: self._absorb_spill(spill, target, event),
             num_bins=self.num_bins,
             block_size=self.block_size,
+            rounds_per_activation=self.rounds_per_activation,
+            resilience=self.resilience,
         )
-        if self.resilience is not None:
-            plan = self.resilience.config.fault_plan
-            if plan.rate("bitflip") > 0 or "bitflip" in plan.scripted:
-                queue.payload_check = lambda event: (
-                    self.resilience.payload_ok(event, self._now)
-                )
-            for event in inbound:
-                for survivor in self.resilience.filter_insert(
-                    event, self._now
-                ):
-                    queue.insert(survivor)
-        else:
-            for event in inbound:
-                queue.insert(event)
-
-        processed = 0
-        spilled = 0
-        rounds = 0
-        while not queue.is_empty:
-            if (
-                self.rounds_per_activation is not None
-                and rounds >= self.rounds_per_activation
-            ):
-                break
-            rounds += 1
-            for bin_index in range(queue.num_bins):
-                batch = queue.drain_bin(bin_index)
-                if not batch:
-                    continue
-                processed += len(batch)
-                self._account_vertex_batch(batch, traffic)
-                for event in batch:
-                    spilled += self._process_event(
-                        event, state, traffic, queue, slice_index, spill
-                    )
-        # events still queued at swap-out are spilled back to this
-        # slice's own buffer
-        for event in queue.drain_all():
-            own = spill[slice_index]
-            existing = own.get(event.vertex)
-            own[event.vertex] = (
-                existing.coalesced_with(event, spec.reduce)
-                if existing is not None
-                else event
-            )
-            self._journal_spill(slice_index, event)
-            spilled += 1
-
         if obs_trace.ACTIVE is not None:
             probe.slice_activation(
                 slice_index,
@@ -527,98 +736,6 @@ class SlicedGraphPulse:
             rounds=rounds,
         )
 
-    def _process_event(
-        self,
-        event: Event,
-        state: np.ndarray,
-        traffic: TrafficCounters,
-        queue: CoalescingQueue,
-        slice_index: int,
-        spill: List[Dict[int, Event]],
-    ) -> int:
-        """Process one event; returns the number of events spilled."""
-        partition, spec = self.partition, self.spec
-        graph = partition.graph
-        u = event.vertex
-        traffic.vertex_reads += 1
-        result = spec.apply(float(state[u]), event.delta)
-        if not result.changed:
-            return 0
-        new_state = result.state
-        if self.resilience is not None:
-            ok, new_state = self.resilience.guard_value(u, new_state, self._now)
-            if not ok:
-                # quarantine: reset to identity, never propagate garbage
-                state[u] = new_state
-                traffic.vertex_writes += 1
-                return 0
-        state[u] = new_state
-        traffic.vertex_writes += 1
-        if not spec.should_propagate(result.change):
-            return 0
-        degree = graph.out_degree(u)
-        if degree == 0:
-            return 0
-        traffic.edge_reads += degree
-        self._account_edge_slice(u, degree, traffic)
-        neighbors = graph.neighbors(u)
-        weights = graph.edge_weights(u) if spec.uses_weights else None
-        generation = event.generation + 1
-        spilled = 0
-        for k in range(degree):
-            dst = int(neighbors[k])
-            weight = float(weights[k]) if weights is not None else 1.0
-            delta = spec.propagate(result.change, u, dst, weight, degree)
-            if delta == spec.identity:
-                continue
-            new_event = Event(vertex=dst, delta=delta, generation=generation)
-            target_slice = int(partition.slice_of_vertex[dst])
-            if target_slice == slice_index:
-                if self.resilience is not None:
-                    for survivor in self.resilience.filter_insert(
-                        new_event, self._now
-                    ):
-                        queue.insert(survivor)
-                else:
-                    queue.insert(new_event)
-            else:
-                spilled += 1
-                if self.resilience is not None and self.resilience.spill_lost(
-                    new_event, self._now
-                ):
-                    continue  # lost in the DRAM spill buffer (not journaled)
-                bucket = spill[target_slice]
-                existing = bucket.get(dst)
-                bucket[dst] = (
-                    existing.coalesced_with(new_event, spec.reduce)
-                    if existing is not None
-                    else new_event
-                )
-                self._journal_spill(target_slice, new_event)
-        return spilled
-
-    # ------------------------------------------------------------------
-    def _account_vertex_batch(
-        self, batch: List[Event], traffic: TrafficCounters
-    ) -> None:
-        graph = self.partition.graph
-        lines = {
-            graph.vertex_address(e.vertex) // _CACHE_LINE for e in batch
-        }
-        traffic.vertex_bytes_fetched += 2 * len(lines) * _CACHE_LINE
-        traffic.vertex_bytes_useful += 2 * len(batch) * graph.vertex_bytes
-
-    def _account_edge_slice(
-        self, vertex: int, degree: int, traffic: TrafficCounters
-    ) -> None:
-        graph = self.partition.graph
-        start = graph.edge_address(int(graph.offsets[vertex]))
-        stop = graph.edge_address(int(graph.offsets[vertex + 1]))
-        first = start // _CACHE_LINE
-        last = (stop - 1) // _CACHE_LINE
-        traffic.edge_bytes_fetched += (last - first + 1) * _CACHE_LINE
-        traffic.edge_bytes_useful += degree * graph.edge_bytes
-
 
 def build_sliced(
     graph: CSRGraph,
@@ -635,24 +752,22 @@ def build_sliced(
     The construction half of :func:`run_sliced`, exposed separately so
     ``repro resume`` can rebuild the exact runner a durable run used
     (same deterministic auto-slice decision) and restore a checkpoint
-    into it before running.
+    into it before running.  Slice-count normalization is
+    :func:`resolve_partition`'s job — this helper adds nothing to it.
     """
-    try:
-        return SlicedGraphPulse(
-            partition_fn(graph, num_slices),
-            spec,
-            queue_capacity=queue_capacity,
-            **kwargs,
-        )
-    except QueueCapacityError as exc:
-        if not auto_slice or exc.required_slices <= num_slices:
-            raise
-        return SlicedGraphPulse(
-            partition_fn(graph, exc.required_slices),
-            spec,
-            queue_capacity=queue_capacity,
-            **kwargs,
-        )
+    partition = resolve_partition(
+        graph,
+        num_slices=num_slices,
+        queue_capacity=queue_capacity,
+        auto_slice=auto_slice,
+        partition_fn=partition_fn,
+    )
+    return SlicedGraphPulse(
+        partition,
+        spec,
+        queue_capacity=queue_capacity,
+        **kwargs,
+    )
 
 
 def run_sliced(
@@ -743,6 +858,10 @@ class ParallelSlicedGraphPulse:
     The asynchronous model makes this safe: any delivery schedule
     converges to the same fixed point, which the tests assert against
     the single-accelerator engines.
+
+    Prefer constructing through :func:`repro.core.engines.build_engine`
+    (``name="parallel-sliced"``); direct construction remains supported
+    for callers that need a custom :class:`Partition`.
     """
 
     def __init__(

@@ -26,6 +26,7 @@ __all__ = [
     "CheckpointCorruptError",
     "ManifestMismatchError",
     "RunInterruptedError",
+    "LeaseHeldError",
 ]
 
 
@@ -127,6 +128,24 @@ class ManifestMismatchError(ReproError, ValueError):
     unknown engine/workload, or its recorded graph fingerprint disagrees
     with the graph the workload reproduces — resuming against a
     different graph would silently produce wrong answers.
+    """
+
+    def __init__(self, message: str, **context: Any):
+        super().__init__(message)
+        self.context: Dict[str, Any] = context
+
+
+class LeaseHeldError(ReproError, RuntimeError):
+    """A slice lease is held by a live owner and cannot be taken.
+
+    Raised when a worker tries to acquire a lease file that already
+    exists, or when the supervisor asks to break a lease whose holder
+    still heartbeats (its pid is alive and the file's mtime is fresh).
+    Stale leases — dead pid, or no heartbeat within the timeout — are
+    broken silently; this error firing means two live processes claim
+    the same slice, which is a configuration bug, never a race to paper
+    over.  ``context`` carries the lease ``path`` and whatever is known
+    about the ``holder``.
     """
 
     def __init__(self, message: str, **context: Any):

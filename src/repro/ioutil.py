@@ -19,7 +19,12 @@ import os
 import tempfile
 from typing import IO, Iterator, Union
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_open"]
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_open",
+    "exclusive_create_bytes",
+]
 
 PathLike = Union[str, os.PathLike]
 
@@ -51,6 +56,31 @@ def atomic_open(path: PathLike, mode: str = "w") -> Iterator[IO]:
         with contextlib.suppress(OSError):
             os.unlink(tmp_path)
         raise
+
+
+def exclusive_create_bytes(path: PathLike, data: bytes) -> None:
+    """Create ``path`` with ``data`` iff it does not already exist.
+
+    ``O_CREAT | O_EXCL`` makes creation an atomic test-and-set on POSIX:
+    exactly one of several racing writers wins, the rest get
+    :class:`FileExistsError`.  This is the primitive behind per-slice
+    lease files — ownership is whoever's create succeeded.  The data and
+    the containing directory are fsynced so the claim survives a crash.
+    """
+    path = os.fspath(path)
+    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    directory = os.path.dirname(path) or "."
+    with contextlib.suppress(OSError):
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
 
 
 def atomic_write_bytes(path: PathLike, data: bytes) -> None:

@@ -443,6 +443,44 @@ def fault_detected(
     t.instant("fault.detect", CAT_RESIL, ts, "resilience", **args)
 
 
+def worker_activation(
+    worker_id: int,
+    slice_index: int,
+    pass_index: int,
+    *,
+    events_in: int,
+    events_processed: int,
+    events_spilled: int,
+    rounds: int,
+    epoch: int = 0,
+) -> None:
+    """One slice activation attributed to its worker process.
+
+    Emitted by the multi-process supervisor (workers never write to the
+    parent's tracer), so every worker's spans land in the one Chrome
+    trace on its own ``workerN`` track.  Timestamps stay in the engine's
+    pass domain — duration is the activation's engine rounds — keeping
+    traces deterministic like every other emitter here.
+    """
+    t = _active()
+    if t is None:
+        return
+    t.complete(
+        "worker.activate",
+        CAT_SLICE,
+        float(pass_index),
+        max(float(rounds), 1.0),
+        f"worker{worker_id}",
+        slice=slice_index,
+        pass_index=pass_index,
+        epoch=epoch,
+        events_in=events_in,
+        events_processed=events_processed,
+        events_spilled=events_spilled,
+        rounds=rounds,
+    )
+
+
 def recovery_span(
     action: str, start: float, end: float, **extra: Any
 ) -> None:

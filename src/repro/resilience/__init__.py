@@ -33,6 +33,15 @@ from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultRecord
 from .harness import ResilienceConfig, ResilienceHarness
 from .invariants import RepairPlan, compute_repairs, state_invalid
 from .journal import SpillJournal
+from .lease import (
+    DEFAULT_LEASE_TIMEOUT,
+    LeaseInfo,
+    SliceLease,
+    break_stale,
+    is_stale,
+    lease_path,
+    read_lease,
+)
 from .watchdog import ProgressWatchdog, build_diagnostic
 
 __all__ = [
@@ -61,6 +70,13 @@ __all__ = [
     "state_invalid",
     "Checkpoint",
     "CheckpointManager",
+    "DEFAULT_LEASE_TIMEOUT",
+    "LeaseInfo",
+    "SliceLease",
+    "break_stale",
+    "is_stale",
+    "lease_path",
+    "read_lease",
     "ProgressWatchdog",
     "build_diagnostic",
     "ResilienceConfig",

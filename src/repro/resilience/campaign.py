@@ -174,34 +174,21 @@ def _execute(
     num_slices: int = 2,
 ) -> Tuple[np.ndarray, float, str, Optional[Dict[str, Any]]]:
     """Run one engine; returns (state, duration, time_unit, summary)."""
-    if engine == "functional":
-        from ..core.functional import FunctionalGraphPulse
+    from ..core.engines import build_engine
 
-        result = FunctionalGraphPulse(graph, spec, resilience=resilience).run()
-        return result.values, float(result.num_rounds), "rounds", result.resilience
-    if engine == "cycle":
-        from ..core.accelerator import GraphPulseAccelerator
-
-        result = GraphPulseAccelerator(graph, spec, resilience=resilience).run()
-        return (
-            result.values,
-            float(result.total_cycles),
-            "cycles",
-            result.resilience,
-        )
+    options: Dict[str, Any] = {}
     if engine == "sliced":
-        from ..core.slicing import run_sliced
-
-        result = run_sliced(
-            graph, spec, num_slices=num_slices, resilience=resilience
-        )
-        return (
-            result.values,
-            float(result.total_rounds),
-            "rounds",
-            result.resilience,
-        )
-    raise ValueError(f"unknown campaign engine {engine!r}")
+        options["num_slices"] = num_slices
+    elif engine not in ("functional", "cycle"):
+        raise ValueError(f"unknown campaign engine {engine!r}")
+    result = build_engine(
+        engine, (graph, spec), options, resilience=resilience
+    ).run()
+    if engine == "cycle":
+        duration, unit = float(result.stats["cycles"]), "cycles"
+    else:
+        duration, unit = float(result.rounds), "rounds"
+    return result.values, duration, unit, result.resilience
 
 
 def _compare(spec: Any, reference: np.ndarray, faulty: np.ndarray) -> Tuple[float, bool]:

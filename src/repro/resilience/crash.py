@@ -133,13 +133,15 @@ class CrashTrial:
 
 def _round_key(engine: str) -> str:
     """The summary counter that defines the convergence round."""
-    return "passes" if engine == "sliced" else "rounds"
+    return "passes" if engine in ("sliced", "sliced-mp") else "rounds"
 
 
 def _engine_args(engine: str) -> List[str]:
     args = ["--engine", engine]
     if engine == "sliced":
         args += ["--num-slices", "2"]
+    elif engine == "sliced-mp":
+        args += ["--num-slices", "2", "--workers", "2"]
     return args
 
 

@@ -652,14 +652,19 @@ def build_manifest(config: Any, graph: Any, engine: str, spec: Any) -> Dict[str,
             "checkpoint_keep": int(config.checkpoint_keep),
             "fault_plan": config.fault_plan.to_dict(),
         },
-        "journal": JOURNAL_NAME if engine == "sliced" else None,
+        "journal": JOURNAL_NAME if engine in ("sliced", "sliced-mp") else None,
         "checkpoints": [],
     }
 
 
 @dataclass
 class ResumeOutcome:
-    """What :func:`resume_run` hands back to the CLI."""
+    """What :func:`resume_run` hands back to the CLI.
+
+    ``result`` is the engine-independent
+    :class:`repro.core.engines.RunResult`; the engine's native result
+    object rides along as ``result.raw``.
+    """
 
     engine: str
     manifest: Dict[str, Any]
@@ -679,8 +684,7 @@ def resume_run(run_dir: PathLike) -> ResumeOutcome:
     # local imports: durable is reachable from the engines through the
     # harness, so importing them at module scope would be circular
     from ..analysis import prepare_workload
-    from ..core import FunctionalGraphPulse, GraphPulseAccelerator
-    from ..core.slicing import build_sliced
+    from ..core.engines import build_engine, resumable_engine_names
     from ..graph.io import graph_fingerprint
     from .faults import FaultPlan
     from .harness import ResilienceConfig
@@ -702,9 +706,10 @@ def resume_run(run_dir: PathLike) -> ResumeOutcome:
             run_dir=str(store.run_dir),
         )
     engine = manifest.get("engine")
-    if engine not in ("functional", "cycle", "sliced"):
+    if engine not in resumable_engine_names():
         raise ManifestMismatchError(
-            f"{store.manifest_path}: unknown engine {engine!r}",
+            f"{store.manifest_path}: engine {engine!r} is not resumable "
+            f"(expected one of {', '.join(resumable_engine_names())})",
             run_dir=str(store.run_dir),
             engine=engine,
         )
@@ -743,30 +748,31 @@ def resume_run(run_dir: PathLike) -> ResumeOutcome:
             run_dir=str(store.run_dir),
         )
 
-    options = manifest.get("engine_options") or {}
-    if engine == "functional":
-        runner: Any = FunctionalGraphPulse(graph, spec, resilience=config)
-    elif engine == "cycle":
-        runner = GraphPulseAccelerator(graph, spec, resilience=config)
-    else:
-        runner = build_sliced(
-            graph,
-            spec,
-            num_slices=int(options.get("num_slices", 2)),
-            queue_capacity=options.get("queue_capacity"),
-            auto_slice=bool(options.get("auto_slice", True)),
-            resilience=config,
-        )
-        if restored is None and store.journal_path.exists():
-            # killed before the first checkpoint: restart from scratch,
-            # resetting the journal so the fresh run's records do not
-            # stack on the dead run's uncheckpointed history
-            SpillJournal.create(
-                store.journal_path, runner.partition.num_slices
-            ).close()
+    stored_options = manifest.get("engine_options") or {}
+    options: Dict[str, Any] = {}
+    if engine in ("sliced", "sliced-mp"):
+        options = {
+            "num_slices": int(stored_options.get("num_slices", 2)),
+            "queue_capacity": stored_options.get("queue_capacity"),
+            "auto_slice": bool(stored_options.get("auto_slice", True)),
+        }
+    if engine == "sliced-mp":
+        options["num_workers"] = int(stored_options.get("num_workers", 2))
+    handle = build_engine(engine, (graph, spec), options, resilience=config)
+    if (
+        engine in ("sliced", "sliced-mp")
+        and restored is None
+        and store.journal_path.exists()
+    ):
+        # killed before the first checkpoint: restart from scratch,
+        # resetting the journal so the fresh run's records do not
+        # stack on the dead run's uncheckpointed history
+        SpillJournal.create(
+            store.journal_path, handle.runner.partition.num_slices
+        ).close()
     if restored is not None:
-        runner.restore(restored)
-    result = runner.run()
+        handle.restore(restored)
+    result = handle.run()
     if obs_trace.ACTIVE is not None:
         probe.resume_span(
             wall_start,

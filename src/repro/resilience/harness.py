@@ -160,7 +160,9 @@ class ResilienceHarness:
                 store=store,
                 engine=engine,
                 algorithm=spec.name,
-                queue_kind="spill" if engine == "sliced" else "bins",
+                queue_kind=(
+                    "spill" if engine in ("sliced", "sliced-mp") else "bins"
+                ),
             )
             if config.resume:
                 self.durable.taken = store.next_seq()
@@ -342,8 +344,8 @@ class ResilienceHarness:
             )
 
     def open_journal(self, num_slices: int) -> Optional[Any]:
-        """The sliced engine's spill journal (None unless durable+sliced)."""
-        if self.durable is None or self.engine != "sliced":
+        """The sliced engines' spill journal (None unless durable+sliced)."""
+        if self.durable is None or self.engine not in ("sliced", "sliced-mp"):
             return None
         from .journal import SpillJournal
 
@@ -444,7 +446,7 @@ class ResilienceHarness:
             # activation, so sub-threshold tails accumulate over more,
             # smaller rounds than the single-queue engines; its fault-free
             # residual band is correspondingly wider
-            if self.engine == "sliced":
+            if self.engine in ("sliced", "sliced-mp"):
                 per_edge *= 4.0
             self._tolerance = np.maximum(
                 1e-12, per_edge * np.maximum(in_degree, 1)

@@ -149,6 +149,19 @@ class SpillJournal:
             for vertex, (delta, generation) in bucket.items():
                 self.spill(slice_index, vertex, generation, delta)
 
+    def discard_uncommitted(self) -> None:
+        """Drop every record buffered since the last commit.
+
+        The multi-process supervisor calls this when a worker dies
+        mid-pass: the failed pass attempt's consume/spill records never
+        reached disk (records only hit storage at :meth:`commit`), so
+        discarding the buffer rewinds the WAL to exactly the last
+        per-pass commit — the same point the in-memory rollback restores
+        — and the retried pass re-records from there.  The on-disk file
+        ends up byte-identical to a run that never lost a worker.
+        """
+        self._buffer = []
+
     def commit(self, commit_id: int) -> None:
         """Flush all buffered records + a commit marker to stable storage."""
         self._buffer.append(_record(_TYPE_COMMIT, _COMMIT.pack(commit_id)))

@@ -1,0 +1,216 @@
+"""Per-slice lease files: crash-detectable slice ownership on disk.
+
+The multi-process sliced runtime gives every slice to exactly one
+worker process.  Ownership is recorded as a **lease file** in the run
+directory (durable runs) or a scratch directory (ephemeral runs):
+
+- **acquire** is an atomic ``O_CREAT | O_EXCL`` create
+  (:func:`repro.ioutil.exclusive_create_bytes`) writing a small JSON
+  record — owner name, pid, epoch.  Two processes racing for the same
+  slice cannot both win; the loser sees the holder and raises
+  :class:`repro.errors.LeaseHeldError`.
+- **heartbeat** is an mtime refresh (``os.utime``).  Workers run a
+  daemon thread touching their leases every few hundred milliseconds.
+- **staleness** is observable by anyone: a lease is stale when its
+  recorded pid no longer exists *or* its mtime has not been refreshed
+  within the timeout.  A SIGKILLed worker stops heartbeating instantly
+  and its pid is reaped by the supervisor's ``join``, so both signals
+  fire.
+- **break_stale** unlinks a stale lease so the slice can be re-leased
+  to a replacement worker.  Breaking a *fresh* lease is refused with
+  :class:`LeaseHeldError` — the supervisor only ever breaks leases of
+  workers it has already observed dead, so a refusal here means two
+  live runs share a run directory.
+
+The protocol is deliberately file-only (no locks, no sockets): it
+survives the same crash spectrum as the GPCK/GPJL durable layer and can
+be inspected with ``ls`` and ``cat`` while a run is live.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import LeaseHeldError
+from ..ioutil import exclusive_create_bytes
+
+__all__ = [
+    "LeaseInfo",
+    "SliceLease",
+    "lease_path",
+    "read_lease",
+    "is_stale",
+    "break_stale",
+    "DEFAULT_LEASE_TIMEOUT",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: seconds without a heartbeat after which a live-pid lease is stale
+DEFAULT_LEASE_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """The JSON payload of a lease file."""
+
+    slice_index: int
+    owner: str
+    pid: int
+    epoch: int
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "slice": self.slice_index,
+                "owner": self.owner,
+                "pid": self.pid,
+                "epoch": self.epoch,
+            },
+            sort_keys=True,
+        )
+
+
+def lease_path(lease_dir: PathLike, slice_index: int) -> Path:
+    """Canonical lease file location for one slice."""
+    return Path(lease_dir) / f"slice-{slice_index:04d}.lease"
+
+
+def read_lease(path: PathLike) -> Optional[LeaseInfo]:
+    """Parse a lease file; ``None`` if it is missing or unreadable.
+
+    An unreadable lease (torn write, hand-edited) parses as ``None``
+    and is therefore treated as stale by :func:`is_stale` — an owner
+    that cannot prove liveness does not hold the slice.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+        return LeaseInfo(
+            slice_index=int(payload["slice"]),
+            owner=str(payload["owner"]),
+            pid=int(payload["pid"]),
+            epoch=int(payload.get("epoch", 0)),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def is_stale(path: PathLike, *, timeout: float = DEFAULT_LEASE_TIMEOUT) -> bool:
+    """Whether the lease at ``path`` has a dead or silent owner.
+
+    Missing files are *not* stale (there is nothing to break — acquire
+    would simply succeed); unparseable files are.
+    """
+    path = Path(path)
+    try:
+        mtime = path.stat().st_mtime
+    except FileNotFoundError:
+        return False
+    info = read_lease(path)
+    if info is None or not _pid_alive(info.pid):
+        return True
+    return (time.time() - mtime) > timeout
+
+
+def break_stale(
+    path: PathLike, *, timeout: float = DEFAULT_LEASE_TIMEOUT
+) -> bool:
+    """Unlink a stale lease so the slice can be re-leased.
+
+    Returns ``True`` if a stale lease was removed, ``False`` if there
+    was no lease to begin with.  Raises :class:`LeaseHeldError` when the
+    lease is fresh — its owner is alive and heartbeating.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    if not is_stale(path, timeout=timeout):
+        info = read_lease(path)
+        raise LeaseHeldError(
+            f"{path}: lease is held by live owner "
+            f"{info.owner if info else '<unreadable>'} "
+            f"(pid {info.pid if info else '?'})",
+            path=str(path),
+            holder=None if info is None else info.owner,
+            pid=None if info is None else info.pid,
+        )
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+class SliceLease:
+    """One held lease: acquire exclusively, heartbeat, release.
+
+    Instances are only ever created through :meth:`acquire`; holding one
+    means the atomic create succeeded and this process owns the slice
+    until :meth:`release` (or death, after which the lease goes stale).
+    """
+
+    def __init__(self, path: Path, info: LeaseInfo):
+        self.path = path
+        self.info = info
+
+    @classmethod
+    def acquire(
+        cls,
+        lease_dir: PathLike,
+        slice_index: int,
+        *,
+        owner: str,
+        pid: Optional[int] = None,
+        epoch: int = 0,
+    ) -> "SliceLease":
+        """Atomically claim ``slice_index``; raise if someone holds it."""
+        info = LeaseInfo(
+            slice_index=slice_index,
+            owner=owner,
+            pid=os.getpid() if pid is None else pid,
+            epoch=epoch,
+        )
+        path = lease_path(lease_dir, slice_index)
+        try:
+            exclusive_create_bytes(path, info.to_json().encode("utf-8"))
+        except FileExistsError:
+            holder = read_lease(path)
+            raise LeaseHeldError(
+                f"{path}: slice {slice_index} is already leased to "
+                f"{holder.owner if holder else '<unreadable>'} "
+                f"(pid {holder.pid if holder else '?'})",
+                path=str(path),
+                slice=slice_index,
+                holder=None if holder is None else holder.owner,
+                pid=None if holder is None else holder.pid,
+            ) from None
+        return cls(path, info)
+
+    def refresh(self) -> None:
+        """Heartbeat: bump the lease's mtime to now."""
+        try:
+            os.utime(self.path)
+        except FileNotFoundError:
+            pass  # broken from under us; the next acquire conflict reports it
+
+    def release(self) -> None:
+        """Give the slice up cleanly (idempotent)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,187 @@
+"""Tests for the Engine API: registry, RunResult schema, cross-engine
+bit-identity.
+
+Every engine is constructed exclusively through ``build_engine`` here —
+the same path the CLI, the crash harness and the benchmarks use — so
+these tests pin the one construction/result contract everything else
+relies on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.core import (
+    RUN_RESULT_SCHEMA,
+    RunResult,
+    build_engine,
+    engine_names,
+    engine_spec,
+    resilient_engine_names,
+    resumable_engine_names,
+    validate_run_result,
+)
+from repro.errors import ReproError
+from repro.graph import erdos_renyi_graph, random_weights, rmat_graph
+from repro.resilience import ResilienceConfig
+
+ALL_ENGINES = (
+    "functional",
+    "cycle",
+    "sliced",
+    "sliced-mp",
+    "parallel-sliced",
+    "bsp",
+    "ligra",
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(250, 1500, seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return erdos_renyi_graph(120, 700, seed=5)
+
+
+def _options(engine):
+    if engine in ("sliced", "parallel-sliced"):
+        return {"num_slices": 3}
+    if engine == "sliced-mp":
+        return {"num_slices": 3, "num_workers": 2}
+    return {}
+
+
+class TestRegistry:
+    def test_all_engines_registered(self):
+        assert set(ALL_ENGINES) <= set(engine_names())
+
+    def test_unknown_engine_rejected(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with pytest.raises(ReproError, match="unknown engine"):
+            build_engine("warp-drive", (graph, spec))
+
+    def test_unknown_option_rejected(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with pytest.raises(ReproError, match="does not accept option"):
+            build_engine("bsp", (graph, spec), {"num_slices": 2})
+
+    def test_resilience_refused_by_nonresilient_engines(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        config = ResilienceConfig()
+        for engine in ("bsp", "ligra", "parallel-sliced"):
+            with pytest.raises(ReproError, match="does not support"):
+                build_engine(
+                    engine,
+                    (graph, spec),
+                    _options(engine),
+                    resilience=config,
+                )
+
+    def test_capability_flags(self):
+        resilient = set(resilient_engine_names())
+        assert resilient == {"functional", "cycle", "sliced", "sliced-mp"}
+        resumable = set(resumable_engine_names())
+        assert resumable == {"functional", "cycle", "sliced", "sliced-mp"}
+
+    def test_engine_spec_lookup(self):
+        spec = engine_spec("sliced-mp")
+        assert spec.resilient and spec.resumable
+        assert spec.description
+
+
+class TestRunResultSchema:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_payload_validates_for_every_engine(self, graph, engine):
+        spec = algorithms.make_pagerank_delta()
+        result = build_engine(engine, (graph, spec), _options(engine)).run()
+        assert isinstance(result, RunResult)
+        payload = result.to_json()
+        validate_run_result(payload)  # raises on any schema violation
+        assert payload["engine"] == engine
+        assert payload["converged"] is True
+        json.dumps(payload)  # JSON-serializable as-is
+        assert result.values.dtype == np.float64
+        assert result.raw is not None
+
+    def test_validation_catches_missing_key(self):
+        payload = {key: None for key in RUN_RESULT_SCHEMA}
+        payload.update(engine="functional", converged=True, stats={})
+        del payload["rounds"]
+        with pytest.raises(ValueError, match="missing"):
+            validate_run_result(payload)
+
+    def test_validation_catches_extra_key(self):
+        payload = {
+            "engine": "bsp",
+            "converged": True,
+            "rounds": 3,
+            "passes": None,
+            "stats": {},
+            "resilience": None,
+            "surprise": 1,
+        }
+        with pytest.raises(ValueError, match="unexpected"):
+            validate_run_result(payload)
+
+    def test_validation_catches_wrong_type(self):
+        payload = {
+            "engine": "bsp",
+            "converged": "yes",
+            "rounds": 3,
+            "passes": None,
+            "stats": {},
+            "resilience": None,
+        }
+        with pytest.raises(ValueError, match="converged"):
+            validate_run_result(payload)
+
+
+class TestCrossEngineIdentity:
+    """All engines compute the same fixed point on the same workload."""
+
+    @pytest.mark.parametrize("fixture", ["graph", "small_graph"])
+    def test_pagerank_matches_functional_reference(self, fixture, request):
+        g = request.getfixturevalue(fixture)
+        reference = algorithms.pagerank_reference(g)
+        for engine in ALL_ENGINES:
+            result = build_engine(
+                engine, (g, algorithms.make_pagerank_delta()), _options(engine)
+            ).run()
+            assert np.allclose(result.values, reference, atol=1e-4), engine
+            assert result.converged, engine
+
+    @pytest.mark.parametrize("fixture", ["graph", "small_graph"])
+    def test_sssp_exact_across_engines(self, fixture, request):
+        g = random_weights(request.getfixturevalue(fixture), seed=7)
+        root = int(np.argmax(g.out_degrees()))
+        spec = algorithms.make_sssp(root=root)
+        reference = algorithms.sssp_reference(g, root)
+        for engine in ALL_ENGINES:
+            result = build_engine(engine, (g, spec), _options(engine)).run()
+            finite = np.isfinite(reference)
+            assert np.array_equal(
+                result.values[finite], reference[finite]
+            ), engine
+            assert np.array_equal(
+                np.isfinite(result.values), finite
+            ), engine
+
+    def test_sliced_mp_bit_identical_to_sliced(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        sequential = build_engine(
+            "sliced", (graph, spec), {"num_slices": 3}
+        ).run()
+        parallel = build_engine(
+            "sliced-mp", (graph, spec), {"num_slices": 3, "num_workers": 2}
+        ).run()
+        assert sequential.values.tobytes() == parallel.values.tobytes()
+        assert sequential.passes == parallel.passes
+        assert sequential.rounds == parallel.rounds
+        assert (
+            sequential.stats["spill_bytes"] == parallel.stats["spill_bytes"]
+        )

@@ -1,0 +1,205 @@
+"""Tests for the multi-process sliced runtime (leases, crash recovery).
+
+The load-bearing property is *bit-identity with the sequential sliced
+engine* — with and without a worker being SIGKILLed mid-pass.  The
+supervisor dispatches slices in the same order the sequential engine
+drains them, so every float64 of the final state (and the pass/round/
+spill accounting) must match exactly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import algorithms
+from repro.core import build_engine
+from repro.core.mpsliced import (
+    KILL_WORKER_ENV,
+    MultiprocessSlicedGraphPulse,
+    _parse_kill_spec,
+)
+from repro.core.slicing import resolve_partition
+from repro.errors import LeaseHeldError, ReproError
+from repro.graph import random_weights, rmat_graph
+from repro.resilience import FaultPlan, ResilienceConfig
+from repro.resilience.lease import SliceLease, lease_path
+
+WORKLOAD = {"num_slices": 3, "num_workers": 2}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(300, 1800, seed=41)
+
+
+def _run_sequential(graph, spec):
+    return build_engine("sliced", (graph, spec), {"num_slices": 3}).run()
+
+
+class TestBitIdentity:
+    def test_pagerank_matches_sequential_exactly(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        sequential = _run_sequential(graph, spec)
+        mp = build_engine("sliced-mp", (graph, spec), dict(WORKLOAD)).run()
+        assert mp.values.tobytes() == sequential.values.tobytes()
+        assert mp.passes == sequential.passes
+        assert mp.rounds == sequential.rounds
+        assert mp.stats["spill_bytes"] == sequential.stats["spill_bytes"]
+        assert mp.stats["workers"] == 2
+        assert mp.stats["recoveries"] == 0
+
+    def test_sssp_matches_sequential_exactly(self, graph):
+        g = random_weights(graph, seed=7)
+        root = int(np.argmax(g.out_degrees()))
+        spec = algorithms.make_sssp(root=root)
+        sequential = _run_sequential(g, spec)
+        mp = build_engine("sliced-mp", (g, spec), dict(WORKLOAD)).run()
+        assert mp.values.tobytes() == sequential.values.tobytes()
+
+    def test_more_workers_than_slices_is_clamped(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        mp = build_engine(
+            "sliced-mp",
+            (graph, spec),
+            {"num_slices": 2, "num_workers": 16},
+        ).run()
+        assert mp.stats["workers"] == 2
+        sequential = build_engine(
+            "sliced", (graph, spec), {"num_slices": 2}
+        ).run()
+        assert mp.values.tobytes() == sequential.values.tobytes()
+
+
+class TestKillRecovery:
+    def test_worker_sigkill_recovers_bit_identically(
+        self, graph, monkeypatch
+    ):
+        spec = algorithms.make_pagerank_delta()
+        sequential = _run_sequential(graph, spec)
+        # kill the worker owning slice 1 while it drains pass 2
+        monkeypatch.setenv(KILL_WORKER_ENV, "1:2")
+        mp = build_engine("sliced-mp", (graph, spec), dict(WORKLOAD)).run()
+        assert mp.stats["recoveries"] == 1
+        assert mp.values.tobytes() == sequential.values.tobytes()
+        assert mp.passes == sequential.passes
+        assert mp.rounds == sequential.rounds
+        assert mp.stats["spill_bytes"] == sequential.stats["spill_bytes"]
+
+    def test_kill_at_first_pass_first_slice(self, graph, monkeypatch):
+        spec = algorithms.make_pagerank_delta()
+        sequential = _run_sequential(graph, spec)
+        monkeypatch.setenv(KILL_WORKER_ENV, "0:0")
+        mp = build_engine("sliced-mp", (graph, spec), dict(WORKLOAD)).run()
+        assert mp.stats["recoveries"] == 1
+        assert mp.values.tobytes() == sequential.values.tobytes()
+
+    def test_kill_during_durable_run_replays_journal(
+        self, graph, monkeypatch, tmp_path
+    ):
+        # NOTE: resilience mode changes the sliced trajectory (journal
+        # coalescing and watchdog accounting), so the bit-identity
+        # reference is a *durable* sequential run, not a plain one.
+        spec = algorithms.make_pagerank_delta()
+
+        def _config(run_dir, options):
+            return ResilienceConfig(
+                checkpoint_interval=2,
+                checkpoint_dir=str(run_dir),
+                run_meta={
+                    "workload": {
+                        "algorithm": "pagerank",
+                        "dataset": "x",
+                        "scale": 1.0,
+                    },
+                    "engine_options": options,
+                },
+            )
+
+        sequential = build_engine(
+            "sliced",
+            (graph, spec),
+            {"num_slices": 3},
+            resilience=_config(tmp_path / "seq", {"num_slices": 3}),
+        ).run()
+        run_dir = tmp_path / "run"
+        monkeypatch.setenv(KILL_WORKER_ENV, "2:3")
+        mp = build_engine(
+            "sliced-mp",
+            (graph, spec),
+            dict(WORKLOAD),
+            resilience=_config(run_dir, dict(WORKLOAD)),
+        ).run()
+        assert mp.stats["recoveries"] == 1
+        assert mp.values.tobytes() == sequential.values.tobytes()
+        assert mp.passes == sequential.passes
+        # the journal survived the kill and stayed replayable
+        assert (run_dir / "journal.bin").exists()
+
+    def test_kill_spec_parsing(self):
+        assert _parse_kill_spec("1:2") == (1, 2)
+        assert _parse_kill_spec(None) is None
+        assert _parse_kill_spec("") is None
+        assert _parse_kill_spec("nonsense") is None
+
+
+class TestLeaseProtocol:
+    def test_run_writes_and_releases_leases(self, graph, tmp_path):
+        spec = algorithms.make_pagerank_delta()
+        mp = build_engine(
+            "sliced-mp",
+            (graph, spec),
+            {**WORKLOAD, "lease_dir": str(tmp_path)},
+        ).run()
+        assert mp.converged
+        # all leases released on clean shutdown
+        for slice_index in range(3):
+            assert not lease_path(tmp_path, slice_index).exists()
+
+    def test_live_foreign_lease_rejects_the_run(self, graph, tmp_path):
+        spec = algorithms.make_pagerank_delta()
+        SliceLease.acquire(tmp_path, 1, owner="another-live-run")
+        with pytest.raises(LeaseHeldError):
+            build_engine(
+                "sliced-mp",
+                (graph, spec),
+                {**WORKLOAD, "lease_dir": str(tmp_path)},
+            ).run()
+
+    def test_stale_leftover_leases_are_swept(self, graph, tmp_path):
+        spec = algorithms.make_pagerank_delta()
+        # a dead pid's leftover lease (prior SIGKILLed run)
+        SliceLease.acquire(tmp_path, 0, owner="dead-run", pid=2**22 + 12345)
+        mp = build_engine(
+            "sliced-mp",
+            (graph, spec),
+            {**WORKLOAD, "lease_dir": str(tmp_path)},
+        ).run()
+        assert mp.converged
+
+
+class TestGuards:
+    def test_fault_plans_rejected(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        config = ResilienceConfig(
+            fault_plan=FaultPlan.uniform(0.01, seed=0, kinds=("drop",))
+        )
+        with pytest.raises(ReproError, match="fault injection"):
+            build_engine(
+                "sliced-mp", (graph, spec), dict(WORKLOAD), resilience=config
+            )
+
+    def test_zero_workers_rejected(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        partition = resolve_partition(graph, num_slices=2)
+        with pytest.raises(ReproError, match="num_workers"):
+            MultiprocessSlicedGraphPulse(partition, spec, num_workers=0)
+
+    def test_resilience_without_faults_is_accepted(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        config = ResilienceConfig()
+        mp = build_engine(
+            "sliced-mp", (graph, spec), dict(WORKLOAD), resilience=config
+        ).run()
+        assert mp.converged
+        assert mp.resilience is not None

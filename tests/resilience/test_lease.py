@@ -1,0 +1,102 @@
+"""Tests for per-slice lease files (the sliced-mp ownership protocol)."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import LeaseHeldError
+from repro.resilience.lease import (
+    LeaseInfo,
+    SliceLease,
+    break_stale,
+    is_stale,
+    lease_path,
+    read_lease,
+)
+
+
+class TestAcquire:
+    def test_acquire_writes_lease_file(self, tmp_path):
+        lease = SliceLease.acquire(tmp_path, 3, owner="worker0", epoch=2)
+        path = lease_path(tmp_path, 3)
+        assert path.exists()
+        info = read_lease(path)
+        assert info == LeaseInfo(
+            slice_index=3, owner="worker0", pid=os.getpid(), epoch=2
+        )
+        lease.release()
+        assert not path.exists()
+
+    def test_double_acquire_rejected(self, tmp_path):
+        SliceLease.acquire(tmp_path, 0, owner="worker0")
+        with pytest.raises(LeaseHeldError) as excinfo:
+            SliceLease.acquire(tmp_path, 0, owner="worker1")
+        assert "worker0" in str(excinfo.value)
+
+    def test_release_is_idempotent(self, tmp_path):
+        lease = SliceLease.acquire(tmp_path, 1, owner="w")
+        lease.release()
+        lease.release()  # second release must not raise
+
+    def test_refresh_bumps_mtime(self, tmp_path):
+        lease = SliceLease.acquire(tmp_path, 0, owner="w")
+        before = lease.path.stat().st_mtime
+        os.utime(lease.path, (before - 100, before - 100))
+        lease.refresh()
+        assert lease.path.stat().st_mtime > before - 100
+
+
+class TestStaleness:
+    def test_missing_lease_is_not_stale(self, tmp_path):
+        assert not is_stale(lease_path(tmp_path, 0), timeout=0.1)
+
+    def test_fresh_lease_of_live_pid_is_not_stale(self, tmp_path):
+        lease = SliceLease.acquire(tmp_path, 0, owner="w")
+        assert not is_stale(lease.path, timeout=60.0)
+
+    def test_dead_pid_is_stale(self, tmp_path):
+        lease = SliceLease.acquire(tmp_path, 0, owner="w", pid=2**22 + 12345)
+        assert is_stale(lease.path, timeout=3600.0)
+
+    def test_expired_heartbeat_is_stale(self, tmp_path):
+        lease = SliceLease.acquire(tmp_path, 0, owner="w")
+        old = time.time() - 30.0
+        os.utime(lease.path, (old, old))
+        assert is_stale(lease.path, timeout=5.0)
+
+    def test_unparseable_lease_is_stale(self, tmp_path):
+        path = lease_path(tmp_path, 0)
+        path.write_bytes(b"not json at all")
+        assert is_stale(path, timeout=3600.0)
+        assert read_lease(path) is None
+
+
+class TestBreakStale:
+    def test_break_stale_removes_dead_owner(self, tmp_path):
+        SliceLease.acquire(tmp_path, 0, owner="w", pid=2**22 + 12345)
+        assert break_stale(lease_path(tmp_path, 0), timeout=3600.0)
+        assert not lease_path(tmp_path, 0).exists()
+
+    def test_break_stale_on_missing_file_is_noop(self, tmp_path):
+        assert not break_stale(lease_path(tmp_path, 0), timeout=1.0)
+
+    def test_break_refuses_fresh_lease(self, tmp_path):
+        SliceLease.acquire(tmp_path, 0, owner="alive")
+        with pytest.raises(LeaseHeldError):
+            break_stale(lease_path(tmp_path, 0), timeout=3600.0)
+
+    def test_takeover_after_break(self, tmp_path):
+        SliceLease.acquire(tmp_path, 0, owner="dead", pid=2**22 + 12345)
+        break_stale(lease_path(tmp_path, 0), timeout=3600.0)
+        lease = SliceLease.acquire(tmp_path, 0, owner="successor", epoch=1)
+        info = read_lease(lease.path)
+        assert info.owner == "successor"
+        assert info.epoch == 1
+
+    def test_lease_file_is_json(self, tmp_path):
+        lease = SliceLease.acquire(tmp_path, 7, owner="w")
+        payload = json.loads(lease.path.read_text())
+        assert payload["slice"] == 7
+        assert payload["pid"] == os.getpid()

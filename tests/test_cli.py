@@ -122,7 +122,11 @@ class TestObservabilityFlags:
         assert payload["engine"] == "cycle"
         assert payload["workload"]["algorithm"] == "pagerank"
         assert payload["result"]["converged"] is True
-        assert payload["result"]["cycles"] > 0
+        assert payload["result"]["stats"]["cycles"] > 0
+        # --json payloads follow the engine-independent RunResult schema
+        from repro.core import validate_run_result
+
+        validate_run_result(payload["result"])
 
     def test_json_to_file_keeps_human_output(self, capsys, tmp_path):
         path = tmp_path / "run.json"
