@@ -1,5 +1,7 @@
-"""Experiment orchestration, throughput timing and report formatting."""
+"""Experiment orchestration, throughput timing, report formatting and
+the ``repro lint`` static invariant checker (:mod:`.staticcheck`)."""
 
+from . import staticcheck
 from .experiments import (
     ALGORITHMS,
     ComparisonResult,
@@ -12,6 +14,7 @@ from .throughput import TimingBreakdown, time_graphicionado, time_graphpulse
 
 __all__ = [
     "ALGORITHMS",
+    "staticcheck",
     "ComparisonResult",
     "prepare_workload",
     "run_comparison",

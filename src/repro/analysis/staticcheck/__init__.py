@@ -1,0 +1,47 @@
+"""``repro.analysis.staticcheck`` — the AST invariant checker.
+
+A self-contained (stdlib-``ast``-only) static-analysis pass suite that
+turns the reproduction's determinism, durability and engine-registry
+disciplines into machine-checked rules.  ``repro lint`` is the CLI
+surface; see :mod:`.framework` for the rule machinery, :mod:`.rules`
+for the five shipped invariants (DET-001, DET-002, DUR-001, ENG-001,
+RES-001) and :mod:`.selfcheck` for the paired-fixture self-test that
+proves every rule can still fire.
+
+Typical use::
+
+    from repro.analysis.staticcheck import RULES, lint_paths
+
+    findings = lint_paths(["src/repro"], RULES)
+    bad = [f for f in findings if not f.suppressed]
+"""
+
+from .framework import (
+    Finding,
+    Rule,
+    Suppressions,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    match_path,
+)
+from .rules import RULES, RULES_BY_ID, rule_ids, select_rules
+from .selfcheck import SelfCheckFailure, run_selfcheck
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Suppressions",
+    "RULES",
+    "RULES_BY_ID",
+    "SelfCheckFailure",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "match_path",
+    "rule_ids",
+    "run_selfcheck",
+    "select_rules",
+]

@@ -1,0 +1,367 @@
+"""Rule framework for ``repro lint`` (the AST invariant checker).
+
+The reproduction's correctness argument rests on invariants that no
+unit test can watch globally: deterministic modules must not read the
+wall clock, every persisted artifact must go through
+:mod:`repro.ioutil`'s atomic writes, engines must be constructed
+through the :func:`repro.core.build_engine` registry.  This module
+provides the machinery that turns each invariant into a
+:class:`Rule` — a scoped AST visitor producing structured
+:class:`Finding` records — so violations fail CI instead of living as
+prose in DESIGN.md.
+
+Vocabulary
+----------
+:class:`Finding`
+    One violation: rule id, severity, file/line/col, message, fix
+    hint, and whether an inline suppression covers it.
+
+:class:`Rule`
+    One invariant.  A rule owns a path ``scope`` (fnmatch patterns the
+    file must match), an ``allowlist`` mapping path patterns to the
+    *reason* the file is exempt (reasons are part of the contract and
+    surface in ``repro lint --list-rules``), and paired self-check
+    fixtures — a snippet that must trigger the rule and one that must
+    not — so a rule that silently stops firing fails the build too.
+
+Suppressions
+------------
+A finding on line *N* is suppressed by ``# repro: allow(RULE-ID)`` on
+line *N* or line *N-1*.  Several ids may be listed
+(``allow(DET-001, DUR-001)``).  Suppressed findings are still
+reported — marked ``suppressed`` — but do not fail ``--strict``;
+the comment is expected to sit next to prose explaining *why* the
+exemption is sound.
+
+Everything here is stdlib-only (``ast`` + ``fnmatch``): the linter
+must run in the barest CI job, before any dependency is installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Suppressions",
+    "build_import_map",
+    "resolve_call_name",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "match_path",
+]
+
+SEVERITIES = ("error", "warning")
+
+#: ``# repro: allow(DET-001)`` / ``# repro: allow(DET-001, DUR-001)``
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The structured finding schema ``repro lint --json`` emits."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "suppressed": self.suppressed,
+        }
+
+    def format(self) -> str:
+        """Compiler-style one-liner: ``path:line:col: RULE message``."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}{tag}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+
+
+class Suppressions:
+    """Per-line ``# repro: allow(...)`` directives of one source file."""
+
+    def __init__(self, source: str):
+        self._by_line: Dict[int, set] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESSION_RE.search(text)
+            if match is None:
+                continue
+            ids = {
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            if ids:
+                self._by_line[lineno] = ids
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is suppressed at ``line`` (same or previous
+        line; ``*`` matches every rule)."""
+        for candidate in (line, line - 1):
+            ids = self._by_line.get(candidate)
+            if ids and (rule_id in ids or "*" in ids):
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+# ----------------------------------------------------------------------
+# Import resolution (shared by the call-graph rules)
+# ----------------------------------------------------------------------
+
+
+def build_import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the qualified names their imports bind.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from time import
+    monotonic as mono`` binds ``mono -> time.monotonic``.  Relative
+    imports resolve to a leading-dot name (``from ..ioutil import
+    atomic_open`` -> ``.ioutil.atomic_open``) which can never collide
+    with the absolute stdlib names the rules ban.
+    """
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else local
+                names[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                names[local] = f"{module}.{alias.name}" if module else alias.name
+    return names
+
+
+def resolve_call_name(
+    func: ast.expr, imports: Dict[str, str]
+) -> Optional[str]:
+    """Qualified dotted name of a call target, or ``None``.
+
+    Walks ``a.b.c`` attribute chains down to a head :class:`ast.Name`
+    and substitutes the head through the import map, so ``np.random
+    .rand`` resolves to ``numpy.random.rand``.  Calls whose head is not
+    a plain name (``self.rng.random()``) resolve to ``None`` — the
+    rules only ban *module-level* entry points, and guessing at object
+    attributes would produce false positives.
+    """
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = imports.get(node.id, node.id)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# Path scoping
+# ----------------------------------------------------------------------
+
+
+def match_path(path: str, pattern: str) -> bool:
+    """fnmatch with a root anchor so ``*/core/*.py`` also matches a
+    path given relative to the package root (``core/queue.py``)."""
+    posix = path.replace(os.sep, "/")
+    return fnmatch(posix, pattern) or fnmatch("/" + posix.lstrip("/"), pattern)
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+
+class Rule:
+    """Base class of one lint invariant (subclasses override ``visit``).
+
+    Class attributes define the contract:
+
+    ``id``/``severity``/``description``/``hint``
+        Stable identity and the fix guidance attached to findings.
+    ``scope``
+        fnmatch patterns a file must match for the rule to apply.
+    ``allowlist``
+        ``{pattern: reason}`` — files exempted *by design*, with the
+        rationale that makes the exemption auditable.
+    ``fixture_path``/``fixture_trigger``/``fixture_clean``
+        The paired self-check snippets (see :mod:`.selfcheck`).
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+    hint: str = ""
+    scope: Tuple[str, ...] = ("*",)
+    allowlist: Dict[str, str] = {}
+    fixture_path: str = "repro/fixture.py"
+    fixture_trigger: str = ""
+    fixture_clean: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        if not any(match_path(path, pattern) for pattern in self.scope):
+            return False
+        return not any(
+            match_path(path, pattern) for pattern in self.allowlist
+        )
+
+    def visit(
+        self, tree: ast.Module, path: str, imports: Dict[str, str]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        """Registry row for ``--list-rules`` and the JSON payload."""
+        return {
+            "id": self.id,
+            "severity": self.severity,
+            "description": self.description,
+            "hint": self.hint,
+            "scope": list(self.scope),
+            "allowlist": dict(self.allowlist),
+        }
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Lint one source string as if it lived at ``path``.
+
+    Unparseable files yield a single ``PARSE`` finding instead of
+    raising — a file the linter cannot read is itself a CI failure,
+    not a crash.
+    """
+    applicable = [rule for rule in rules if rule.applies_to(path)]
+    if not applicable:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                severity="error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                hint="repro lint only checks files the compiler accepts",
+            )
+        ]
+    suppressions = Suppressions(source)
+    imports = build_import_map(tree)
+    findings: List[Finding] = []
+    for rule in applicable:
+        for finding in rule.visit(tree, path, imports):
+            finding.suppressed = suppressions.allows(
+                finding.rule, finding.line
+            )
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(path: str, rules: Sequence[Rule]) -> List[Finding]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list.
+
+    Hidden directories and ``__pycache__`` are skipped; the sort makes
+    the finding order (and therefore the CI artifact) deterministic.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d
+                    for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+    seen: Dict[str, None] = {}
+    for name in files:
+        seen.setdefault(name, None)
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted stably."""
+    findings: List[Finding] = []
+    for name in iter_python_files(paths):
+        findings.extend(lint_file(name, rules))
+    findings.sort(key=Finding.sort_key)
+    return findings

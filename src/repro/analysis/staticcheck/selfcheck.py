@@ -1,0 +1,114 @@
+"""Fixture-driven self-check: prove every rule can still fire.
+
+A linter rule that silently stops matching is worse than no rule —
+CI keeps passing while the invariant rots.  ``repro lint
+--self-check`` closes that hole: every registered rule ships a
+*trigger* fixture (a minimal snippet that must produce exactly its
+finding), a *clean* fixture (the sanctioned idiom, which must produce
+none), and a derived *suppressed* variant (the trigger with an inline
+``# repro: allow(RULE-ID)`` appended at the finding site, which must
+report the finding as suppressed).  The third variant is generated
+mechanically from the first, so the suppression machinery itself is
+exercised for every rule, not just the ones a test author remembered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .framework import Rule, lint_source
+from .rules import RULES
+
+__all__ = ["SelfCheckFailure", "run_selfcheck", "suppressed_variant"]
+
+
+@dataclass
+class SelfCheckFailure:
+    """One broken fixture contract."""
+
+    rule: str
+    fixture: str  # "trigger" | "clean" | "suppressed"
+    message: str
+
+    def format(self) -> str:
+        return f"{self.rule} [{self.fixture}] {self.message}"
+
+
+def suppressed_variant(rule: Rule) -> str:
+    """The trigger fixture with ``# repro: allow(id)`` at the hit line."""
+    findings = lint_source(rule.fixture_trigger, rule.fixture_path, [rule])
+    lines = rule.fixture_trigger.splitlines()
+    for finding in findings:
+        index = finding.line - 1
+        if 0 <= index < len(lines) and "repro: allow" not in lines[index]:
+            lines[index] += f"  # repro: allow({rule.id})"
+    return "\n".join(lines) + "\n"
+
+
+def _check_rule(rule: Rule) -> List[SelfCheckFailure]:
+    failures: List[SelfCheckFailure] = []
+
+    if not rule.fixture_trigger or not rule.fixture_clean:
+        failures.append(
+            SelfCheckFailure(
+                rule.id, "trigger", "rule ships no paired fixtures"
+            )
+        )
+        return failures
+    if not rule.applies_to(rule.fixture_path):
+        failures.append(
+            SelfCheckFailure(
+                rule.id,
+                "trigger",
+                f"fixture path {rule.fixture_path!r} is outside the "
+                f"rule's own scope",
+            )
+        )
+        return failures
+
+    hits = lint_source(rule.fixture_trigger, rule.fixture_path, [rule])
+    triggering = [f for f in hits if f.rule == rule.id and not f.suppressed]
+    if not triggering:
+        failures.append(
+            SelfCheckFailure(
+                rule.id, "trigger", "trigger fixture produced no finding"
+            )
+        )
+
+    clean = lint_source(rule.fixture_clean, rule.fixture_path, [rule])
+    if clean:
+        failures.append(
+            SelfCheckFailure(
+                rule.id,
+                "clean",
+                f"clean fixture produced {len(clean)} finding(s): "
+                f"{clean[0].message}",
+            )
+        )
+
+    if triggering:
+        variant = suppressed_variant(rule)
+        after = lint_source(variant, rule.fixture_path, [rule])
+        unsuppressed = [f for f in after if not f.suppressed]
+        suppressed = [f for f in after if f.suppressed]
+        if unsuppressed or not suppressed:
+            failures.append(
+                SelfCheckFailure(
+                    rule.id,
+                    "suppressed",
+                    "inline '# repro: allow' did not suppress the "
+                    "trigger finding",
+                )
+            )
+    return failures
+
+
+def run_selfcheck(
+    rules: Sequence[Rule] = RULES,
+) -> List[SelfCheckFailure]:
+    """Check every rule's fixture contract; empty list means healthy."""
+    failures: List[SelfCheckFailure] = []
+    for rule in rules:
+        failures.extend(_check_rule(rule))
+    return failures

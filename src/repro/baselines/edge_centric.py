@@ -106,6 +106,7 @@ def profile_models(graph: CSRGraph, spec: AlgorithmSpec) -> Dict[str, ModelAcces
         # barriers (asynchronous rounds), no explicit active set (the
         # queue is the active set)
 
+    # iteration substrate for the access-profile model  # repro: allow(ENG-001)
     SynchronousDeltaEngine(graph, spec).run(on_iteration=account)
     return {
         "push": push,

@@ -82,6 +82,8 @@ class GraphicionadoAccelerator:
         self.num_streams = num_streams
         self.clock_ghz = clock_ghz
         self.pipeline_fill_cycles = pipeline_fill_cycles
+        # the BSP engine is this cost model's internal iteration
+        # substrate, not a user-facing run  # repro: allow(ENG-001)
         self.engine = SynchronousDeltaEngine(
             graph, spec, max_iterations=max_iterations
         )

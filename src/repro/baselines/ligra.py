@@ -83,6 +83,8 @@ class LigraEngine:
         """
         self.graph = graph
         self.spec = spec
+        # the BSP engine is this cost model's internal iteration
+        # substrate, not a user-facing run  # repro: allow(ENG-001)
         self.engine = SynchronousDeltaEngine(
             graph, spec, max_iterations=max_iterations
         )

@@ -1,6 +1,6 @@
 """Command-line interface for the GraphPulse reproduction.
 
-Four subcommands:
+Subcommands:
 
 ``datasets``
     List the Table IV proxy datasets and their shapes.
@@ -25,6 +25,15 @@ Four subcommands:
     Run a fault-injection campaign (every algorithm x fault kind cell
     at one fault rate) and report convergence/recovery rates against
     fault-free references.
+
+``lint``
+    Run the AST invariant checker (:mod:`repro.analysis.staticcheck`)
+    over source paths: determinism (DET-001/DET-002), durability
+    (DUR-001), engine-registry discipline (ENG-001) and recovery-path
+    hygiene (RES-001).  ``--strict`` exits 1 on any unsuppressed
+    finding; ``--self-check`` proves every rule's paired fixtures
+    still trigger/pass; ``--json`` emits the structured finding
+    schema.
 
 ``resume``
     Continue a durable run (one started with ``repro run
@@ -60,6 +69,7 @@ Examples::
     python -m repro run pagerank --dataset WG --scale 0.05 \
         --checkpoint-dir runs/pr-wg
     python -m repro resume runs/pr-wg --json
+    python -m repro lint src/repro --strict --json lint.json
 """
 
 from __future__ import annotations
@@ -67,6 +77,7 @@ from __future__ import annotations
 import argparse
 import io
 import json
+import os
 import sys
 from contextlib import ExitStack
 from typing import Any, Dict, List, Optional, Tuple
@@ -388,6 +399,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="emit the campaign report as JSON (stdout when FILE omitted)",
+    )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="AST invariant checker (determinism, durability, "
+        "engine-registry discipline)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to lint (default: the installed "
+        "repro package)",
+    )
+    lint_parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="check only this rule id (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--ignore-rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="skip this rule id (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any unsuppressed finding remains",
+    )
+    lint_parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="verify every rule's paired fixtures still trigger/pass "
+        "(ignores PATH arguments)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (scopes and allowlist rationale)",
+    )
+    lint_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the structured finding schema (stdout when FILE "
+        "omitted)",
     )
 
     resume_parser = subparsers.add_parser(
@@ -844,6 +908,122 @@ def _command_resilience(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _lint_rules(args: argparse.Namespace):
+    """Resolve --rule/--ignore-rule to Rule objects (typed failure on
+    unknown ids, so CI typos fail loudly instead of linting nothing)."""
+    from .analysis.staticcheck import select_rules
+
+    try:
+        return select_rules(
+            tuple(args.rule or ()), tuple(args.ignore_rule or ())
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+
+
+def _lint_paths(args: argparse.Namespace) -> List[str]:
+    """Lint targets; default is the installed ``repro`` package so the
+    verb works from any working directory."""
+    if args.paths:
+        for path in args.paths:
+            if not os.path.exists(path):
+                raise ReproError(f"lint path does not exist: {path}")
+        return list(args.paths)
+    return [os.path.dirname(os.path.abspath(__file__))]
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from .analysis.staticcheck import lint_paths, run_selfcheck
+
+    rules = _lint_rules(args)
+    json_to_stdout = args.json == "-"
+
+    def say(text: str) -> None:
+        if not json_to_stdout:
+            print(text)
+
+    if args.list_rules:
+        rows = [
+            [rule.id, rule.severity, rule.description] for rule in rules
+        ]
+        say(format_table(["id", "severity", "invariant"], rows,
+                         title="repro lint rules"))
+        for rule in rules:
+            for pattern, reason in sorted(rule.allowlist.items()):
+                say(f"  {rule.id} allowlist {pattern}: {reason}")
+        if args.json is not None:
+            _write_json(
+                {"rules": [rule.describe() for rule in rules]}, args.json
+            )
+        return 0
+
+    if args.self_check:
+        failures = run_selfcheck(rules)
+        for failure in failures:
+            say(f"self-check: {failure.format()}")
+        say(
+            f"self-check: {len(rules)} rules, "
+            f"{len(failures)} broken fixture contract(s)"
+        )
+        if args.json is not None:
+            _write_json(
+                {
+                    "self_check": {
+                        "rules": [rule.id for rule in rules],
+                        "failures": [
+                            {
+                                "rule": failure.rule,
+                                "fixture": failure.fixture,
+                                "message": failure.message,
+                            }
+                            for failure in failures
+                        ],
+                        "ok": not failures,
+                    }
+                },
+                args.json,
+            )
+        return 1 if failures else 0
+
+    paths = _lint_paths(args)
+    findings = lint_paths(paths, rules)
+    unsuppressed = [f for f in findings if not f.suppressed]
+    by_rule: Dict[str, int] = {}
+    for finding in unsuppressed:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+
+    for finding in findings:
+        say(finding.format())
+        if finding.hint and not finding.suppressed:
+            say(f"    hint: {finding.hint}")
+    say(
+        f"lint: {len(unsuppressed)} finding(s), "
+        f"{len(findings) - len(unsuppressed)} suppressed "
+        f"({', '.join(rule.id for rule in rules)})"
+    )
+
+    if args.json is not None:
+        _write_json(
+            {
+                "lint": {
+                    "paths": paths,
+                    "rules": [rule.id for rule in rules],
+                    "strict": bool(args.strict),
+                    "findings": [f.to_json() for f in findings],
+                    "counts": {
+                        "total": len(findings),
+                        "unsuppressed": len(unsuppressed),
+                        "suppressed": len(findings) - len(unsuppressed),
+                        "by_rule": by_rule,
+                    },
+                    "ok": not unsuppressed,
+                }
+            },
+            args.json,
+        )
+    return 1 if args.strict and unsuppressed else 0
+
+
 def _command_resume(args: argparse.Namespace) -> int:
     outcome = resume_run(args.run_dir)
     result = outcome.result
@@ -1000,6 +1180,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_compare(args)
         if args.command == "resilience":
             return _command_resilience(args)
+        if args.command == "lint":
+            return _command_lint(args)
         if args.command == "resume":
             return _command_resume(args)
         raise AssertionError(f"unhandled command {args.command!r}")

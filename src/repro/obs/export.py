@@ -10,6 +10,10 @@ Writers
   sample rows (``{"type": "sample", ...}``) followed by a final
   ``{"type": "stats", ...}`` snapshot, so CI and scripts can stream it.
 
+Both writers publish through :func:`repro.ioutil.atomic_open`
+(temp + fsync + rename), so a crash mid-export leaves the previous
+trace/metrics file intact instead of a torn one (DUR-001).
+
 Readers / aggregators
 ---------------------
 The benchmark harness derives the paper's Figure 13 (per-stage cycles
@@ -28,6 +32,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Union
 
+from ..ioutil import atomic_open
 from .timeseries import TimeSeries
 from .trace import TraceEvent, Tracer
 
@@ -83,7 +88,7 @@ def write_chrome_trace(tracer: Tracer, path: str) -> int:
         "displayTimeUnit": "ns",
         "otherData": {"producer": "repro.obs (GraphPulse reproduction)"},
     }
-    with open(path, "w") as handle:
+    with atomic_open(path) as handle:
         json.dump(payload, handle, separators=(",", ":"))
         handle.write("\n")
     return len(payload["traceEvents"])
@@ -141,7 +146,7 @@ def write_metrics_jsonl(
 ) -> int:
     """Write sample rows plus a final stats snapshot; returns line count."""
     lines = 0
-    with open(path, "w") as handle:
+    with atomic_open(path) as handle:
         if timeseries is not None:
             for row in timeseries.samples:
                 record = {"type": "sample", **row}

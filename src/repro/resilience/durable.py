@@ -690,6 +690,8 @@ def resume_run(run_dir: PathLike) -> ResumeOutcome:
     from .harness import ResilienceConfig
     from .journal import SpillJournal
 
+    # wall clock feeds only the resume-span telemetry below, never the
+    # replayed trajectory  # repro: allow(DET-001)
     wall_start = time.monotonic()
     store = DurableCheckpointStore(run_dir)
     manifest = store.open()
@@ -776,6 +778,7 @@ def resume_run(run_dir: PathLike) -> ResumeOutcome:
     if obs_trace.ACTIVE is not None:
         probe.resume_span(
             wall_start,
+            # telemetry-only span end; see wall_start  # repro: allow(DET-001)
             time.monotonic(),
             checkpoint=restored.seq if restored is not None else -1,
             round_index=restored.round_index if restored is not None else 0,

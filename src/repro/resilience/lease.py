@@ -124,6 +124,9 @@ def is_stale(path: PathLike, *, timeout: float = DEFAULT_LEASE_TIMEOUT) -> bool:
     info = read_lease(path)
     if info is None or not _pid_alive(info.pid):
         return True
+    # wall clock by design: staleness is real elapsed time since the
+    # last heartbeat (this file is DET-001 allowlisted — lease state
+    # is operational liveness, never part of the replayed trajectory)
     return (time.time() - mtime) > timeout
 
 
