@@ -9,6 +9,7 @@ DET-002   no unseeded randomness anywhere (trajectory reproducibility)
 DUR-001   no raw write-mode ``open`` — artifacts use ``atomic_open``
 ENG-001   engines are constructed only through ``build_engine``
 RES-001   no silent exception swallowing in recovery paths
+OBS-001   no bare ``print()`` outside the CLI (obs layer owns output)
 ========  ============================================================
 
 Scopes and allowlists live on the rule classes so ``repro lint
@@ -49,12 +50,23 @@ class WallClockRule(Rule):
         "telemetry-only and never feeds state, suppress with "
         "'# repro: allow(DET-001)' and say why"
     )
-    scope = ("*/core/*.py", "*/algorithms/*.py", "*/resilience/*.py")
+    scope = (
+        "*/core/*.py",
+        "*/algorithms/*.py",
+        "*/resilience/*.py",
+        "*/obs/*.py",
+    )
     allowlist = {
         "*/resilience/lease.py": (
             "lease heartbeats and staleness checks are operational "
             "liveness against real elapsed time; lease state is never "
             "part of the replayed trajectory"
+        ),
+        "*/obs/bench.py": (
+            "the bench harness is the one sanctioned wall-clock "
+            "consumer: it times complete engine runs from outside to "
+            "report events/sec, and nothing it measures ever feeds "
+            "back into engine state or the replayed trajectory"
         ),
     }
     fixture_path = "repro/core/fixture.py"
@@ -472,12 +484,81 @@ class SilentExceptRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# OBS-001: diagnostics go through the obs layer, not print()
+# ----------------------------------------------------------------------
+
+
+class BarePrintRule(Rule):
+    """Library code must not write to stdout with bare ``print()``.
+
+    Engines and substrates run under ``--json`` (where stdout *is* the
+    machine-readable payload), inside forked sliced-mp workers, and in
+    CI smoke jobs that parse stdout; a stray ``print`` corrupts all
+    three.  Progress and diagnostics belong to the observability layer
+    (:mod:`repro.obs.metrics` heartbeats, trace probes) or, for
+    human-facing command output, to the CLI.
+    """
+
+    id = "OBS-001"
+    severity = "error"
+    description = (
+        "no bare print() outside the CLI — progress and diagnostics "
+        "go through the obs/metrics layer"
+    )
+    hint = (
+        "emit through repro.obs (metrics counters, ProgressReporter, "
+        "trace probes) or return the text to the CLI, which owns stdout"
+    )
+    scope = ("*",)
+    allowlist = {
+        "*/cli.py": (
+            "the CLI is the process's human-output boundary: its "
+            "print calls are the product, and its --json mode already "
+            "routes them away from stdout"
+        ),
+        "*/tests/*": "test diagnostics may print freely",
+        "*/benchmarks/*": (
+            "the figure scripts are standalone report generators "
+            "whose printed tables are their output"
+        ),
+        "*/examples/*": "examples print to teach",
+    }
+    fixture_path = "repro/obs/print_fixture.py"
+    fixture_trigger = (
+        "def report(processed):\n"
+        "    print(f\"{processed} events drained\")\n"
+    )
+    fixture_clean = (
+        "from repro.obs import metrics\n"
+        "\n"
+        "def report(processed):\n"
+        "    if metrics.ACTIVE is not None:\n"
+        "        metrics.ACTIVE.counter(\"events_drained\").inc(processed)\n"
+    )
+
+    def visit(
+        self, tree: ast.Module, path: str, imports: Dict[str, str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, imports)
+            if name in ("print", "builtins.print"):
+                yield self.finding(
+                    path,
+                    node,
+                    "bare print() writes to stdout from library code",
+                )
+
+
 #: the registry, in stable reporting order
 RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     UnseededRandomRule(),
     RawWriteRule(),
     EngineRegistryRule(),
+    BarePrintRule(),
     SilentExceptRule(),
 )
 

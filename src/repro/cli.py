@@ -41,6 +41,16 @@ Subcommands:
     directory's manifest is validated against the re-prepared workload
     (graph fingerprint included), state and queue are restored, and the
     run continues to convergence with bit-identical final vertex state.
+    Takes the same ``--trace``/``--metrics`` observability flags as
+    ``run``, so the resumed tail of a run is as observable as its head.
+
+``bench``
+    Run the throughput suite (engine x algorithm cells on one dataset
+    proxy via :mod:`repro.obs.bench`): each cell reports median
+    events/sec, rounds/sec and peak RSS over warmup + repeats, written
+    as a schema-versioned ``BENCH_<host-fingerprint>.json`` artifact.
+    ``--check BASELINE`` exits 1 when any cell regresses more than
+    ``--tolerance`` below the baseline artifact.
 
 Typed failures (:class:`repro.errors.ReproError` subclasses — invalid
 graph inputs, queue capacity overflow, watchdog halts, exhausted
@@ -55,8 +65,11 @@ resume``.
 Observability flags on ``run``: ``--trace FILE`` writes a Chrome/
 Perfetto trace of the run, ``--metrics FILE`` a JSONL metrics stream
 (gauge samples every ``--metrics-interval`` cycles plus a final stats
-record), and ``--json [FILE]`` emits the run summary as machine-readable
-JSON (to stdout, replacing the human output, when no FILE is given).
+record), ``--progress [N]`` prints a heartbeat line to stderr every N
+engine rounds (and attaches the live metrics registry, whose snapshot
+joins the JSON payload), and ``--json [FILE]`` emits the run summary as
+machine-readable JSON (to stdout, replacing the human output, when no
+FILE is given).
 
 Examples::
 
@@ -70,6 +83,8 @@ Examples::
         --checkpoint-dir runs/pr-wg
     python -m repro resume runs/pr-wg --json
     python -m repro lint src/repro --strict --json lint.json
+    python -m repro bench --engines functional,sliced,bsp --repeats 3
+    python -m repro bench --check benchmarks/BENCH_ci_baseline.json
 """
 
 from __future__ import annotations
@@ -106,6 +121,8 @@ from .errors import (
 from .graph import DATASETS, dataset_names, erdos_renyi_graph, load_dataset
 from .ioutil import atomic_write_bytes, atomic_write_text
 from .obs import TimeSeries, Tracer, export
+from .obs import bench as obs_bench
+from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
 from .resilience import (
     FAULT_KINDS,
@@ -164,6 +181,18 @@ def _algorithm_list(value: str) -> Tuple[str, ...]:
         raise argparse.ArgumentTypeError(
             f"unknown algorithm(s) {', '.join(unknown)}; "
             f"choose from {', '.join(sorted(ALGORITHMS))}"
+        )
+    return names
+
+
+def _engine_list(value: str) -> Tuple[str, ...]:
+    """Parse a comma-separated engine list for the bench suite."""
+    names = tuple(e.strip() for e in value.split(",") if e.strip())
+    unknown = sorted(set(names) - set(ENGINES))
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown engine(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(ENGINES)}"
         )
     return names
 
@@ -306,6 +335,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000,
         metavar="N",
         help="gauge sampling interval in engine time units (default 1000)",
+    )
+    run_parser.add_argument(
+        "--progress",
+        nargs="?",
+        const=1000,
+        type=int,
+        default=None,
+        metavar="N",
+        help="print a heartbeat line to stderr every N engine rounds "
+        "(default 1000) and attach the live metrics registry",
     )
     run_parser.add_argument(
         "--json",
@@ -471,6 +510,32 @@ def build_parser() -> argparse.ArgumentParser:
         "(raw float64 bits, for bit-identical resume verification)",
     )
     resume_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome/Perfetto trace of the resumed tail to FILE",
+    )
+    resume_parser.add_argument(
+        "--trace-categories",
+        metavar="CATS",
+        default=None,
+        help="comma-separated event categories to record (e.g. "
+        "'round,queue,recovery'); default records everything",
+    )
+    resume_parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL metrics stream (samples + stats) to FILE",
+    )
+    resume_parser.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="gauge sampling interval in engine time units (default 1000)",
+    )
+    resume_parser.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -478,6 +543,75 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="emit the resumed-run summary as JSON (stdout when FILE "
         "omitted)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="throughput suite with schema-versioned artifacts and "
+        "regression gating",
+    )
+    bench_parser.add_argument(
+        "--engines",
+        type=_engine_list,
+        default=("functional", "sliced", "bsp"),
+        metavar="NAMES",
+        help="comma-separated engines (default functional,sliced,bsp)",
+    )
+    bench_parser.add_argument(
+        "--algorithms",
+        type=_algorithm_list,
+        default=("pagerank", "bfs"),
+        metavar="ALGOS",
+        help="comma-separated algorithms (default pagerank,bfs)",
+    )
+    bench_parser.add_argument(
+        "--dataset", default="WG", choices=dataset_names()
+    )
+    bench_parser.add_argument("--scale", type=float, default=0.05)
+    bench_parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        metavar="N",
+        help="throwaway repetitions per cell before timing (default 1)",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="timed repetitions per cell; the median is reported "
+        "(default 3)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="artifact path (default BENCH_<host-fingerprint>.json)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="compare against a baseline artifact; exit 1 when any "
+        "cell regresses beyond --tolerance",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=obs_bench.DEFAULT_TOLERANCE,
+        metavar="F",
+        help="allowed fractional slowdown before --check fails "
+        f"(default {obs_bench.DEFAULT_TOLERANCE:g})",
+    )
+    bench_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the artifact payload (plus the --check report) as "
+        "JSON (stdout when FILE omitted)",
     )
     return parser
 
@@ -736,6 +870,16 @@ def _command_run(args: argparse.Namespace) -> int:
             else None
         )
         tracer = Tracer(categories=categories)
+    registry = None
+    if args.progress is not None:
+        if args.progress < 1:
+            raise ReproError(
+                f"--progress interval must be >= 1, got {args.progress}"
+            )
+        registry = obs_metrics.MetricsRegistry()
+        registry.progress = obs_metrics.ProgressReporter(
+            interval=args.progress
+        )
 
     say(f"workload: {args.algorithm} on {graph}")
 
@@ -746,6 +890,8 @@ def _command_run(args: argparse.Namespace) -> int:
             stack.enter_context(InterruptGuard())
         if tracer is not None:
             stack.enter_context(obs_trace.tracing(tracer))
+        if registry is not None:
+            stack.enter_context(obs_metrics.collecting(registry))
         values, info, lines = _execute_engine(args, graph, spec, timeseries)
     for line in lines:
         say(line)
@@ -794,6 +940,8 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         payload["metrics"] = {"path": args.metrics, "lines": written}
         say(f"metrics: {written:,} lines -> {args.metrics}")
+    if registry is not None:
+        payload["metrics_registry"] = registry.snapshot()
     if args.dump_values is not None:
         _dump_values(values, args.dump_values)
         payload["values"]["file"] = args.dump_values
@@ -1025,7 +1173,23 @@ def _command_lint(args: argparse.Namespace) -> int:
 
 
 def _command_resume(args: argparse.Namespace) -> int:
-    outcome = resume_run(args.run_dir)
+    timeseries = (
+        TimeSeries(interval=args.metrics_interval)
+        if args.metrics is not None
+        else None
+    )
+    tracer = None
+    if args.trace is not None:
+        categories = (
+            [c.strip() for c in args.trace_categories.split(",") if c.strip()]
+            if args.trace_categories
+            else None
+        )
+        tracer = Tracer(categories=categories)
+    with ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs_trace.tracing(tracer))
+        outcome = resume_run(args.run_dir, timeseries=timeseries)
     result = outcome.result
     restored = outcome.restored
     workload = outcome.manifest.get("workload") or {}
@@ -1088,6 +1252,23 @@ def _command_resume(args: argparse.Namespace) -> int:
             "max": float(finite.max()) if len(finite) else None,
         },
     }
+    if args.trace is not None:
+        count = export.write_chrome_trace(tracer, args.trace)
+        payload["trace"] = {"path": args.trace, "events": count}
+        say(f"trace: {count:,} events -> {args.trace}")
+    if args.metrics is not None:
+        stats = {
+            "engine": info["engine"],
+            "converged": info["converged"],
+            "rounds": info["rounds"],
+            "passes": info["passes"],
+            **info["stats"],
+        }
+        written = export.write_metrics_jsonl(
+            args.metrics, timeseries=timeseries, stats=stats
+        )
+        payload["metrics"] = {"path": args.metrics, "lines": written}
+        say(f"metrics: {written:,} lines -> {args.metrics}")
     if args.dump_values is not None:
         _dump_values(values, args.dump_values)
         payload["values"]["file"] = args.dump_values
@@ -1095,6 +1276,84 @@ def _command_resume(args: argparse.Namespace) -> int:
     if args.json is not None:
         _write_json(payload, args.json)
     return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    if args.repeats < 1:
+        raise ReproError(f"--repeats must be >= 1, got {args.repeats}")
+    if args.warmup < 0:
+        raise ReproError(f"--warmup must be >= 0, got {args.warmup}")
+    cells = obs_bench.default_suite(
+        engines=args.engines,
+        algorithms=args.algorithms,
+        dataset=args.dataset,
+        scale=args.scale,
+    )
+    json_to_stdout = args.json == "-"
+
+    def say(text: str) -> None:
+        if not json_to_stdout:
+            print(text)
+
+    # per-cell progress goes to stderr so `--json -` stays parseable
+    payload = obs_bench.run_suite(
+        cells,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    out = args.out or obs_bench.default_artifact_name()
+    obs_bench.write_bench(payload, out)
+    say(
+        f"bench: {len(payload['cells'])} cells "
+        f"(host {payload['host']['fingerprint']}) -> {out}"
+    )
+    rows = [
+        [
+            cell["key"],
+            f"{cell['events_per_sec']:,.0f} {cell['work_unit']}/s",
+            f"{cell['median_seconds'] * 1e3:.1f} ms",
+            f"{cell['peak_rss_kb'] / 1024:.0f} MB",
+        ]
+        for cell in payload["cells"]
+    ]
+    say(
+        format_table(
+            ["cell", "throughput", "median", "peak rss"],
+            rows,
+            title=f"repro bench ({args.dataset} @ {args.scale:g}, "
+            f"median of {args.repeats})",
+        )
+    )
+
+    status = 0
+    output: Dict[str, Any] = payload
+    if args.check is not None:
+        baseline = obs_bench.load_bench(args.check)
+        report = obs_bench.check_regression(
+            payload, baseline, tolerance=args.tolerance
+        )
+        output = dict(payload)
+        output["check"] = report.to_json()
+        for regression in report.regressions:
+            say(
+                f"REGRESSION {regression['key']}: "
+                f"{regression['current_events_per_sec']:,.0f}/s vs "
+                f"baseline {regression['baseline_events_per_sec']:,.0f}/s "
+                f"(floor {regression['floor_events_per_sec']:,.0f}/s)"
+            )
+        say(
+            f"check vs {args.check}: {report.compared} compared, "
+            f"{len(report.unmatched)} unmatched, "
+            f"{len(report.regressions)} regression(s) "
+            f"(tolerance {report.tolerance:g}) -> "
+            f"{'OK' if report.ok else 'FAILED'}"
+        )
+        if not report.ok:
+            status = 1
+    if args.json is not None:
+        _write_json(output, args.json)
+    return status
 
 
 def _error_payload(exc: ReproError) -> Dict[str, Any]:
@@ -1184,6 +1443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_lint(args)
         if args.command == "resume":
             return _command_resume(args)
+        if args.command == "bench":
+            return _command_bench(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except RunInterruptedError as exc:
         return _report_interrupt(exc, getattr(args, "json", None))

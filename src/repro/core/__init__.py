@@ -12,6 +12,7 @@ from .engines import (
     EngineSpec,
     RunResult,
     RUN_RESULT_SCHEMA,
+    WORKER_STATS_KEYS,
     build_engine,
     engine_names,
     engine_spec,
@@ -79,6 +80,7 @@ __all__ = [
     "EngineSpec",
     "RunResult",
     "RUN_RESULT_SCHEMA",
+    "WORKER_STATS_KEYS",
     "build_engine",
     "engine_names",
     "engine_spec",

@@ -52,6 +52,7 @@ from ..memory.dram import DRAMSystem
 from ..memory.request import MemoryRequest
 from ..network.arbiter import ArbiterTree
 from ..network.crossbar import Crossbar
+from ..obs import metrics as obs_metrics
 from ..obs import probe
 from ..obs import trace as obs_trace
 from ..obs.timeseries import TimeSeries
@@ -394,6 +395,10 @@ class GraphPulseAccelerator:
                         events_produced=queue.stats.inserted - produced_before,
                         queue_after=len(queue),
                         progress=progress,
+                    )
+                if obs_metrics.ACTIVE is not None:
+                    obs_metrics.round_tick(
+                        "cycle", rounds - 1, events_processed=processed
                     )
                 if self.timeseries is not None:
                     self.timeseries.advance(now)

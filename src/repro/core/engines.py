@@ -52,6 +52,7 @@ __all__ = [
     "EngineSpec",
     "RunResult",
     "RUN_RESULT_SCHEMA",
+    "WORKER_STATS_KEYS",
     "validate_run_result",
     "register_engine",
     "engine_names",
@@ -112,12 +113,58 @@ RUN_RESULT_SCHEMA: Dict[str, Tuple[type, ...]] = {
 }
 
 
+#: per-worker telemetry keys every sliced-mp stats payload must carry
+WORKER_STATS_KEYS: Tuple[str, ...] = (
+    "worker",
+    "activations",
+    "events_drained",
+    "rounds",
+    "barrier_wait_rounds",
+    "journal_replays",
+    "lease_recoveries",
+)
+
+
+def _validate_worker_stats(stats: Dict[str, Any]) -> None:
+    """sliced-mp results must carry the per-worker telemetry block."""
+    for key in ("workers", "recoveries"):
+        if not isinstance(stats.get(key), int):
+            raise ValueError(
+                f"sliced-mp stats[{key!r}] should be int, "
+                f"got {type(stats.get(key)).__name__}"
+            )
+    worker_stats = stats.get("worker_stats")
+    if not isinstance(worker_stats, list):
+        raise ValueError(
+            f"sliced-mp stats['worker_stats'] should be a list, "
+            f"got {type(worker_stats).__name__}"
+        )
+    if len(worker_stats) != stats["workers"]:
+        raise ValueError(
+            f"sliced-mp worker_stats has {len(worker_stats)} entries "
+            f"for {stats['workers']} workers"
+        )
+    for entry in worker_stats:
+        if not isinstance(entry, dict):
+            raise ValueError("sliced-mp worker_stats entries must be dicts")
+        for key in WORKER_STATS_KEYS:
+            if not isinstance(entry.get(key), int):
+                raise ValueError(
+                    f"sliced-mp worker_stats[{key!r}] should be int, "
+                    f"got {type(entry.get(key)).__name__}"
+                )
+
+
 def validate_run_result(payload: Dict[str, Any]) -> None:
     """Assert ``payload`` matches the RunResult JSON schema exactly.
 
     Raises ``ValueError`` naming the first violation: a missing key, an
-    unexpected key, or a mistyped value.  Used by the tests and the CI
-    smoke jobs to hold every engine to the same contract.
+    unexpected key, or a mistyped value.  Engine-conditional blocks are
+    held to their own contracts too: a ``sliced-mp`` payload must carry
+    the per-worker telemetry (``workers``/``recoveries``/
+    ``worker_stats`` with :data:`WORKER_STATS_KEYS` per worker).  Used
+    by the tests and the CI smoke jobs to hold every engine to the same
+    contract.
     """
     missing = sorted(set(RUN_RESULT_SCHEMA) - set(payload))
     if missing:
@@ -132,6 +179,8 @@ def validate_run_result(payload: Dict[str, Any]) -> None:
                 f"{'/'.join(t.__name__ for t in types)}, "
                 f"got {type(payload[key]).__name__}"
             )
+    if payload["engine"] == "sliced-mp":
+        _validate_worker_stats(payload["stats"])
 
 
 # ----------------------------------------------------------------------
@@ -353,6 +402,9 @@ def _summarize_cycle(result) -> RunResult:
 
 def _sliced_stats(result) -> Dict[str, Any]:
     return {
+        "events_processed": sum(
+            a.events_processed for a in result.activations
+        ),
         "spill_bytes": result.total_spill_bytes,
         "spill_overhead": result.spill_overhead(),
     }
@@ -428,6 +480,7 @@ def _summarize_sliced_mp(result) -> RunResult:
     summary.engine = "sliced-mp"
     summary.stats["workers"] = result.num_workers
     summary.stats["recoveries"] = result.recoveries
+    summary.stats["worker_stats"] = [dict(w) for w in result.worker_stats]
     return summary
 
 

@@ -28,6 +28,7 @@ import numpy as np
 from ..algorithms.base import AlgorithmSpec
 from ..errors import NonConvergenceError
 from ..graph import CSRGraph
+from ..obs import metrics as obs_metrics
 from ..obs import probe
 from ..obs import trace as obs_trace
 from ..obs.timeseries import TimeSeries
@@ -334,6 +335,12 @@ class FunctionalGraphPulse:
                         events_coalesced=record.events_coalesced,
                         queue_after=record.queue_size_after,
                         progress=record.progress,
+                    )
+                if obs_metrics.ACTIVE is not None:
+                    obs_metrics.round_tick(
+                        "functional",
+                        round_index,
+                        events_processed=record.events_processed,
                     )
                 if self.timeseries is not None:
                     self.timeseries.advance(round_index + 1)

@@ -62,7 +62,7 @@ import os
 import signal
 import tempfile
 import threading
-from dataclasses import dataclass, fields as dataclass_fields
+from dataclasses import dataclass, field, fields as dataclass_fields
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -72,6 +72,7 @@ import numpy as np
 from ..algorithms.base import AlgorithmSpec
 from ..errors import ReproError, UnrecoverableFaultError
 from ..graph.partition import Partition
+from ..obs import metrics as obs_metrics
 from ..obs import probe
 from ..obs import trace as obs_trace
 from ..resilience.lease import (
@@ -111,6 +112,13 @@ class MultiprocessSlicedResult(SlicedResult):
     num_workers: int = 0
     #: worker deaths recovered via lease re-acquisition + WAL rewind
     recoveries: int = 0
+    #: per-worker telemetry (one dict per worker, committed per pass):
+    #: ``worker``, ``activations``, ``events_drained``, ``rounds``,
+    #: ``barrier_wait_rounds`` (rounds other workers executed while this
+    #: one sat at the sequential pass barrier — the engine-time analogue
+    #: of barrier wait, kept off the wall clock for determinism),
+    #: ``journal_replays`` and ``lease_recoveries``
+    worker_stats: List[Dict[str, int]] = field(default_factory=list)
 
 
 class _WorkerDied(Exception):
@@ -479,6 +487,13 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                 rounds=rounds,
                 epoch=handle.epoch,
             )
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.counter(
+                "worker.events_drained", worker=worker_id
+            ).inc(processed)
+            obs_metrics.ACTIVE.counter(
+                "worker.activations", worker=worker_id
+            ).inc()
         return SliceActivation(
             pass_index=pass_index,
             slice_index=slice_index,
@@ -567,6 +582,13 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
             for i, bucket in enumerate(replayed):
                 spill[i] = bucket
 
+        telemetry = getattr(self, "_telemetry", None)
+        if telemetry is not None:
+            entry = telemetry[death.worker_id]
+            entry["lease_recoveries"] += 1
+            if replayed is not None:
+                entry["journal_replays"] += 1
+
         # 4. break the stale leases and re-lease to a fresh worker
         #    (chaos disabled: the replacement must not re-trigger)
         for slice_index in handle.owned:
@@ -644,6 +666,22 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         }
         ctx = get_context("fork")
         workers: List[Optional[_WorkerHandle]] = [None] * self.num_workers
+        # committed per-worker telemetry; pass-local deltas live in
+        # ``pending`` below so a _WorkerDied rollback discards them for
+        # free (recovery counters accumulate here unconditionally)
+        telemetry: List[Dict[str, int]] = [
+            {
+                "worker": worker_id,
+                "activations": 0,
+                "events_drained": 0,
+                "rounds": 0,
+                "barrier_wait_rounds": 0,
+                "journal_replays": 0,
+                "lease_recoveries": 0,
+            }
+            for worker_id in range(self.num_workers)
+        ]
+        self._telemetry = telemetry
 
         pass_index = self._start_pass
         try:
@@ -662,6 +700,8 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                     marks = (spill_read, spill_written, len(activations))
                     writes_before = traffic.vertex_writes
                     pass_processed = 0
+                    # [activations, events_drained, rounds] per worker
+                    pending = [[0, 0, 0] for _ in range(self.num_workers)]
                     try:
                         for slice_index in range(partition.num_slices):
                             inbound = spill[slice_index]
@@ -685,6 +725,10 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                             )
                             activations.append(activation)
                             pass_processed += activation.events_processed
+                            slot = pending[slice_index % self.num_workers]
+                            slot[0] += 1
+                            slot[1] += activation.events_processed
+                            slot[2] += activation.rounds
                     except _WorkerDied as death:
                         spill_read, spill_written = marks[0], marks[1]
                         del activations[marks[2] :]
@@ -703,6 +747,19 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                             pass_index,
                         )
                         continue  # retry the pass from slice 0
+                    pass_rounds = sum(slot[2] for slot in pending)
+                    for worker_id, slot in enumerate(pending):
+                        entry = telemetry[worker_id]
+                        entry["activations"] += slot[0]
+                        entry["events_drained"] += slot[1]
+                        entry["rounds"] += slot[2]
+                        entry["barrier_wait_rounds"] += pass_rounds - slot[2]
+                    if obs_metrics.ACTIVE is not None:
+                        obs_metrics.round_tick(
+                            "sliced-mp",
+                            pass_index,
+                            events_processed=pass_processed,
+                        )
                     watchdog.observe_round(
                         pass_processed, traffic.vertex_writes - writes_before
                     )
@@ -745,4 +802,5 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
             resilience=summary,
             num_workers=self.num_workers,
             recoveries=self.recoveries,
+            worker_stats=telemetry,
         )

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
 from ..errors import QueueCapacityError
+from ..obs import metrics as obs_metrics
 from ..obs import probe
 from ..obs import trace as obs_trace
 from .event import Event
@@ -164,12 +165,16 @@ class CoalescingQueue:
         the sweep and waits for the next round).
         """
         self.stats.inserted += 1
+        if obs_metrics.ACTIVE is not None:
+            obs_metrics.ACTIVE.counter("queue.inserted").inc()
         bin_index = self.mapping.bin_of(event.vertex)
         bucket = self._bins[bin_index]
         entries = bucket.get(event.vertex)
         if entries is not None:
             entries.append(event)
             self.stats.coalesced += 1
+            if obs_metrics.ACTIVE is not None:
+                obs_metrics.ACTIVE.counter("queue.coalesced").inc()
             if obs_trace.ACTIVE is not None:
                 probe.queue_insert(event.vertex, bin_index, event.ready, True)
             return True
@@ -241,6 +246,8 @@ class CoalescingQueue:
                 del bucket[vertex]
                 self._size -= 1
         self.stats.drained += len(events)
+        if obs_metrics.ACTIVE is not None and events:
+            obs_metrics.ACTIVE.counter("queue.drained").inc(len(events))
         return events
 
     def drain_all(self) -> List[Event]:

@@ -26,6 +26,7 @@ from ..algorithms.base import AlgorithmSpec
 from ..errors import NonConvergenceError, QueueCapacityError
 from ..graph import CSRGraph
 from ..graph.partition import Partition, contiguous_partition
+from ..obs import metrics as obs_metrics
 from ..obs import probe
 from ..obs import trace as obs_trace
 from ..resilience.harness import ResilienceConfig, ResilienceHarness
@@ -594,6 +595,12 @@ class SlicedGraphPulse:
                         )
                         activations.append(activation)
                         pass_processed += activation.events_processed
+                    if obs_metrics.ACTIVE is not None:
+                        obs_metrics.round_tick(
+                            "sliced",
+                            pass_index,
+                            events_processed=pass_processed,
+                        )
                     watchdog.observe_round(
                         pass_processed, traffic.vertex_writes - writes_before
                     )

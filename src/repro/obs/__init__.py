@@ -17,7 +17,7 @@ Tracing is disabled by default and its fast path is one branch::
     write_chrome_trace(t, "run.trace.json")
 """
 
-from . import export, probe, timeseries, trace
+from . import bench, export, metrics, probe, timeseries, trace
 from .export import (
     chrome_trace_events,
     load_chrome_trace,
@@ -29,6 +29,7 @@ from .export import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from .metrics import MetricsRegistry, ProgressReporter, collecting
 from .timeseries import TimeSeries
 from .trace import TraceEvent, Tracer, enabled, install, tracing, uninstall
 
@@ -37,6 +38,11 @@ __all__ = [
     "probe",
     "timeseries",
     "export",
+    "metrics",
+    "bench",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "collecting",
     "Tracer",
     "TraceEvent",
     "TimeSeries",

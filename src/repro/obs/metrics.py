@@ -1,0 +1,323 @@
+"""Labelled metrics registry (the counter side of the telemetry layer).
+
+:mod:`repro.obs.trace` records *events*; this module records
+*aggregates*.  Engines, the coalescing queue, and the multi-process
+supervisor each grew an ad-hoc stats dict (``QueueStats``,
+``TrafficCounters``, per-engine ``stats`` payloads); the
+:class:`MetricsRegistry` gives them one shared vocabulary — Counter,
+Gauge, Histogram, each optionally labelled — plus one
+:meth:`~MetricsRegistry.snapshot` that serializes everything to a plain
+dict for ``--json`` payloads and the JSONL metrics stream.
+
+Design constraints (identical to the tracer's):
+
+- **Disabled metrics must be free.**  Instrumented hot paths guard
+  every update with ``if metrics.ACTIVE is not None:`` — a
+  module-global load plus one branch, the exact pattern
+  :data:`repro.obs.trace.ACTIVE` established.  No registry object, no
+  dict lookup, no argument packing happens unless one is installed.
+- **Determinism.**  Nothing here reads the wall clock; progress
+  heartbeats are keyed on engine rounds, not elapsed seconds, so an
+  instrumented run's trajectory stays a pure function of
+  (graph, algorithm, seed).  Wall-clock throughput lives exclusively in
+  :mod:`repro.obs.bench` (see the DET-001 allowlist rationale).
+- **Deterministic snapshots.**  Instrument keys are emitted in sorted
+  order with labels encoded ``name{k=v,...}`` (labels sorted by key),
+  so two identical runs produce byte-identical snapshot JSON.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "ACTIVE",
+    "enabled",
+    "install",
+    "uninstall",
+    "collecting",
+    "round_tick",
+]
+
+#: the globally-installed registry, or None when metrics are disabled.
+#: Instrumented code reads this exactly once per potential update:
+#: ``if metrics.ACTIVE is not None: metrics.ACTIVE.counter(...).inc()``.
+ACTIVE: Optional["MetricsRegistry"] = None
+
+
+def _encode_key(name: str, labels: Dict[str, Any]) -> str:
+    """``name{k=v,...}`` with labels sorted by key; bare name when none."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically-increasing count (events drained, spills, …)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (queue occupancy, pending slices, …)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """A sample distribution (batch sizes, rounds per activation, …).
+
+    Samples are kept exactly — run lengths here are thousands, not
+    billions — so percentiles are computed from the real data instead
+    of bucket boundaries.  ``observe`` rejects NaN loudly: a NaN would
+    silently poison ``sum`` and sort unpredictably, corrupting every
+    later percentile.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = dict(labels)
+        self.samples: List[float] = []
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(
+                f"histogram {self.name!r} rejects NaN observations"
+            )
+        self.samples.append(value)
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> Optional[float]:
+        return self.sum / len(self.samples) if self.samples else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile (0..100), linearly interpolated.
+
+        ``None`` for an empty histogram; the sole sample for a
+        single-observation one.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+        }
+        if self.samples:
+            payload.update(
+                min=min(self.samples),
+                max=max(self.samples),
+                mean=self.mean(),
+                p50=self.percentile(50),
+                p95=self.percentile(95),
+            )
+        return payload
+
+
+class ProgressReporter:
+    """Round-keyed heartbeat for long runs (the ``--progress`` flag).
+
+    Emits one line every ``interval`` rounds to ``stream`` (stderr by
+    default, via ``.write`` — bare ``print()`` is banned outside the
+    CLI by OBS-001).  Keyed on the engine's deterministic round counter
+    rather than elapsed time so enabling it never perturbs a replayed
+    trajectory.
+    """
+
+    def __init__(self, interval: int = 1000, stream=None):
+        if interval < 1:
+            raise ValueError(f"progress interval must be >= 1, got {interval}")
+        self.interval = int(interval)
+        self.stream = stream if stream is not None else sys.stderr
+        self.emitted = 0
+
+    def tick(self, engine: str, index: int, events_processed: int) -> None:
+        if (index + 1) % self.interval != 0:
+            return
+        self.emitted += 1
+        self.stream.write(
+            f"progress: engine={engine} round={index + 1} "
+            f"events={events_processed}\n"
+        )
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled instruments.
+
+    Instruments are identified by ``(name, labels)``; asking twice for
+    the same identity returns the same object, so call sites never
+    thread instrument handles around.  Asking for an existing name with
+    a different *kind* raises — a counter silently shadowing a gauge is
+    a bug at the call site.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Any] = {}
+        #: optional round-keyed heartbeat, driven by :func:`round_tick`
+        self.progress: Optional[ProgressReporter] = None
+        #: cumulative events seen by :func:`round_tick`, per engine
+        self._round_events: Dict[str, int] = {}
+
+    def _get(self, factory, name: str, labels: Dict[str, Any]):
+        key = _encode_key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, labels)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, factory):
+            raise ValueError(
+                f"metric {key!r} is a {instrument.kind}, not a "
+                f"{factory.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every instrument as ``{encoded-key: {...}}``, sorted by key."""
+        return {
+            key: self._instruments[key].to_dict()
+            for key in sorted(self._instruments)
+        }
+
+
+# ----------------------------------------------------------------------
+# Global installation (the one-branch fast path)
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """True when a registry is installed."""
+    return ACTIVE is not None
+
+
+def install(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the global active registry."""
+    global ACTIVE
+    ACTIVE = registry
+    return registry
+
+
+def uninstall() -> Optional[MetricsRegistry]:
+    """Remove the active registry (metrics disabled); returns it."""
+    global ACTIVE
+    registry, ACTIVE = ACTIVE, None
+    return registry
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Install a registry for the duration of a block.
+
+    ::
+
+        with metrics.collecting() as m:
+            result = build_engine("functional", (graph, spec), {}).run()
+        payload = m.snapshot()
+
+    Restores the previously-installed registry (usually None) on exit,
+    so nested collection blocks compose — mirroring
+    :func:`repro.obs.trace.tracing`.
+    """
+    global ACTIVE
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = ACTIVE
+    ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        ACTIVE = previous
+
+
+def round_tick(engine: str, index: int, events_processed: int = 0) -> None:
+    """One engine round completed — the shared per-round instrument.
+
+    Call sites guard with ``if metrics.ACTIVE is not None`` so this
+    costs one branch when disabled.  Updates the round counter, the
+    per-round batch-size histogram, and drives the ``--progress``
+    heartbeat when one is attached.
+    """
+    registry = ACTIVE
+    if registry is None:
+        return
+    registry.counter("engine.rounds", engine=engine).inc()
+    registry.counter("engine.events_processed", engine=engine).inc(
+        events_processed
+    )
+    registry.histogram("engine.round_events", engine=engine).observe(
+        events_processed
+    )
+    total = registry._round_events.get(engine, 0) + events_processed
+    registry._round_events[engine] = total
+    if registry.progress is not None:
+        registry.progress.tick(engine, index, total)

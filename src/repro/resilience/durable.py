@@ -672,7 +672,7 @@ class ResumeOutcome:
     result: Any
 
 
-def resume_run(run_dir: PathLike) -> ResumeOutcome:
+def resume_run(run_dir: PathLike, *, timeseries=None) -> ResumeOutcome:
     """Validate a run directory, restore its state, run to convergence.
 
     The manifest's graph fingerprint is recomputed from the workload it
@@ -680,6 +680,9 @@ def resume_run(run_dir: PathLike) -> ResumeOutcome:
     scale, a hand-edited manifest — raises
     :class:`repro.errors.ManifestMismatchError` instead of silently
     producing answers for the wrong graph.
+
+    ``timeseries`` (a :class:`repro.obs.TimeSeries`) gives the resumed
+    tail the same ``--metrics`` sampling a fresh ``repro run`` gets.
     """
     # local imports: durable is reachable from the engines through the
     # harness, so importing them at module scope would be circular
@@ -760,7 +763,10 @@ def resume_run(run_dir: PathLike) -> ResumeOutcome:
         }
     if engine == "sliced-mp":
         options["num_workers"] = int(stored_options.get("num_workers", 2))
-    handle = build_engine(engine, (graph, spec), options, resilience=config)
+    handle = build_engine(
+        engine, (graph, spec), options, resilience=config,
+        timeseries=timeseries,
+    )
     if (
         engine in ("sliced", "sliced-mp")
         and restored is None

@@ -123,7 +123,7 @@ class TestFramework:
     def test_out_of_scope_file_is_skipped(self):
         rule = RULES_BY_ID["DET-001"]
         source = "import time\nstamp = time.time()\n"
-        assert lint_source(source, "repro/obs/export.py", [rule]) == []
+        assert lint_source(source, "repro/graph/io.py", [rule]) == []
         assert lint_source(source, "repro/core/queue.py", [rule])
 
     def test_import_aliases_resolve(self):
@@ -170,6 +170,7 @@ class TestFramework:
             "DET-002",
             "DUR-001",
             "ENG-001",
+            "OBS-001",
             "RES-001",
         )
 
@@ -456,3 +457,57 @@ class TestLintCLI:
         monkeypatch.chdir(tmp_path)  # no src/repro here
         assert main(["lint", "--strict"]) == 0
         assert "lint: 0 finding(s)" in capsys.readouterr().out
+
+
+class TestBarePrintRule:
+    RULE = [RULES_BY_ID["OBS-001"]]
+
+    def test_bare_print_flagged_everywhere(self):
+        source = 'print("events drained")\n'
+        findings = lint_source(source, "repro/core/engines.py", self.RULE)
+        assert len(findings) == 1
+        assert findings[0].rule == "OBS-001"
+
+    def test_builtins_print_alias_flagged(self):
+        source = "import builtins\nbuiltins.print('x')\n"
+        assert lint_source(source, "repro/core/queue.py", self.RULE)
+
+    def test_cli_tests_benchmarks_examples_allowlisted(self):
+        source = 'print("table")\n'
+        for path in (
+            "repro/cli.py",
+            "tests/core/test_queue.py",
+            "benchmarks/bench_fig10.py",
+            "examples/demo.py",
+        ):
+            assert lint_source(source, path, self.RULE) == []
+
+    def test_method_named_print_not_flagged(self):
+        source = "def dump(report):\n    report.print()\n"
+        assert lint_source(source, "repro/core/engines.py", self.RULE) == []
+
+    def test_suppression_comment_honoured(self):
+        source = 'print("debug")  # repro: allow(OBS-001)\n'
+        findings = lint_source(source, "repro/core/engines.py", self.RULE)
+        assert len(findings) == 1
+        assert findings[0].suppressed
+
+    def test_stderr_write_is_the_clean_alternative(self):
+        source = (
+            "import sys\n"
+            "sys.stderr.write('progress: round=10\\n')\n"
+        )
+        assert lint_source(source, "repro/obs/metrics.py", self.RULE) == []
+
+
+class TestDetScopeCoversObs:
+    RULE = [RULES_BY_ID["DET-001"]]
+
+    def test_obs_modules_are_in_scope(self):
+        source = "import time\nstamp = time.time()\n"
+        findings = lint_source(source, "repro/obs/metrics.py", self.RULE)
+        assert len(findings) == 1
+
+    def test_bench_module_is_allowlisted(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert lint_source(source, "repro/obs/bench.py", self.RULE) == []

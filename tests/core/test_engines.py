@@ -140,6 +140,72 @@ class TestRunResultSchema:
         with pytest.raises(ValueError, match="converged"):
             validate_run_result(payload)
 
+    @staticmethod
+    def _mp_payload():
+        worker_stats = [
+            {
+                "worker": w,
+                "activations": 2,
+                "events_drained": 10,
+                "rounds": 5,
+                "barrier_wait_rounds": 5,
+                "journal_replays": 0,
+                "lease_recoveries": 0,
+            }
+            for w in range(2)
+        ]
+        return {
+            "engine": "sliced-mp",
+            "converged": True,
+            "rounds": 10,
+            "passes": 4,
+            "stats": {
+                "events_processed": 20,
+                "spill_bytes": 0,
+                "spill_overhead": 0.0,
+                "workers": 2,
+                "recoveries": 0,
+                "worker_stats": worker_stats,
+            },
+            "resilience": None,
+        }
+
+    def test_sliced_mp_requires_worker_stats(self):
+        payload = self._mp_payload()
+        validate_run_result(payload)  # complete payload passes
+        del payload["stats"]["worker_stats"]
+        with pytest.raises(ValueError, match="worker_stats"):
+            validate_run_result(payload)
+
+    def test_sliced_mp_worker_stats_length_must_match_workers(self):
+        payload = self._mp_payload()
+        payload["stats"]["worker_stats"].pop()
+        with pytest.raises(ValueError, match="worker_stats"):
+            validate_run_result(payload)
+
+    def test_sliced_mp_worker_entry_missing_key_rejected(self):
+        payload = self._mp_payload()
+        del payload["stats"]["worker_stats"][1]["barrier_wait_rounds"]
+        with pytest.raises(ValueError, match="barrier_wait_rounds"):
+            validate_run_result(payload)
+
+    def test_sliced_mp_worker_entry_wrong_type_rejected(self):
+        payload = self._mp_payload()
+        payload["stats"]["worker_stats"][0]["events_drained"] = "many"
+        with pytest.raises(ValueError, match="events_drained"):
+            validate_run_result(payload)
+
+    def test_other_engines_do_not_require_worker_stats(self):
+        payload = {
+            "engine": "sliced",
+            "converged": True,
+            "rounds": 10,
+            "passes": 4,
+            "stats": {"events_processed": 20},
+            "resilience": None,
+        }
+        validate_run_result(payload)
+
 
 class TestCrossEngineIdentity:
     """All engines compute the same fixed point on the same workload."""

@@ -203,3 +203,79 @@ class TestGuards:
         ).run()
         assert mp.converged
         assert mp.resilience is not None
+
+
+class TestWorkerTelemetry:
+    def test_fault_free_telemetry_accounts_for_all_work(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        result = build_engine("sliced-mp", (graph, spec), dict(WORKLOAD))
+        mp = result.run()
+        raw = mp.raw
+        assert len(raw.worker_stats) == 2
+        assert [w["worker"] for w in raw.worker_stats] == [0, 1]
+        # every activation/event/round is attributed to exactly one worker
+        assert sum(w["activations"] for w in raw.worker_stats) == len(
+            raw.activations
+        )
+        assert sum(w["events_drained"] for w in raw.worker_stats) == sum(
+            a.events_processed for a in raw.activations
+        )
+        assert sum(w["rounds"] for w in raw.worker_stats) == raw.total_rounds
+        # at the pass barrier each worker waits out the others' rounds:
+        # summed over workers, waits equal (workers-1) x total rounds
+        assert sum(
+            w["barrier_wait_rounds"] for w in raw.worker_stats
+        ) == raw.total_rounds * (len(raw.worker_stats) - 1)
+        assert all(w["lease_recoveries"] == 0 for w in raw.worker_stats)
+        assert all(w["journal_replays"] == 0 for w in raw.worker_stats)
+
+    def test_kill_rollback_keeps_committed_telemetry_identical(
+        self, graph, monkeypatch
+    ):
+        spec = algorithms.make_pagerank_delta()
+        clean = build_engine("sliced-mp", (graph, spec), dict(WORKLOAD)).run()
+        monkeypatch.setenv(KILL_WORKER_ENV, "1:2")
+        killed = build_engine("sliced-mp", (graph, spec), dict(WORKLOAD)).run()
+        # recovery counters record the death on the owning worker...
+        assert killed.raw.worker_stats[1]["lease_recoveries"] == 1
+        # (non-durable run: nothing to replay from a journal)
+        assert killed.raw.worker_stats[1]["journal_replays"] == 0
+        assert killed.raw.worker_stats[0]["lease_recoveries"] == 0
+        # ...while the committed work counters match the clean run exactly:
+        # the aborted pass's partial telemetry was rolled back with the state
+        for kw, cw in zip(killed.raw.worker_stats, clean.raw.worker_stats):
+            for key in ("activations", "events_drained", "rounds",
+                        "barrier_wait_rounds"):
+                assert kw[key] == cw[key]
+
+    def test_durable_kill_counts_journal_replay(
+        self, graph, monkeypatch, tmp_path
+    ):
+        spec = algorithms.make_pagerank_delta()
+        config = ResilienceConfig(
+            checkpoint_interval=2,
+            checkpoint_dir=str(tmp_path / "run"),
+            run_meta={
+                "workload": {
+                    "algorithm": "pagerank", "dataset": "x", "scale": 1.0,
+                },
+                "engine_options": dict(WORKLOAD),
+            },
+        )
+        monkeypatch.setenv(KILL_WORKER_ENV, "2:3")
+        mp = build_engine(
+            "sliced-mp", (graph, spec), dict(WORKLOAD), resilience=config
+        ).run()
+        assert mp.stats["recoveries"] == 1
+        dead_worker = 2 % 2  # slice 2 is owned by worker 0
+        assert mp.stats["worker_stats"][dead_worker]["lease_recoveries"] == 1
+        assert mp.stats["worker_stats"][dead_worker]["journal_replays"] == 1
+
+    def test_worker_stats_survive_run_result_validation(self, graph):
+        from repro.core import validate_run_result
+
+        spec = algorithms.make_pagerank_delta()
+        mp = build_engine("sliced-mp", (graph, spec), dict(WORKLOAD)).run()
+        payload = mp.to_json()
+        validate_run_result(payload)
+        assert payload["stats"]["worker_stats"] == mp.raw.worker_stats

@@ -132,3 +132,66 @@ class TestCampaignVerb:
             build_parser().parse_args(
                 ["resilience", "--algorithms", "quicksort"]
             )
+
+
+class TestResumeObservability:
+    """`repro resume` takes the same --trace/--metrics flags as run."""
+
+    def _durable_run(self, tmp_path, capsys):
+        # SIGKILL the victim mid-run (subprocess harness) so the resume
+        # tail has real rounds for the trace/metrics flags to observe
+        from repro.resilience.crash import _run_cli
+
+        run_dir = tmp_path / "run"
+        proc = _run_cli(
+            ["run", "pagerank", "--dataset", "WG", "--scale", "0.03",
+             "--checkpoint-dir", str(run_dir), "--checkpoint-interval", "4"],
+            extra_env={"REPRO_CRASH_AT_ROUND": "9"},
+        )
+        assert proc.returncode != 0  # the victim must have died
+        capsys.readouterr()
+        return run_dir
+
+    def test_resume_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import load_chrome_trace, read_metrics_jsonl
+
+        run_dir = self._durable_run(tmp_path, capsys)
+        trace_path = tmp_path / "resume.trace.json"
+        metrics_path = tmp_path / "resume.metrics.jsonl"
+        assert main(
+            ["resume", str(run_dir), "--trace", str(trace_path),
+             "--metrics", str(metrics_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["path"] == str(trace_path)
+        trace = load_chrome_trace(str(trace_path))
+        names = {r.get("name") for r in trace["traceEvents"]}
+        # the resumed tail traces its rounds and the resume span itself
+        assert "round" in names
+        assert "resume" in names
+        records = read_metrics_jsonl(str(metrics_path))
+        stats = [r for r in records if r.get("type") == "stats"]
+        assert len(stats) == 1
+        assert stats[0]["engine"] == "functional"
+        assert payload["metrics"]["lines"] == len(records)
+
+    def test_resume_trace_categories_filter(self, tmp_path, capsys):
+        from repro.obs import load_chrome_trace
+
+        run_dir = self._durable_run(tmp_path, capsys)
+        trace_path = tmp_path / "filtered.trace.json"
+        assert main(
+            ["resume", str(run_dir), "--trace", str(trace_path),
+             "--trace-categories", "round"]
+        ) == 0
+        trace = load_chrome_trace(str(trace_path))
+        non_meta = [r for r in trace["traceEvents"] if r["ph"] != "M"]
+        assert non_meta
+        assert {r["name"] for r in non_meta} == {"round"}
+
+    def test_resume_without_flags_unchanged(self, tmp_path, capsys):
+        run_dir = self._durable_run(tmp_path, capsys)
+        assert main(["resume", str(run_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "trace" not in payload
+        assert "metrics" not in payload

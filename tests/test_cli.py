@@ -196,3 +196,128 @@ class TestCompare:
         payload = json.loads(capsys.readouterr().out)
         assert payload["workload"]["algorithm"] == "cc"
         assert payload["summary"]["speedup_vs_ligra"] > 0
+
+
+class TestProgressFlag:
+    RUN = ["run", "pagerank", "--dataset", "WG", "--scale", "0.03"]
+
+    def test_heartbeat_on_stderr_and_snapshot_in_json(self, capsys):
+        assert main(self.RUN + ["--progress", "10", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "progress: engine=functional round=10" in captured.err
+        payload = json.loads(captured.out)
+        registry = payload["metrics_registry"]
+        rounds = registry["engine.rounds{engine=functional}"]
+        assert rounds["type"] == "counter"
+        assert rounds["value"] == payload["result"]["rounds"]
+        assert "queue.inserted" in registry
+
+    def test_registry_absent_without_progress(self, capsys):
+        assert main(self.RUN + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics_registry" not in payload
+
+    def test_bad_interval_is_typed_error(self, capsys):
+        assert main(self.RUN + ["--progress", "0"]) == 2
+        assert "--progress" in capsys.readouterr().err
+
+
+class TestWorkerTelemetry:
+    RUN = ["run", "pagerank", "--dataset", "WG", "--scale", "0.03",
+           "--engine", "sliced-mp", "--workers", "2", "--num-slices", "4"]
+
+    def test_worker_stats_in_json(self, capsys):
+        from repro.core import WORKER_STATS_KEYS, validate_run_result
+
+        assert main(self.RUN + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        info = payload["result"]
+        validate_run_result(info)
+        worker_stats = info["stats"]["worker_stats"]
+        assert len(worker_stats) == 2
+        for entry in worker_stats:
+            assert set(entry) == set(WORKER_STATS_KEYS)
+        assert [w["worker"] for w in worker_stats] == [0, 1]
+        # every drained event is attributed to exactly one worker
+        drained = sum(w["events_drained"] for w in worker_stats)
+        assert drained == info["stats"]["events_processed"]
+        # fault-free run: no recovery activity
+        assert all(w["lease_recoveries"] == 0 for w in worker_stats)
+        assert all(w["journal_replays"] == 0 for w in worker_stats)
+
+    def test_human_output_reports_workers(self, capsys):
+        assert main(self.RUN) == 0
+        assert "workers: 2" in capsys.readouterr().out
+
+
+class TestBenchVerb:
+    BENCH = ["bench", "--engines", "functional,bsp", "--algorithms", "bfs",
+             "--dataset", "WG", "--scale", "0.03", "--repeats", "1",
+             "--warmup", "0"]
+
+    def test_artifact_and_json(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.bench import load_bench, validate_bench
+
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "BENCH_test.json"
+        assert main(self.BENCH + ["--out", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_bench(payload)
+        assert load_bench(str(out)) == payload
+        assert [c["key"] for c in payload["cells"]] == [
+            "functional/bfs/WG@0.03",
+            "bsp/bfs/WG@0.03",
+        ]
+        assert all(c["events_per_sec"] > 0 for c in payload["cells"])
+
+    def test_check_passes_against_own_artifact(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(self.BENCH + ["--out", str(baseline)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "current.json"
+        # wide tolerance: single-repeat timings jitter on a loaded host,
+        # and this test pins the pairing/report semantics, not the speed
+        code = main(
+            self.BENCH
+            + ["--out", str(out), "--check", str(baseline), "--json",
+               "--tolerance", "0.95"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["check"]["ok"] is True
+        assert payload["check"]["compared"] == 2
+
+    def test_check_flags_inflated_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(self.BENCH + ["--out", str(baseline)]) == 0
+        capsys.readouterr()
+        inflated = json.loads(baseline.read_text())
+        for cell in inflated["cells"]:
+            cell["events_per_sec"] *= 100.0
+        hot = tmp_path / "inflated.json"
+        hot.write_text(json.dumps(inflated))
+        out = tmp_path / "current.json"
+        code = main(
+            self.BENCH + ["--out", str(out), "--check", str(hot), "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["check"]["ok"] is False
+        assert len(payload["check"]["regressions"]) == 2
+
+    def test_missing_baseline_is_typed_error(self, capsys, tmp_path):
+        out = tmp_path / "current.json"
+        code = main(
+            self.BENCH
+            + ["--out", str(out), "--check", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--engines", "warpspeed"])
+
+    def test_bad_repeats_is_typed_error(self, capsys):
+        assert main(self.BENCH[:1] + ["--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err
