@@ -9,6 +9,7 @@ DET-002   no unseeded randomness anywhere (trajectory reproducibility)
 DUR-001   no raw write-mode ``open`` — artifacts use ``atomic_open``
 ENG-001   engines are constructed only through ``build_engine``
 RES-001   no silent exception swallowing in recovery paths
+RES-002   IO retry loops in the durability layer carry attempt budgets
 OBS-001   no bare ``print()`` outside the CLI (obs layer owns output)
 ========  ============================================================
 
@@ -239,6 +240,11 @@ class RawWriteRule(Rule):
             "the write-ahead journal appends records with its own "
             "fsynced commit discipline; atomic whole-file replacement "
             "would defeat the append-only format"
+        ),
+        "*/resilience/storagefaults.py": (
+            "the chaos layer corrupts files on purpose: torn writes "
+            "and bit rot require in-place r+b/ab access to the very "
+            "artifacts the atomic helpers protect"
         ),
     }
     fixture_path = "repro/obs/fixture.py"
@@ -485,6 +491,129 @@ class SilentExceptRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# RES-002: IO retry loops are bounded
+# ----------------------------------------------------------------------
+
+
+class UnboundedRetryRule(Rule):
+    """IO retries in the durability layer must carry an attempt budget.
+
+    A ``while True`` wrapped around an IO operation that catches
+    ``OSError`` and loops again turns a persistent storage failure
+    (a full disk, a dead device) into a silent hang: the engine stops
+    making progress, the lease keeps refreshing, and nothing ever
+    reaches the typed-error exit.  Retries use the bounded idiom —
+    ``retry_transient`` or an explicit ``for attempt in range(n)``
+    that re-raises at exhaustion.
+    """
+
+    id = "RES-002"
+    severity = "error"
+    description = (
+        "no unbounded 'while True' IO retry loops in the durability "
+        "layer — bound attempts and re-raise at exhaustion"
+    )
+    hint = (
+        "use repro.resilience.storagefaults.retry_transient, or "
+        "'for attempt in range(n)' with a final re-raise"
+    )
+    scope = ("*/resilience/*.py", "*/ioutil.py")
+    allowlist: Dict[str, str] = {}
+    fixture_path = "repro/resilience/retry_fixture.py"
+    fixture_trigger = (
+        "def persist(write):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return write()\n"
+        "        except OSError:\n"
+        "            continue\n"
+    )
+    fixture_clean = (
+        "def persist(write, attempts=5):\n"
+        "    for attempt in range(attempts):\n"
+        "        try:\n"
+        "            return write()\n"
+        "        except OSError:\n"
+        "            if attempt == attempts - 1:\n"
+        "                raise\n"
+    )
+
+    #: OSError and its notable subclasses/aliases — catching any of
+    #: these around a looping retry is the hang-prone pattern
+    _IO_ERRORS = frozenset(
+        {
+            "OSError",
+            "IOError",
+            "EnvironmentError",
+            "BlockingIOError",
+            "InterruptedError",
+            "TimeoutError",
+            "FileExistsError",
+            "FileNotFoundError",
+            "PermissionError",
+            "ConnectionError",
+            "BrokenPipeError",
+        }
+    )
+
+    def _is_constant_true(self, test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _catches_io_error(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True  # bare except traps OSError too
+        kinds = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for kind in kinds:
+            if isinstance(kind, ast.Name) and kind.id in self._IO_ERRORS:
+                return True
+            if (
+                isinstance(kind, ast.Attribute)
+                and kind.attr in self._IO_ERRORS
+            ):
+                return True
+        return False
+
+    def _handler_escapes(self, handler: ast.ExceptHandler) -> bool:
+        """A handler that raises/returns/breaks at its top level bounds
+        the loop's failure path."""
+        return any(
+            isinstance(stmt, (ast.Raise, ast.Return, ast.Break))
+            for stmt in handler.body
+        )
+
+    def visit(
+        self, tree: ast.Module, path: str, imports: Dict[str, str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not self._is_constant_true(node.test):
+                continue
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Try):
+                    continue
+                for handler in child.handlers:
+                    if self._catches_io_error(
+                        handler
+                    ) and not self._handler_escapes(handler):
+                        yield self.finding(
+                            path,
+                            node,
+                            "unbounded 'while True' retry around an IO "
+                            "operation never reaches the typed-error "
+                            "exit on persistent failure",
+                        )
+                        break
+                else:
+                    continue
+                break
+
+
+# ----------------------------------------------------------------------
 # OBS-001: diagnostics go through the obs layer, not print()
 # ----------------------------------------------------------------------
 
@@ -560,6 +689,7 @@ RULES: Tuple[Rule, ...] = (
     EngineRegistryRule(),
     BarePrintRule(),
     SilentExceptRule(),
+    UnboundedRetryRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}

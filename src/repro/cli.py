@@ -30,19 +30,35 @@ Subcommands:
     Run the AST invariant checker (:mod:`repro.analysis.staticcheck`)
     over source paths: determinism (DET-001/DET-002), durability
     (DUR-001), engine-registry discipline (ENG-001) and recovery-path
-    hygiene (RES-001).  ``--strict`` exits 1 on any unsuppressed
+    hygiene (RES-001 silent excepts, RES-002 unbounded IO retries).
+    ``--strict`` exits 1 on any unsuppressed
     finding; ``--self-check`` proves every rule's paired fixtures
     still trigger/pass; ``--json`` emits the structured finding
     schema.
 
 ``resume``
     Continue a durable run (one started with ``repro run
-    --checkpoint-dir DIR``) from its newest on-disk checkpoint: the run
-    directory's manifest is validated against the re-prepared workload
-    (graph fingerprint included), state and queue are restored, and the
-    run continues to convergence with bit-identical final vertex state.
+    --checkpoint-dir DIR``) from its newest *verifiable* on-disk
+    checkpoint: the run directory's manifest is validated against the
+    re-prepared workload (graph fingerprint included), state and queue
+    are restored, and the run continues to convergence with
+    bit-identical final vertex state.  When the newest checkpoint
+    generation is corrupt the resume walks the retained generation
+    ladder backwards (replaying the spill journal forward from the
+    older generation's commit horizon) before giving up;
+    ``--no-fallback`` restores the strict exit-2-on-corruption
+    behaviour.  The ``--json`` payload's ``resumed`` block carries the
+    recovery provenance: which generation restored, whether it fell
+    back, which checkpoints were skipped and the journal replay stats.
     Takes the same ``--trace``/``--metrics`` observability flags as
     ``run``, so the resumed tail of a run is as observable as its head.
+
+``gc``
+    Apply the retention policy to a durable run directory: keep the
+    newest ``--keep`` verifiable checkpoint generations, drop older and
+    corrupt ones plus orphaned checkpoint files, and compact the spill
+    journal up to the oldest retained generation's commit horizon.
+    ``--dry-run`` reports without touching disk.
 
 ``bench``
     Run the throughput suite (engine x algorithm cells on one dataset
@@ -129,7 +145,9 @@ from .resilience import (
     FaultPlan,
     InterruptGuard,
     ResilienceConfig,
+    gc_run_dir,
     resume_run,
+    storagefaults,
 )
 from .resilience.campaign import (
     DEFAULT_ALGORITHMS,
@@ -510,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(raw float64 bits, for bit-identical resume verification)",
     )
     resume_parser.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail (status 2) on a corrupt newest checkpoint instead "
+        "of falling back to an older verifiable generation",
+    )
+    resume_parser.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
@@ -543,6 +567,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="emit the resumed-run summary as JSON (stdout when FILE "
         "omitted)",
+    )
+
+    gc_parser = subparsers.add_parser(
+        "gc",
+        help="apply the checkpoint retention policy to a durable run "
+        "directory and compact its spill journal",
+    )
+    gc_parser.add_argument(
+        "run_dir",
+        metavar="RUN_DIR",
+        help="run directory written by 'repro run --checkpoint-dir'",
+    )
+    gc_parser.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="K",
+        help="verifiable checkpoint generations to retain (default: "
+        "the manifest's checkpoint_keep policy)",
+    )
+    gc_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be dropped without touching disk",
+    )
+    gc_parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit the gc report as JSON (stdout when FILE omitted)",
     )
 
     bench_parser = subparsers.add_parser(
@@ -1189,9 +1245,14 @@ def _command_resume(args: argparse.Namespace) -> int:
     with ExitStack() as stack:
         if tracer is not None:
             stack.enter_context(obs_trace.tracing(tracer))
-        outcome = resume_run(args.run_dir, timeseries=timeseries)
+        outcome = resume_run(
+            args.run_dir,
+            timeseries=timeseries,
+            fallback=not args.no_fallback,
+        )
     result = outcome.result
     restored = outcome.restored
+    provenance = outcome.provenance
     workload = outcome.manifest.get("workload") or {}
     json_to_stdout = args.json == "-"
 
@@ -1209,6 +1270,13 @@ def _command_resume(args: argparse.Namespace) -> int:
         f"(scale {workload.get('scale')}, engine {outcome.engine}) "
         f"from {origin}"
     )
+    skipped = provenance.get("checkpoints_skipped") or []
+    if skipped:
+        say(
+            f"fallback: skipped {len(skipped)} corrupt checkpoint "
+            f"generation(s): "
+            + ", ".join(str(s.get("seq")) for s in skipped)
+        )
 
     info = result.to_json()
     # the resumed process only sees its own tail of the run; lift the
@@ -1241,6 +1309,14 @@ def _command_resume(args: argparse.Namespace) -> int:
             "round_index": (
                 restored.round_index if restored is not None else None
             ),
+            # recovery provenance: which generation actually restored,
+            # what the fallback ladder skipped and what the journal
+            # replay kept/discarded (see validate_resume_payload)
+            "generation": provenance.get("generation"),
+            "fallback": bool(provenance.get("fallback")),
+            "from_scratch": bool(provenance.get("from_scratch")),
+            "checkpoints_skipped": skipped,
+            "journal": provenance.get("journal"),
         },
         "workload": workload,
         "engine": outcome.engine,
@@ -1275,6 +1351,44 @@ def _command_resume(args: argparse.Namespace) -> int:
         say(f"values -> {args.dump_values}")
     if args.json is not None:
         _write_json(payload, args.json)
+    return 0
+
+
+def _command_gc(args: argparse.Namespace) -> int:
+    report = gc_run_dir(
+        args.run_dir, keep=args.keep, dry_run=args.dry_run
+    )
+    json_to_stdout = args.json == "-"
+
+    def say(text: str) -> None:
+        if not json_to_stdout:
+            print(text)
+
+    verb = "would drop" if report.dry_run else "dropped"
+    say(
+        f"gc {args.run_dir}: retained "
+        f"{len(report.retained)} generation(s) "
+        f"({', '.join(str(e['seq']) for e in report.retained) or 'none'}), "
+        f"{verb} {len(report.dropped)} stale, "
+        f"{len(report.corrupt)} corrupt, "
+        f"{len(report.orphans)} orphan(s)"
+    )
+    for entry in report.corrupt:
+        say(f"  corrupt checkpoint {entry['seq']}: {entry['error']}")
+    journal = report.journal or {}
+    if journal.get("skipped"):
+        say(f"journal: skipped ({journal['skipped']})")
+    elif report.dry_run and "compact_upto" in journal:
+        say(f"journal: would compact up to commit {journal['compact_upto']}")
+    elif journal:
+        say(
+            f"journal: compacted up to commit {journal.get('upto')} "
+            f"({journal.get('records_dropped', 0)} record(s) dropped, "
+            f"{journal.get('bytes_before', 0):,} -> "
+            f"{journal.get('bytes_after', 0):,} bytes)"
+        )
+    if args.json is not None:
+        _write_json(report.to_json(), args.json)
     return 0
 
 
@@ -1431,6 +1545,9 @@ def _report_interrupt(
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        # the storage-fault chaos layer, when requested via
+        # REPRO_STORAGE_FAULTS, shims every durable write in this process
+        storagefaults.install_from_env()
         if args.command == "datasets":
             return _command_datasets()
         if args.command == "run":
@@ -1443,6 +1560,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_lint(args)
         if args.command == "resume":
             return _command_resume(args)
+        if args.command == "gc":
+            return _command_gc(args)
         if args.command == "bench":
             return _command_bench(args)
         raise AssertionError(f"unhandled command {args.command!r}")

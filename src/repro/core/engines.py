@@ -52,8 +52,11 @@ __all__ = [
     "EngineSpec",
     "RunResult",
     "RUN_RESULT_SCHEMA",
+    "RESUME_PAYLOAD_SCHEMA",
+    "JOURNAL_PROVENANCE_KEYS",
     "WORKER_STATS_KEYS",
     "validate_run_result",
+    "validate_resume_payload",
     "register_engine",
     "engine_names",
     "engine_spec",
@@ -181,6 +184,79 @@ def validate_run_result(payload: Dict[str, Any]) -> None:
             )
     if payload["engine"] == "sliced-mp":
         _validate_worker_stats(payload["stats"])
+
+
+#: key -> allowed types of the ``repro resume --json`` ``resumed`` block
+RESUME_PAYLOAD_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "run_dir": (str,),
+    "checkpoint": (int, type(None)),
+    "round_index": (int, type(None)),
+    "generation": (int, type(None)),
+    "fallback": (bool,),
+    "from_scratch": (bool,),
+    "checkpoints_skipped": (list,),
+    "journal": (dict, type(None)),
+}
+
+#: keys of the journal replay provenance (``JournalScan.provenance()``)
+JOURNAL_PROVENANCE_KEYS: Tuple[str, ...] = (
+    "records_replayed",
+    "records_discarded",
+    "bytes_discarded",
+    "commit",
+)
+
+
+def validate_resume_payload(payload: Dict[str, Any]) -> None:
+    """Assert a ``repro resume --json`` payload matches its schema.
+
+    ``payload`` is the whole resume JSON object; its ``resumed`` block
+    (recovery provenance: which checkpoint generation restored, what
+    the fallback ladder skipped, journal replay stats) is held to
+    :data:`RESUME_PAYLOAD_SCHEMA` exactly, and its ``result`` block to
+    :func:`validate_run_result`.  Raises ``ValueError`` naming the
+    first violation.
+    """
+    resumed = payload.get("resumed")
+    if not isinstance(resumed, dict):
+        raise ValueError("resume payload missing the 'resumed' block")
+    missing = sorted(set(RESUME_PAYLOAD_SCHEMA) - set(resumed))
+    if missing:
+        raise ValueError(f"resumed block missing keys: {missing}")
+    extra = sorted(set(resumed) - set(RESUME_PAYLOAD_SCHEMA))
+    if extra:
+        raise ValueError(f"resumed block has unexpected keys: {extra}")
+    for key, types in RESUME_PAYLOAD_SCHEMA.items():
+        if not isinstance(resumed[key], types):
+            raise ValueError(
+                f"resumed[{key!r}] should be "
+                f"{'/'.join(t.__name__ for t in types)}, "
+                f"got {type(resumed[key]).__name__}"
+            )
+    for entry in resumed["checkpoints_skipped"]:
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("seq"), int
+        ):
+            raise ValueError(
+                "resumed['checkpoints_skipped'] entries must be dicts "
+                "with an int 'seq'"
+            )
+    journal = resumed["journal"]
+    if journal is not None:
+        for key in JOURNAL_PROVENANCE_KEYS:
+            if not isinstance(journal.get(key), int):
+                raise ValueError(
+                    f"resumed['journal'][{key!r}] should be int, "
+                    f"got {type(journal.get(key)).__name__}"
+                )
+    if resumed["fallback"] and not resumed["checkpoints_skipped"]:
+        raise ValueError(
+            "resumed claims fallback but skipped no checkpoints"
+        )
+    result = payload.get("result")
+    if not isinstance(result, dict):
+        raise ValueError("resume payload missing the 'result' block")
+    validate_run_result(result)
 
 
 # ----------------------------------------------------------------------
@@ -600,6 +676,15 @@ register_engine(
     resumable=True,
     description="multi-process sliced workers with per-slice leases",
 )
+# parallel-sliced is deliberately neither resilient nor resumable: the
+# model never threads a ResilienceHarness (no fault sites, no rollback
+# checkpoints), has no restore() on its runner, and mid-super-round its
+# state includes per-accelerator in-flight message buffers that neither
+# durable queue encoding ("bins" nor "spill") can represent — a
+# checkpoint taken on a super-round boundary would silently drop them.
+# tests/core/test_engines.py asserts these capability flags match the
+# runner's actual surface, so flipping either flag without doing the
+# work fails loudly.
 register_engine(
     "parallel-sliced",
     _build_parallel_sliced,

@@ -18,7 +18,7 @@ the overhead the paper accepts for Twitter-scale graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -413,6 +413,8 @@ class SlicedGraphPulse:
         self._start_pass = 0
         self._resume_spill: Optional[List[Dict[int, Event]]] = None
         self.state = spec.initial_state(partition.graph)
+        #: journal-replay provenance of the last restore() (or None)
+        self.journal_replay: Optional[Dict[str, Any]] = None
         self.resilience: Optional[ResilienceHarness] = None
         if resilience is not None:
             self.resilience = ResilienceHarness(
@@ -469,12 +471,13 @@ class SlicedGraphPulse:
         from ..resilience.journal import SpillJournal
 
         path = self.resilience.durable.store.journal_path
-        buffers, offset = SpillJournal.replay(
+        scan = SpillJournal.scan(
             path,
             self.partition.num_slices,
             restored.journal_commit,
             self.spec.reduce,
         )
+        buffers, offset = scan.buffers, scan.offset
 
         def bits(value: float) -> bytes:
             return struct.pack("<d", value)
@@ -499,6 +502,9 @@ class SlicedGraphPulse:
                         vertex=vertex,
                     )
         SpillJournal.truncate(path, offset)
+        # recovery provenance for `repro resume --json` (resume_run
+        # reads this attr after restore; sliced-mp inherits)
+        self.journal_replay = scan.provenance()
 
     def _journal_spill(self, slice_index: int, event: Event) -> None:
         """WAL one event landing in a spill bucket (no-op when off)."""

@@ -17,16 +17,51 @@ from __future__ import annotations
 import contextlib
 import os
 import tempfile
-from typing import IO, Iterator, Union
+from typing import IO, Iterator, Optional, Union
 
 __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_open",
     "exclusive_create_bytes",
+    "io_shim",
+    "set_io_shim",
 ]
 
 PathLike = Union[str, os.PathLike]
+
+#: Installed storage-fault shim (``repro.resilience.storagefaults``) or
+#: ``None``.  The fault-free fast path is a single ``is None`` branch;
+#: the shim is consulted only at publish/create time, never per byte.
+IO_SHIM: Optional[object] = None
+
+
+def io_shim() -> Optional[object]:
+    """The currently installed IO shim, or ``None`` (the normal case)."""
+    return IO_SHIM
+
+
+def set_io_shim(shim: Optional[object]) -> Optional[object]:
+    """Install ``shim`` as the global IO fault hook; returns the previous
+    one so callers can restore it.  Pass ``None`` to uninstall.
+
+    The shim protocol (all methods optional, consulted when present):
+
+    ``on_publish(tmp_path, final_path)``
+        Called by :func:`atomic_open` after the temp file is fsynced and
+        closed, immediately before ``os.replace``.  May mutate the temp
+        file in place (torn write / bit rot) or raise ``OSError``
+        (transient ``EIO``/``ENOSPC`` — the temp file is then discarded
+        and the destination stays untouched, so a bounded retry is safe).
+
+    ``on_create(path)``
+        Called by :func:`exclusive_create_bytes` before the exclusive
+        open; may raise ``OSError`` for transient create failures.
+    """
+    global IO_SHIM
+    previous = IO_SHIM
+    IO_SHIM = shim
+    return previous
 
 
 @contextlib.contextmanager
@@ -50,6 +85,10 @@ def atomic_open(path: PathLike, mode: str = "w") -> Iterator[IO]:
         handle.flush()
         os.fsync(handle.fileno())
         handle.close()
+        if IO_SHIM is not None:
+            hook = getattr(IO_SHIM, "on_publish", None)
+            if hook is not None:
+                hook(tmp_path, path)
         os.replace(tmp_path, path)
     except BaseException:
         handle.close()
@@ -68,6 +107,10 @@ def exclusive_create_bytes(path: PathLike, data: bytes) -> None:
     the containing directory are fsynced so the claim survives a crash.
     """
     path = os.fspath(path)
+    if IO_SHIM is not None:
+        hook = getattr(IO_SHIM, "on_create", None)
+        if hook is not None:
+            hook(path)
     fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
     try:
         os.write(fd, data)

@@ -8,9 +8,11 @@ optional ``resilience=ResilienceConfig(...)`` engine argument.  See
 for the fault model and the soundness argument for delta re-injection.
 """
 
+from . import storagefaults
 from .campaign import CampaignResult, RunReport, format_report, run_campaign
 from .checkpoint import Checkpoint, CheckpointManager
 from .crash import (
+    DEFAULT_FAULT_MIX,
     CrashCampaignResult,
     CrashTrial,
     format_crash_report,
@@ -20,11 +22,13 @@ from .crash import (
 from .durable import (
     DurableCheckpointManager,
     DurableCheckpointStore,
+    GcReport,
     InterruptGuard,
     RestoredRun,
     ResumeOutcome,
     build_manifest,
     deserialize_checkpoint,
+    gc_run_dir,
     resume_run,
     serialize_checkpoint,
     stop_requested,
@@ -32,7 +36,17 @@ from .durable import (
 from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultRecord
 from .harness import ResilienceConfig, ResilienceHarness
 from .invariants import RepairPlan, compute_repairs, state_invalid
-from .journal import SpillJournal
+from .journal import JournalScan, SpillJournal
+from .storagefaults import (
+    STORAGE_FAULT_KINDS,
+    StorageFaultInjector,
+    StorageFaultOp,
+    StorageFaultPlan,
+    corrupt_file,
+    inject_storage_fault,
+    injecting,
+    retry_transient,
+)
 from .lease import (
     DEFAULT_LEASE_TIMEOUT,
     LeaseInfo,
@@ -47,20 +61,33 @@ from .watchdog import ProgressWatchdog, build_diagnostic
 __all__ = [
     "CrashCampaignResult",
     "CrashTrial",
+    "DEFAULT_FAULT_MIX",
     "format_crash_report",
     "run_crash_campaign",
     "run_crash_trial",
     "DurableCheckpointManager",
     "DurableCheckpointStore",
+    "GcReport",
     "InterruptGuard",
     "RestoredRun",
     "ResumeOutcome",
+    "JournalScan",
     "SpillJournal",
     "build_manifest",
     "deserialize_checkpoint",
+    "gc_run_dir",
     "resume_run",
     "serialize_checkpoint",
     "stop_requested",
+    "STORAGE_FAULT_KINDS",
+    "StorageFaultInjector",
+    "StorageFaultOp",
+    "StorageFaultPlan",
+    "corrupt_file",
+    "inject_storage_fault",
+    "injecting",
+    "retry_transient",
+    "storagefaults",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultRecord",

@@ -18,10 +18,19 @@ the CLI in subprocesses:
    the reference and the resumed summary reports the same convergence
    round.
 
+Beyond process death, a trial can also damage the dead run's storage
+before resuming (``storage_fault``): post-mortem bit rot or a torn
+truncation of the newest checkpoint generation (forcing the resume
+fallback ladder one generation back) or a torn journal tail.  Faults
+come from :mod:`repro.resilience.storagefaults` and are seeded, so a
+campaign replays byte-for-byte.
+
 ``run_crash_campaign`` sweeps trials over algorithms x engines with
-deterministically drawn crash rounds and reports a recovery-rate table
-(the EXPERIMENTS.md crash-resume campaign); the CI smoke job and the
-tier-2 crash tests run single :func:`run_crash_trial` cells.
+deterministically drawn crash rounds *and* storage faults from
+:data:`DEFAULT_FAULT_MIX`, reporting recovery-rate curves by kill round
+and by fault kind (the EXPERIMENTS.md recovery-rate study); the CI
+smoke jobs and the tier-2 crash tests run single
+:func:`run_crash_trial` cells.
 """
 
 from __future__ import annotations
@@ -37,14 +46,27 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .storagefaults import inject_storage_fault
+
 __all__ = [
     "CrashTrial",
     "CrashCampaignResult",
+    "DEFAULT_FAULT_MIX",
     "repro_command",
     "run_crash_trial",
     "run_crash_campaign",
     "format_crash_report",
 ]
+
+#: the campaign's default storage-fault mix: one fault-free control per
+#: draw plus every post-mortem corruption kind the resume ladder must
+#: absorb (see :func:`repro.resilience.storagefaults.inject_storage_fault`)
+DEFAULT_FAULT_MIX: Tuple[Optional[str], ...] = (
+    None,
+    "ckpt-bitrot",
+    "ckpt-torn",
+    "journal-tail",
+)
 
 
 def repro_command(*args: str) -> List[str]:
@@ -102,6 +124,13 @@ class CrashTrial:
     reference_rounds: Optional[int] = None
     resumed_rounds: Optional[int] = None
     resumed_from_checkpoint: Optional[int] = None
+    #: post-mortem storage fault injected between kill and resume
+    storage_fault: Optional[str] = None
+    #: what the injection actually damaged (None: nothing to damage)
+    fault_detail: Optional[Dict[str, Any]] = None
+    #: the resume fell back past >= 1 corrupt checkpoint generation
+    fallback: bool = False
+    checkpoints_skipped: int = 0
     error: Optional[str] = None
 
     @property
@@ -126,6 +155,10 @@ class CrashTrial:
             "reference_rounds": self.reference_rounds,
             "resumed_rounds": self.resumed_rounds,
             "resumed_from_checkpoint": self.resumed_from_checkpoint,
+            "storage_fault": self.storage_fault,
+            "fault_detail": self.fault_detail,
+            "fallback": self.fallback,
+            "checkpoints_skipped": self.checkpoints_skipped,
             "recovered": self.recovered,
             "error": self.error,
         }
@@ -155,11 +188,17 @@ def run_crash_trial(
     checkpoint_interval: int = 3,
     work_dir: Path,
     reference: Optional[Tuple[Path, Dict[str, Any]]] = None,
+    storage_fault: Optional[str] = None,
+    fault_seed: int = 0,
 ) -> CrashTrial:
     """Kill one run at ``crash_round``, resume it, compare to reference.
 
     ``reference`` reuses an earlier trial's uninterrupted run (values
     file + summary) so a sweep pays for each workload's reference once.
+    ``storage_fault`` names a post-mortem corruption (one of
+    :data:`repro.resilience.storagefaults` run-dir fault kinds) applied
+    between the kill and the resume, so the trial also exercises the
+    checkpoint-generation fallback and journal torn-tail recovery.
     """
     trial = CrashTrial(
         algorithm=algorithm,
@@ -167,6 +206,7 @@ def run_crash_trial(
         dataset=dataset,
         scale=scale,
         crash_round=crash_round,
+        storage_fault=storage_fault,
     )
     work_dir = Path(work_dir)
     work_dir.mkdir(parents=True, exist_ok=True)
@@ -194,8 +234,14 @@ def run_crash_trial(
         ref_values, ref_summary = reference
     trial.reference_rounds = ref_summary["result"][_round_key(engine)]
 
-    # 2. the victim: SIGKILLed from inside the engine at crash_round
+    # 2. the victim: SIGKILLed from inside the engine at crash_round.
+    # A campaign cell can draw the same crash round twice; each trial
+    # still needs a virgin run dir (a durable dir refuses reuse).
     run_dir = work_dir / f"run-{algorithm}-{engine}-r{crash_round}"
+    attempt = 1
+    while run_dir.exists():
+        run_dir = work_dir / f"run-{algorithm}-{engine}-r{crash_round}-{attempt}"
+        attempt += 1
     proc = _run_cli(
         [
             "run",
@@ -211,6 +257,13 @@ def run_crash_trial(
     if not trial.crashed and proc.returncode != 0:
         trial.error = f"victim run failed: {proc.stderr.strip()}"
         return trial
+
+    # 2b. optional post-mortem storage damage: corrupt what the victim
+    #     left on disk before the resume ever sees it
+    if storage_fault is not None:
+        trial.fault_detail = inject_storage_fault(
+            run_dir, kind=storage_fault, seed=fault_seed
+        )
 
     # 3. resume to convergence
     resumed_values = run_dir / "resumed.npy"
@@ -230,6 +283,10 @@ def run_crash_trial(
         return trial
     resumed_summary = json.loads(proc.stdout)
     trial.resumed_from_checkpoint = resumed_summary["resumed"]["checkpoint"]
+    trial.fallback = bool(resumed_summary["resumed"].get("fallback"))
+    trial.checkpoints_skipped = len(
+        resumed_summary["resumed"].get("checkpoints_skipped") or []
+    )
     trial.resumed_rounds = resumed_summary["result"][_round_key(engine)]
     trial.rounds_match = trial.resumed_rounds == trial.reference_rounds
 
@@ -266,11 +323,48 @@ class CrashCampaignResult:
             return 1.0
         return sum(1 for t in self.trials if t.recovered) / len(self.trials)
 
+    @staticmethod
+    def _rate(trials: Sequence[CrashTrial]) -> Dict[str, Any]:
+        recovered = sum(1 for t in trials if t.recovered)
+        return {
+            "trials": len(trials),
+            "recovered": recovered,
+            "rate": recovered / len(trials) if trials else 1.0,
+        }
+
+    def recovery_by_round(self) -> Dict[int, Dict[str, Any]]:
+        """Recovery-rate curve over the kill round."""
+        rounds = sorted({t.crash_round for t in self.trials})
+        return {
+            r: self._rate([t for t in self.trials if t.crash_round == r])
+            for r in rounds
+        }
+
+    def recovery_by_fault(self) -> Dict[str, Dict[str, Any]]:
+        """Recovery-rate curve over the injected storage-fault kind."""
+        kinds = sorted(
+            {t.storage_fault or "none" for t in self.trials}
+        )
+        return {
+            k: self._rate(
+                [
+                    t
+                    for t in self.trials
+                    if (t.storage_fault or "none") == k
+                ]
+            )
+            for k in kinds
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "trials": [t.to_dict() for t in self.trials],
             "kills": self.kill_count,
             "recovery_rate": self.recovery_rate,
+            "recovery_by_round": {
+                str(r): cell for r, cell in self.recovery_by_round().items()
+            },
+            "recovery_by_fault": self.recovery_by_fault(),
         }
 
 
@@ -283,15 +377,18 @@ def run_crash_campaign(
     trials_per_cell: int = 1,
     max_crash_round: int = 12,
     checkpoint_interval: int = 3,
+    storage_faults: Sequence[Optional[str]] = DEFAULT_FAULT_MIX,
     seed: int = 0,
     work_dir: Path,
 ) -> CrashCampaignResult:
     """Sweep kill-and-resume trials over algorithms x engines.
 
-    Crash rounds are drawn from a seeded generator, so a campaign is as
-    reproducible as everything else in the repository.  Each workload's
-    uninterrupted reference run happens once and is shared across that
-    cell's trials.
+    Crash rounds and storage faults are drawn from a seeded generator,
+    so a campaign is as reproducible as everything else in the
+    repository.  Each trial draws one entry from ``storage_faults``
+    (``None`` entries are fault-free controls); pass ``(None,)`` for a
+    pure kill/resume sweep.  Each workload's uninterrupted reference
+    run happens once and is shared across that cell's trials.
     """
     rng = np.random.default_rng(seed)
     campaign = CrashCampaignResult()
@@ -302,6 +399,10 @@ def run_crash_campaign(
             reference: Optional[Tuple[Path, Dict[str, Any]]] = None
             for _ in range(trials_per_cell):
                 crash_round = int(rng.integers(1, max_crash_round + 1))
+                fault = storage_faults[
+                    int(rng.integers(0, len(storage_faults)))
+                ]
+                fault_seed = int(rng.integers(0, 2**31))
                 trial = run_crash_trial(
                     algorithm,
                     engine,
@@ -310,6 +411,9 @@ def run_crash_campaign(
                     crash_round=crash_round,
                     checkpoint_interval=checkpoint_interval,
                     work_dir=cell_dir,
+                    reference=reference,
+                    storage_fault=fault,
+                    fault_seed=fault_seed,
                 )
                 campaign.trials.append(trial)
                 if trial.error is None and reference is None:
@@ -336,9 +440,11 @@ def format_crash_report(campaign: CrashCampaignResult) -> str:
                 trial.engine,
                 trial.crash_round,
                 "killed" if trial.crashed else "survived",
+                trial.storage_fault or "-",
                 trial.resumed_from_checkpoint
                 if trial.resumed_from_checkpoint is not None
                 else "-",
+                "yes" if trial.fallback else "-",
                 "yes" if trial.bit_identical else "NO",
                 "yes" if trial.rounds_match else "NO",
                 "OK" if trial.recovered else (trial.error or "FAILED"),
@@ -350,7 +456,9 @@ def format_crash_report(campaign: CrashCampaignResult) -> str:
             "engine",
             "crash@",
             "fate",
+            "fault",
             "resume ckpt",
+            "fell back",
             "bit-identical",
             "round match",
             "verdict",
@@ -358,8 +466,25 @@ def format_crash_report(campaign: CrashCampaignResult) -> str:
         rows,
         title="crash-resume campaign",
     )
+    curves = []
+    by_round = campaign.recovery_by_round()
+    if by_round:
+        curve = "  ".join(
+            f"r{r}: {cell['recovered']}/{cell['trials']}"
+            for r, cell in by_round.items()
+        )
+        curves.append(f"recovery by kill round:   {curve}")
+    by_fault = campaign.recovery_by_fault()
+    if by_fault:
+        curve = "  ".join(
+            f"{kind}: {cell['recovered']}/{cell['trials']}"
+            for kind, cell in by_fault.items()
+        )
+        curves.append(f"recovery by storage fault: {curve}")
+    tail = "\n".join(curves)
     return (
         f"{table}\n"
         f"kills: {campaign.kill_count}/{len(campaign.trials)}   "
         f"recovery rate: {campaign.recovery_rate:.0%}"
+        + (f"\n{tail}" if tail else "")
     )

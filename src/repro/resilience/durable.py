@@ -54,7 +54,7 @@ import signal
 import struct
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
@@ -65,6 +65,7 @@ from ..ioutil import atomic_write_bytes, atomic_write_text
 from ..obs import probe
 from ..obs import trace as obs_trace
 from .checkpoint import Checkpoint, CheckpointManager
+from .storagefaults import retry_transient
 
 __all__ = [
     "CHECKPOINT_MAGIC",
@@ -80,6 +81,8 @@ __all__ = [
     "build_manifest",
     "resume_run",
     "ResumeOutcome",
+    "GcReport",
+    "gc_run_dir",
 ]
 
 PathLike = Union[str, os.PathLike]
@@ -387,9 +390,13 @@ class DurableCheckpointStore:
 
     def _write_manifest(self) -> None:
         assert self.manifest is not None
-        atomic_write_text(
-            self.manifest_path,
-            json.dumps(self.manifest, indent=2, sort_keys=True) + "\n",
+        text = json.dumps(self.manifest, indent=2, sort_keys=True) + "\n"
+        # transient EIO/ENOSPC on the publish gets a bounded retry; the
+        # atomic temp+rename discipline makes the re-attempt safe (the
+        # failed attempt never touched the destination)
+        retry_transient(
+            lambda: atomic_write_text(self.manifest_path, text),
+            description=f"manifest write ({self.manifest_path})",
         )
 
     # -- checkpoint IO --------------------------------------------------
@@ -430,7 +437,10 @@ class DurableCheckpointStore:
             journal_commit=journal_commit,
         )
         path = self.checkpoint_path(checkpoint.index)
-        atomic_write_bytes(path, blob)
+        retry_transient(
+            lambda: atomic_write_bytes(path, blob),
+            description=f"checkpoint write ({path})",
+        )
         entries = list(self.manifest.get("checkpoints", []))
         entries.append(
             {
@@ -439,6 +449,9 @@ class DurableCheckpointStore:
                 "at": float(checkpoint.at),
                 "file": path.name,
                 "bytes": len(blob),
+                "journal_commit": None
+                if journal_commit is None
+                else int(journal_commit),
             }
         )
         dropped = entries[:-keep] if keep > 0 else []
@@ -482,6 +495,35 @@ class DurableCheckpointStore:
         if not entries:
             return None
         return self.load(int(entries[-1]["seq"]))
+
+    def drop_newer_than(self, seq: Optional[int]) -> List[Dict[str, Any]]:
+        """Demote the manifest to generation ``seq`` (``None`` = none).
+
+        The resume fallback ladder calls this *before* rebuilding an
+        engine on an older generation: the manifest is atomically
+        rewritten without the newer (corrupt) entries first, then their
+        files are unlinked best-effort — so any harness re-opening the
+        run directory sees the adopted generation as the newest and its
+        ``next_seq`` overwrites the corrupt range instead of appending
+        past it.  Returns the dropped entries.
+        """
+        assert self.manifest is not None
+        entries = list(self.manifest.get("checkpoints", []))
+        if seq is None:
+            retained: List[Dict[str, Any]] = []
+        else:
+            retained = [e for e in entries if int(e["seq"]) <= seq]
+        dropped = [e for e in entries if e not in retained]
+        if not dropped:
+            return []
+        self.manifest["checkpoints"] = retained
+        self._write_manifest()
+        for entry in dropped:
+            try:
+                (self.run_dir / entry["file"]).unlink()
+            except OSError:
+                pass  # best-effort; the manifest no longer points here
+        return dropped
 
 
 # ----------------------------------------------------------------------
@@ -663,16 +705,22 @@ class ResumeOutcome:
 
     ``result`` is the engine-independent
     :class:`repro.core.engines.RunResult`; the engine's native result
-    object rides along as ``result.raw``.
+    object rides along as ``result.raw``.  ``provenance`` records *how*
+    the run was recovered: which checkpoint generation was adopted,
+    which newer generations failed verification and were discarded, and
+    what the journal replay did (see ``repro resume --json``).
     """
 
     engine: str
     manifest: Dict[str, Any]
     restored: Optional[RestoredRun]
     result: Any
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
 
-def resume_run(run_dir: PathLike, *, timeseries=None) -> ResumeOutcome:
+def resume_run(
+    run_dir: PathLike, *, timeseries=None, fallback: bool = True
+) -> ResumeOutcome:
     """Validate a run directory, restore its state, run to convergence.
 
     The manifest's graph fingerprint is recomputed from the workload it
@@ -680,6 +728,16 @@ def resume_run(run_dir: PathLike, *, timeseries=None) -> ResumeOutcome:
     scale, a hand-edited manifest — raises
     :class:`repro.errors.ManifestMismatchError` instead of silently
     producing answers for the wrong graph.
+
+    ``fallback=True`` (the default) is the generation ladder: when the
+    newest checkpoint fails verification — CRC mismatch, truncation,
+    a journal that cannot replay to its commit — resume falls back to
+    the next-older manifest-indexed generation, demoting the manifest
+    (:meth:`DurableCheckpointStore.drop_newer_than`) before rebuilding
+    the engine, and ultimately restarts from scratch when no generation
+    verifies.  Determinism makes every rung reach the same final bits.
+    ``fallback=False`` preserves the strict contract: the first
+    :class:`CheckpointCorruptError` propagates (CLI exit 2).
 
     ``timeseries`` (a :class:`repro.obs.TimeSeries`) gives the resumed
     tail the same ``--metrics`` sampling a fresh ``repro run`` gets.
@@ -745,14 +803,6 @@ def resume_run(run_dir: PathLike, *, timeseries=None) -> ResumeOutcome:
         },
         resume=True,
     )
-    restored = store.load_latest()
-    if restored is not None and restored.engine != engine:
-        raise CheckpointCorruptError(
-            f"{store.run_dir}: checkpoint was written by the "
-            f"{restored.engine!r} engine but the manifest names {engine!r}",
-            run_dir=str(store.run_dir),
-        )
-
     stored_options = manifest.get("engine_options") or {}
     options: Dict[str, Any] = {}
     if engine in ("sliced", "sliced-mp"):
@@ -763,23 +813,76 @@ def resume_run(run_dir: PathLike, *, timeseries=None) -> ResumeOutcome:
         }
     if engine == "sliced-mp":
         options["num_workers"] = int(stored_options.get("num_workers", 2))
-    handle = build_engine(
-        engine, (graph, spec), options, resilience=config,
-        timeseries=timeseries,
-    )
-    if (
-        engine in ("sliced", "sliced-mp")
-        and restored is None
-        and store.journal_path.exists()
-    ):
-        # killed before the first checkpoint: restart from scratch,
-        # resetting the journal so the fresh run's records do not
-        # stack on the dead run's uncheckpointed history
-        SpillJournal.create(
-            store.journal_path, handle.runner.partition.num_slices
-        ).close()
-    if restored is not None:
-        handle.restore(restored)
+
+    def build():
+        return build_engine(
+            engine, (graph, spec), options, resilience=config,
+            timeseries=timeseries,
+        )
+
+    # The generation ladder: walk manifest entries newest-first, adopt
+    # the first generation that both deserializes (CRC) and restores
+    # (journal replay + bytewise cross-check).  Each failed rung demotes
+    # the on-disk manifest *before* the next engine build, so the
+    # harness the engine constructs over this run directory never sees
+    # — and can never resurrect — a discarded corrupt generation.
+    entries = list(manifest.get("checkpoints") or [])
+    skipped: List[Dict[str, Any]] = []
+    restored: Optional[RestoredRun] = None
+    handle = None
+    for entry in reversed(entries):
+        seq = int(entry["seq"])
+        try:
+            candidate = store.load(seq)
+            if candidate.engine != engine:
+                raise CheckpointCorruptError(
+                    f"{store.run_dir}: checkpoint {seq} was written by the "
+                    f"{candidate.engine!r} engine but the manifest names "
+                    f"{engine!r}",
+                    run_dir=str(store.run_dir),
+                )
+        except CheckpointCorruptError as exc:
+            if not fallback:
+                raise
+            skipped.append({"seq": seq, "error": str(exc)})
+            continue
+        if skipped:
+            store.drop_newer_than(seq)
+        candidate_handle = build()
+        try:
+            candidate_handle.restore(candidate)
+        except CheckpointCorruptError as exc:
+            if not fallback:
+                raise
+            skipped.append({"seq": seq, "error": str(exc)})
+            store.drop_newer_than(seq - 1)
+            continue
+        restored, handle = candidate, candidate_handle
+        break
+
+    if handle is None:
+        # no generation verified (or none was ever written): restart
+        # from scratch — determinism still reaches the reference bits
+        if skipped:
+            store.drop_newer_than(None)
+        handle = build()
+        if engine in ("sliced", "sliced-mp") and store.journal_path.exists():
+            # the surviving journal pairs with checkpoints we no longer
+            # trust (or that never existed): reset it so the fresh run's
+            # records do not stack on the dead run's history
+            SpillJournal.create(
+                store.journal_path, handle.runner.partition.num_slices
+            ).close()
+
+    journal_stats = getattr(handle.runner, "journal_replay", None)
+    provenance = {
+        "generation": None if restored is None else restored.seq,
+        "round_index": None if restored is None else restored.round_index,
+        "fallback": bool(skipped),
+        "from_scratch": restored is None,
+        "checkpoints_skipped": skipped,
+        "journal": journal_stats,
+    }
     result = handle.run()
     if obs_trace.ACTIVE is not None:
         probe.resume_span(
@@ -791,5 +894,149 @@ def resume_run(run_dir: PathLike, *, timeseries=None) -> ResumeOutcome:
             engine=engine,
         )
     return ResumeOutcome(
-        engine=engine, manifest=manifest, restored=restored, result=result
+        engine=engine,
+        manifest=manifest,
+        restored=restored,
+        result=result,
+        provenance=provenance,
     )
+
+
+# ----------------------------------------------------------------------
+# Lifecycle management: repro gc
+# ----------------------------------------------------------------------
+@dataclass
+class GcReport:
+    """What ``repro gc <run-dir>`` did (or, with ``--dry-run``, would do)."""
+
+    run_dir: str
+    keep: int
+    dry_run: bool
+    #: retained, verified manifest entries (newest last)
+    retained: List[Dict[str, Any]] = field(default_factory=list)
+    #: verified entries beyond the retention window (files removed)
+    dropped: List[Dict[str, Any]] = field(default_factory=list)
+    #: manifest entries whose files failed verification (files removed)
+    corrupt: List[Dict[str, Any]] = field(default_factory=list)
+    #: on-disk ``*.ckpt`` files no manifest entry references
+    orphans: List[str] = field(default_factory=list)
+    #: journal compaction stats, or None (no journal / nothing to drop)
+    journal: Optional[Dict[str, Any]] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "run_dir": self.run_dir,
+            "keep": self.keep,
+            "dry_run": self.dry_run,
+            "retained": self.retained,
+            "dropped": self.dropped,
+            "corrupt": self.corrupt,
+            "orphans": self.orphans,
+            "journal": self.journal,
+        }
+
+
+def gc_run_dir(
+    run_dir: PathLike, *, keep: Optional[int] = None, dry_run: bool = False
+) -> GcReport:
+    """Apply the retention policy to a durable run directory.
+
+    Every manifest-indexed checkpoint is *verified* (full CRC
+    deserialization) first; corrupt generations and verified generations
+    beyond the ``keep`` newest are dropped — manifest demoted
+    atomically, then files unlinked — along with orphaned ``*.ckpt``
+    files nothing references.  The journal, when present, is compacted
+    at the **oldest retained** generation's commit, never the newest:
+    the retention invariant is that every retained checkpoint stays
+    resumable, so no journal record at or past the oldest retained
+    commit is ever removed.  ``keep`` defaults to the run's configured
+    ``checkpoint_keep``.  ``dry_run`` reports without mutating.
+    """
+    store = DurableCheckpointStore(run_dir)
+    manifest = store.open()
+    if keep is None:
+        keep = int((manifest.get("resilience") or {}).get("checkpoint_keep", 2))
+    if keep < 1:
+        raise ManifestMismatchError(
+            f"gc --keep must be >= 1 (got {keep}); removing every "
+            f"generation would make the run unresumable",
+            run_dir=str(store.run_dir),
+        )
+    report = GcReport(run_dir=str(store.run_dir), keep=keep, dry_run=dry_run)
+
+    entries = list(manifest.get("checkpoints") or [])
+    verified: List[Dict[str, Any]] = []
+    for entry in entries:
+        seq = int(entry["seq"])
+        try:
+            restored = store.load(seq)
+        except CheckpointCorruptError as exc:
+            report.corrupt.append(
+                {"seq": seq, "file": entry["file"], "error": str(exc)}
+            )
+            continue
+        entry = dict(entry)
+        # backfill for manifests written before entries carried the
+        # commit — the checkpoint header has always recorded it
+        entry.setdefault("journal_commit", restored.journal_commit)
+        verified.append(entry)
+    report.retained = verified[-keep:]
+    report.dropped = verified[: -keep] if len(verified) > keep else []
+
+    referenced = {e["file"] for e in report.retained}
+    removable = {e["file"] for e in report.dropped} | {
+        e["file"] for e in report.corrupt
+    }
+    report.orphans = sorted(
+        p.name
+        for p in store.run_dir.glob("*.ckpt")
+        if p.name not in referenced and p.name not in removable
+    )
+
+    journal_boundary: Optional[int] = None
+    if manifest.get("journal") and store.journal_path.exists() and report.retained:
+        journal_boundary = report.retained[0].get("journal_commit")
+
+    if dry_run:
+        if journal_boundary is not None:
+            report.journal = {"compact_upto": int(journal_boundary)}
+        return report
+
+    manifest["checkpoints"] = report.retained
+    store._write_manifest()
+    for name in sorted(removable | set(report.orphans)):
+        try:
+            (store.run_dir / name).unlink()
+        except OSError:
+            pass  # best-effort; the manifest no longer points here
+
+    if journal_boundary is not None:
+        from ..analysis import prepare_workload
+        from .journal import SpillJournal
+
+        workload = manifest.get("workload") or {}
+        if (
+            not workload.get("dataset")
+            or not workload.get("algorithm")
+            or workload.get("scale") is None
+        ):
+            # compaction needs the algorithm's reduce operator, which
+            # only a CLI-named workload can reconstruct
+            report.journal = {"skipped": "manifest names no CLI workload"}
+            return report
+        num_slices = int(
+            (manifest.get("engine_options") or {}).get("num_slices", 2)
+        )
+        _, spec = prepare_workload(
+            workload["dataset"],
+            workload["algorithm"],
+            scale=workload["scale"],
+        )
+        stats = SpillJournal.compact_file(
+            store.journal_path,
+            num_slices,
+            int(journal_boundary),
+            spec.reduce,
+        )
+        report.journal = stats
+    return report

@@ -313,6 +313,8 @@ class ResilienceHarness:
             )
         if self.durable is None:
             return
+        if due:
+            self._maybe_compact_journal()
         self.durable.chaos_hook(round_index)
         from .durable import stop_requested
 
@@ -342,6 +344,25 @@ class ResilienceHarness:
                 round_index=round_index,
                 engine=self.engine,
             )
+
+    def _maybe_compact_journal(self) -> None:
+        """Drop journal history no retained checkpoint can need.
+
+        Runs at checkpoint boundaries (right after a durable take, when
+        nothing is buffered).  The compaction floor is the **oldest**
+        retained generation's commit, not the newest: the resume
+        fallback ladder may adopt any retained generation, and each must
+        still be able to replay the journal forward from its own commit.
+        """
+        if self.journal is None or self.durable is None:
+            return
+        entries = (self.durable.store.manifest or {}).get("checkpoints") or []
+        if not entries:
+            return
+        boundary = entries[0].get("journal_commit")
+        if boundary is None or int(boundary) <= self.journal.compacted_upto:
+            return
+        self.journal.compact(int(boundary), self.spec.reduce)
 
     def open_journal(self, num_slices: int) -> Optional[Any]:
         """The sliced engines' spill journal (None unless durable+sliced)."""
@@ -491,6 +512,16 @@ class ResilienceHarness:
                 ),
                 "journal_commits": (
                     self.journal.commits if self.journal is not None else None
+                ),
+                "journal_compactions": (
+                    self.journal.compactions
+                    if self.journal is not None
+                    else None
+                ),
+                "journal_records_dropped": (
+                    self.journal.records_dropped
+                    if self.journal is not None
+                    else None
                 ),
             }
         return summary

@@ -44,14 +44,17 @@ from __future__ import annotations
 import os
 import struct
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, BinaryIO, Callable, Dict, List, Optional, Tuple, Union
 
+from .. import ioutil
 from ..errors import CheckpointCorruptError
 from ..obs import probe
 from ..obs import trace as obs_trace
+from .storagefaults import retry_transient
 
-__all__ = ["SpillJournal", "JOURNAL_MAGIC", "JOURNAL_VERSION"]
+__all__ = ["SpillJournal", "JournalScan", "JOURNAL_MAGIC", "JOURNAL_VERSION"]
 
 PathLike = Union[str, os.PathLike]
 
@@ -76,6 +79,67 @@ def _record(record_type: int, payload: bytes) -> bytes:
     return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
 
 
+_PAYLOAD_LEN = {
+    _TYPE_SPILL: _SPILL.size,
+    _TYPE_CONSUME: _CONSUME.size,
+    _TYPE_COMMIT: _COMMIT.size,
+}
+
+
+def _count_tail(data: bytes, start: int) -> int:
+    """Whole, CRC-valid records from ``start`` to the first anomaly.
+
+    Used only for reporting (how many durable-but-unneeded records a
+    resume truncates) — corruption here just stops the count, it is not
+    an error, because everything past the adopted commit is discarded
+    anyway.
+    """
+    count = 0
+    pos = start
+    while pos < len(data):
+        payload_len = _PAYLOAD_LEN.get(data[pos])
+        if payload_len is None:
+            break
+        end = pos + 1 + payload_len + _CRC.size
+        if end > len(data):
+            break
+        body = data[pos : pos + 1 + payload_len]
+        (crc,) = _CRC.unpack_from(data, pos + 1 + payload_len)
+        if crc != zlib.crc32(body) & 0xFFFFFFFF:
+            break
+        count += 1
+        pos = end
+    return count
+
+
+@dataclass
+class JournalScan:
+    """What :meth:`SpillJournal.scan` learned about one journal file.
+
+    ``buffers``/``offset`` are the replay result (spill buckets as of
+    the target commit, and the file position just past it — the
+    truncation point).  The counters feed recovery provenance:
+    ``records_applied`` reached the adopted commit, ``tail_records`` /
+    ``tail_bytes`` sit past it and will be discarded on resume.
+    """
+
+    buffers: List[Dict[int, Tuple[float, int]]]
+    offset: int
+    records_applied: int
+    tail_records: int
+    tail_bytes: int
+    last_commit: Optional[int]
+
+    def provenance(self) -> Dict[str, Any]:
+        """The ``journal`` block of ``repro resume --json``."""
+        return {
+            "records_replayed": self.records_applied,
+            "records_discarded": self.tail_records,
+            "bytes_discarded": self.tail_bytes,
+            "commit": self.last_commit,
+        }
+
+
 class SpillJournal:
     """Append-only WAL of spill-buffer mutations, committed per pass."""
 
@@ -87,6 +151,11 @@ class SpillJournal:
         self.commits = 0
         self.records_flushed = 0
         self.bytes_flushed = 0
+        # lifecycle stats (see compact()): highest commit id the log has
+        # been re-baselined at, and what compaction has saved so far
+        self.compacted_upto = 0
+        self.compactions = 0
+        self.records_dropped = 0
 
     # -- construction --------------------------------------------------
 
@@ -163,24 +232,47 @@ class SpillJournal:
         self._buffer = []
 
     def commit(self, commit_id: int) -> None:
-        """Flush all buffered records + a commit marker to stable storage."""
+        """Flush all buffered records + a commit marker to stable storage.
+
+        The flush is retried with a bounded backoff for transient errno
+        failures (``EIO``/``ENOSPC``): the storage-fault shim raises its
+        injected transients *before* any byte reaches the file handle,
+        so a retry re-attempts the whole batch rather than appending a
+        duplicate — a commit either lands once or the typed error
+        propagates after the attempt budget.
+        """
         self._buffer.append(_record(_TYPE_COMMIT, _COMMIT.pack(commit_id)))
         data = b"".join(self._buffer)
         records = len(self._buffer)
         self._buffer = []
-        self._handle.write(data)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        written = self._flush_batch(data)
         self.commits += 1
         self.records_flushed += records
-        self.bytes_flushed += len(data)
+        self.bytes_flushed += len(written)
         if obs_trace.ACTIVE is not None:
             probe.journal_flush(
                 float(commit_id),
                 commit=commit_id,
                 records=records,
-                nbytes=len(data),
+                nbytes=len(written),
             )
+
+    def _flush_batch(self, data: bytes) -> bytes:
+        def attempt() -> bytes:
+            out = data
+            shim = ioutil.IO_SHIM
+            if shim is not None:
+                hook = getattr(shim, "on_append", None)
+                if hook is not None:
+                    out = hook(self.path, data)
+            self._handle.write(out)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            return out
+
+        return retry_transient(
+            attempt, description=f"journal commit ({self.path})"
+        )
 
     def close(self) -> None:
         if self._handle is not None and not self._handle.closed:
@@ -208,6 +300,22 @@ class SpillJournal:
         commit — is tolerated and discarded.  Corruption at or before the
         target commit raises :class:`CheckpointCorruptError`.
         """
+        scan = SpillJournal.scan(path, num_slices, upto, reduce_fn)
+        return scan.buffers, scan.offset
+
+    @staticmethod
+    def scan(
+        path: PathLike,
+        num_slices: int,
+        upto: Optional[int],
+        reduce_fn: Callable[[float, float], float],
+    ) -> JournalScan:
+        """:meth:`replay` plus the bookkeeping recovery provenance needs.
+
+        Same corruption semantics as :meth:`replay`; additionally counts
+        the records that reached the adopted commit and the (discarded)
+        durable tail past it — see :class:`JournalScan`.
+        """
         path = Path(path)
         with open(path, "rb") as handle:
             data = handle.read()
@@ -223,6 +331,8 @@ class SpillJournal:
         ]
         committed_offset = _HEADER_LEN
         reached: Optional[int] = None
+        records_seen = 0
+        records_committed = 0
 
         pos = _HEADER_LEN
         corrupt: Optional[CheckpointCorruptError] = None
@@ -254,6 +364,7 @@ class SpillJournal:
                     offset=pos,
                 )
                 break
+            records_seen += 1
             payload = body[1:]
             if record_type == _TYPE_SPILL:
                 slice_index, vertex, generation, delta = _SPILL.unpack(payload)
@@ -290,6 +401,7 @@ class SpillJournal:
                 committed = [dict(bucket) for bucket in buffers]
                 committed_offset = end
                 reached = commit_id
+                records_committed = records_seen
                 if upto is not None and commit_id >= upto:
                     break
             pos = end
@@ -305,7 +417,14 @@ class SpillJournal:
                 last_commit=reached,
                 wanted_commit=upto,
             )
-        return committed, committed_offset
+        return JournalScan(
+            buffers=committed,
+            offset=committed_offset,
+            records_applied=records_committed,
+            tail_records=_count_tail(data, committed_offset),
+            tail_bytes=len(data) - committed_offset,
+            last_commit=reached,
+        )
 
     @staticmethod
     def truncate(path: PathLike, offset: int) -> None:
@@ -314,6 +433,83 @@ class SpillJournal:
             handle.truncate(offset)
             handle.flush()
             os.fsync(handle.fileno())
+
+    # -- lifecycle ------------------------------------------------------
+
+    @classmethod
+    def compact_file(
+        cls,
+        path: PathLike,
+        num_slices: int,
+        upto: int,
+        reduce_fn: Callable[[float, float], float],
+    ) -> Dict[str, int]:
+        """Re-baseline the on-disk log at commit ``upto`` (closed file).
+
+        The history up to ``upto`` collapses into one coalesced SPILL
+        record per pending bucket entry plus a single ``COMMIT(upto)``
+        marker; every durable record *after* ``upto`` is preserved
+        byte-for-byte.  Replay to any commit ``>= upto`` is therefore
+        unchanged — which is why callers must pick ``upto`` as the
+        **oldest retained checkpoint generation's** commit, never the
+        newest: the resume fallback ladder may still need to replay to
+        an older generation, and commits below the compaction boundary
+        are no longer reachable.
+
+        Publishing is atomic (temp + fsync + rename), so a crash during
+        compaction leaves the previous journal intact.
+        """
+        scan = cls.scan(path, num_slices, upto, reduce_fn)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        tail = data[scan.offset :]
+        parts = [JOURNAL_MAGIC + _HEADER.pack(JOURNAL_VERSION, num_slices)]
+        baseline_records = 0
+        for slice_index, bucket in enumerate(scan.buffers):
+            for vertex, (delta, generation) in bucket.items():
+                parts.append(
+                    _record(
+                        _TYPE_SPILL,
+                        _SPILL.pack(slice_index, vertex, generation, delta),
+                    )
+                )
+                baseline_records += 1
+        parts.append(_record(_TYPE_COMMIT, _COMMIT.pack(upto)))
+        blob = b"".join(parts) + tail
+        ioutil.atomic_write_bytes(path, blob)
+        return {
+            "upto": int(upto),
+            "records_dropped": max(
+                0, scan.records_applied - baseline_records - 1
+            ),
+            "baseline_records": baseline_records,
+            "bytes_before": len(data),
+            "bytes_after": len(blob),
+        }
+
+    def compact(
+        self, upto: int, reduce_fn: Callable[[float, float], float]
+    ) -> Dict[str, int]:
+        """In-place :meth:`compact_file` for a live (open) journal.
+
+        Requires a clean commit boundary — the engine calls this right
+        after a per-pass commit, when nothing is buffered.  The append
+        handle is reopened on the freshly published file.
+        """
+        if self._buffer:
+            raise ValueError(
+                "journal compaction requires a committed boundary "
+                f"({len(self._buffer)} uncommitted record(s) buffered)"
+            )
+        self._handle.close()
+        stats = SpillJournal.compact_file(
+            self.path, self.num_slices, upto, reduce_fn
+        )
+        self._handle = open(self.path, "ab")
+        self.compacted_upto = int(upto)
+        self.compactions += 1
+        self.records_dropped += stats["records_dropped"]
+        return stats
 
 
 def _validate_header(header: bytes, path: Path, num_slices: int) -> None:

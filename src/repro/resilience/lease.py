@@ -36,8 +36,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from .. import ioutil
 from ..errors import LeaseHeldError
 from ..ioutil import exclusive_create_bytes
+from .storagefaults import retry_transient
 
 __all__ = [
     "LeaseInfo",
@@ -190,7 +192,16 @@ class SliceLease:
         )
         path = lease_path(lease_dir, slice_index)
         try:
-            exclusive_create_bytes(path, info.to_json().encode("utf-8"))
+            # transient EIO/ENOSPC on the create is retried with a
+            # bounded backoff; FileExistsError is NOT transient — losing
+            # the race must surface as LeaseHeldError, never be retried
+            # into a stolen slice (retry_transient re-raises it as-is)
+            retry_transient(
+                lambda: exclusive_create_bytes(
+                    path, info.to_json().encode("utf-8")
+                ),
+                description=f"lease acquire ({path})",
+            )
         except FileExistsError:
             holder = read_lease(path)
             raise LeaseHeldError(
@@ -205,9 +216,26 @@ class SliceLease:
         return cls(path, info)
 
     def refresh(self) -> None:
-        """Heartbeat: bump the lease's mtime to now."""
-        try:
+        """Heartbeat: bump the lease's mtime to now.
+
+        A transient IO error must not kill the heartbeat thread (a
+        worker that stops heartbeating over one flaky ``EIO`` gets its
+        lease broken and its slice stolen), so the utime is retried with
+        a bounded backoff before giving up.
+        """
+
+        def attempt() -> None:
+            shim = ioutil.IO_SHIM
+            if shim is not None:
+                hook = getattr(shim, "on_utime", None)
+                if hook is not None:
+                    hook(self.path)
             os.utime(self.path)
+
+        try:
+            retry_transient(
+                attempt, description=f"lease heartbeat ({self.path})"
+            )
         except FileNotFoundError:
             pass  # broken from under us; the next acquire conflict reports it
 

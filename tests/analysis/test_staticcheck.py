@@ -172,6 +172,7 @@ class TestFramework:
             "ENG-001",
             "OBS-001",
             "RES-001",
+            "RES-002",
         )
 
 
@@ -339,6 +340,92 @@ class TestSilentExceptRule:
             "        pass\n"
         )
         assert lint_source(source, "repro/obs/export.py", self.RULE) == []
+
+
+class TestBoundedRetryRule:
+    RULE = [RULES_BY_ID["RES-002"]]
+    PATH = "repro/resilience/storagefaults.py"
+
+    def test_while_one_constant_also_counts(self):
+        source = (
+            "def f(write):\n"
+            "    while 1:\n"
+            "        try:\n"
+            "            return write()\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        findings = lint_source(source, self.PATH, self.RULE)
+        assert "unbounded" in findings[0].message
+
+    def test_bare_except_in_retry_loop_flagged(self):
+        source = (
+            "def f(write):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return write()\n"
+            "        except:\n"
+            "            pass\n"
+        )
+        assert lint_source(source, self.PATH, self.RULE)
+
+    def test_handler_that_reraises_passes(self):
+        source = (
+            "def f(write, fatal):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return write()\n"
+            "        except OSError as exc:\n"
+            "            if fatal(exc):\n"
+            "                pass\n"
+            "            raise\n"
+        )
+        assert lint_source(source, self.PATH, self.RULE) == []
+
+    def test_handler_that_breaks_passes(self):
+        source = (
+            "def f(write):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            write()\n"
+            "        except OSError:\n"
+            "            break\n"
+        )
+        assert lint_source(source, self.PATH, self.RULE) == []
+
+    def test_bounded_for_loop_is_the_blessed_idiom(self):
+        source = (
+            "def f(write, attempts):\n"
+            "    for attempt in range(attempts):\n"
+            "        try:\n"
+            "            return write()\n"
+            "        except OSError:\n"
+            "            if attempt == attempts - 1:\n"
+            "                raise\n"
+        )
+        assert lint_source(source, self.PATH, self.RULE) == []
+
+    def test_non_io_retry_is_out_of_jurisdiction(self):
+        source = (
+            "def f(poll):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return poll()\n"
+            "        except KeyError:\n"
+            "            continue\n"
+        )
+        assert lint_source(source, self.PATH, self.RULE) == []
+
+    def test_out_of_scope_module_skipped(self):
+        source = (
+            "def f(write):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return write()\n"
+            "        except OSError:\n"
+            "            continue\n"
+        )
+        assert lint_source(source, "repro/core/slicing.py", self.RULE) == []
 
 
 # ----------------------------------------------------------------------

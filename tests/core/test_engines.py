@@ -88,6 +88,21 @@ class TestRegistry:
         resumable = set(resumable_engine_names())
         assert resumable == {"functional", "cycle", "sliced", "sliced-mp"}
 
+    def test_resumable_flag_matches_runner_restore(self, small_graph):
+        """The registry flag must be truthful: every resumable engine's
+        runner exposes ``restore()`` and no non-resumable engine does.
+        In particular parallel-sliced stays excluded from crash-resume
+        coverage — its mid-super-round in-flight accelerator buffers
+        have no durable-queue representation (see the registration
+        comment in core/engines.py)."""
+        spec = algorithms.make_pagerank_delta()
+        resumable = set(resumable_engine_names())
+        for name in engine_names():
+            handle = build_engine(name, (small_graph, spec), _options(name))
+            has_restore = callable(getattr(handle.runner, "restore", None))
+            assert has_restore == (name in resumable), name
+        assert "parallel-sliced" not in resumable
+
     def test_engine_spec_lookup(self):
         spec = engine_spec("sliced-mp")
         assert spec.resilient and spec.resumable

@@ -119,7 +119,10 @@ def test_crash_before_first_checkpoint_restarts_cleanly(tmp_path):
     assert trial.bit_identical and trial.rounds_match
 
 
-def test_resume_of_corrupt_checkpoint_exits_2(tmp_path):
+def test_resume_of_corrupt_checkpoint_exits_2_without_fallback(tmp_path):
+    """--no-fallback preserves the strict contract: a corrupt newest
+    checkpoint is a typed exit-2 failure, not a silent generation hop
+    (the default fallback path is proven in test_storagefaults.py)."""
     run_dir = tmp_path / "run"
     proc = run_cli(
         [
@@ -141,10 +144,32 @@ def test_resume_of_corrupt_checkpoint_exits_2(tmp_path):
     data = bytearray(victim.read_bytes())
     data[len(data) // 2] ^= 0xFF
     victim.write_bytes(bytes(data))
-    proc = run_cli(["resume", str(run_dir), "--json", "-"])
+    proc = run_cli(["resume", str(run_dir), "--no-fallback", "--json", "-"])
     assert proc.returncode == 2
     assert "Traceback" not in proc.stderr
     assert json.loads(proc.stdout)["error"]["type"] == "CheckpointCorruptError"
+
+
+def test_storage_fault_trial_falls_back_and_recovers(tmp_path):
+    """The crash-campaign cell with a post-mortem fault: kill, corrupt
+    the newest checkpoint, and verify the resume walks back one
+    generation yet still reaches bit-identical final state."""
+    trial = run_crash_trial(
+        "pagerank",
+        "sliced",
+        crash_round=7,
+        checkpoint_interval=2,
+        work_dir=tmp_path,
+        storage_fault="ckpt-bitrot",
+        fault_seed=11,
+    )
+    assert trial.error is None, trial.error
+    assert trial.crashed
+    assert trial.fault_detail is not None
+    assert trial.fallback
+    assert trial.checkpoints_skipped == 1
+    assert trial.bit_identical and trial.rounds_match
+    assert trial.recovered
 
 
 def test_resume_of_non_run_directory_exits_2(tmp_path):
