@@ -11,6 +11,7 @@ ENG-001   engines are constructed only through ``build_engine``
 RES-001   no silent exception swallowing in recovery paths
 RES-002   IO retry loops in the durability layer carry attempt budgets
 OBS-001   no bare ``print()`` outside the CLI (obs layer owns output)
+SUB-001   durable primitives are constructed only via the substrate
 ========  ============================================================
 
 Scopes and allowlists live on the rule classes so ``repro lint
@@ -365,6 +366,7 @@ class EngineRegistryRule(Rule):
             "GraphPulseAccelerator",
             "SlicedGraphPulse",
             "MultiprocessSlicedGraphPulse",
+            "HostSlicedGraphPulse",
             "ParallelSlicedGraphPulse",
             "SynchronousDeltaEngine",
             "LigraEngine",
@@ -681,6 +683,113 @@ class BarePrintRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# SUB-001: durable primitives are constructed through the substrate
+# ----------------------------------------------------------------------
+
+
+class SubstrateConstructionRule(Rule):
+    """Durable primitives are only constructed via a ``Substrate``.
+
+    ``SliceLease``, ``SpillJournal`` and ``DurableCheckpointStore`` are
+    the *fs backend's* concrete machinery; code that instantiates one
+    directly is welded to the filesystem and silently bypasses backend
+    selection (the conformance suite's interchangeability guarantee,
+    and with it the memory backend's chaos coverage).  Consumers go
+    through ``build_substrate(backend)`` and the store factories; only
+    the substrate package itself (and the engine registry, which owns
+    backend wiring) may touch the concrete constructors.  The read-only
+    recovery statics (``SpillJournal.scan`` / ``replay`` / ``truncate``
+    / ``compact_file``) stay legal everywhere — they are stateless
+    byte-codec entry points, not ownership of a live log.
+    """
+
+    id = "SUB-001"
+    severity = "error"
+    description = (
+        "no direct construction of SliceLease/SpillJournal/"
+        "DurableCheckpointStore outside the substrate package — go "
+        "through build_substrate()"
+    )
+    hint = (
+        "substrate = repro.resilience.substrate.build_substrate(); "
+        "then lease_store(root).acquire(...), "
+        "spill_transport(path).create(...), checkpoint_store(run_dir)"
+    )
+    scope = ("*",)
+    allowlist = {
+        "*/resilience/substrate/*": (
+            "the substrate package is the construction authority the "
+            "rule exists to protect"
+        ),
+        "*/core/engines.py": (
+            "the engine registry owns backend wiring and may bind "
+            "concrete stores directly"
+        ),
+        "*/tests/*": "tests exercise the primitives directly",
+    }
+    fixture_path = "repro/resilience/substrate_fixture.py"
+    fixture_trigger = (
+        "from repro.resilience.journal import SpillJournal\n"
+        "\n"
+        "def start_log(path, num_slices):\n"
+        "    return SpillJournal.create(path, num_slices)\n"
+    )
+    fixture_clean = (
+        "from repro.resilience.substrate import build_substrate\n"
+        "\n"
+        "def start_log(path, num_slices):\n"
+        "    transport = build_substrate().spill_transport(path)\n"
+        "    return transport.create(num_slices)\n"
+    )
+
+    #: the concrete fs-backend primitives the substrate package owns
+    _CLASSES = frozenset(
+        {"SliceLease", "SpillJournal", "DurableCheckpointStore"}
+    )
+    #: classmethods that create or take ownership of a live artifact;
+    #: the read-only statics (scan/replay/truncate/compact_file) are
+    #: deliberately absent
+    _CONSTRUCTORS = frozenset({"acquire", "create", "open_append"})
+
+    def visit(
+        self, tree: ast.Module, path: str, imports: Dict[str, str]
+    ) -> Iterator[Finding]:
+        # the defining modules construct their own classes (cls(...)
+        # aside, e.g. alternate constructors calling each other by name)
+        local_classes = {
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in self._CLASSES and func.id not in local_classes:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"direct {func.id}(...) construction is welded to "
+                        f"the fs backend; go through build_substrate()",
+                    )
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in self._CLASSES
+                    and base.id not in local_classes
+                    and func.attr in self._CONSTRUCTORS
+                ):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"{base.id}.{func.attr}(...) constructs a durable "
+                        f"primitive outside the substrate package",
+                    )
+
+
 #: the registry, in stable reporting order
 RULES: Tuple[Rule, ...] = (
     WallClockRule(),
@@ -690,6 +799,7 @@ RULES: Tuple[Rule, ...] = (
     BarePrintRule(),
     SilentExceptRule(),
     UnboundedRetryRule(),
+    SubstrateConstructionRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}

@@ -165,7 +165,7 @@ ENGINES = engine_names()
 RESILIENT_ENGINES = resilient_engine_names()
 
 #: engines whose --num-slices / --queue-capacity flags apply
-SLICED_ENGINES = ("sliced", "sliced-mp", "parallel-sliced")
+SLICED_ENGINES = ("sliced", "sliced-mp", "sliced-hosts", "parallel-sliced")
 
 
 def _dead_lane(value: str) -> Tuple[int, int]:
@@ -261,6 +261,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker process count for --engine sliced-mp (default 2; "
         "clamped to the slice count)",
+    )
+    run_parser.add_argument(
+        "--hosts-dir",
+        metavar="DIR",
+        default=None,
+        help="shared substrate directory for --engine sliced-hosts; "
+        "every supervisor process pointed at the same DIR cooperates "
+        "on (and can take over) the same run",
+    )
+    run_parser.add_argument(
+        "--host-id",
+        metavar="NAME",
+        default=None,
+        help="stable name for this sliced-hosts supervisor "
+        "(default host-<pid>)",
+    )
+    run_parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat-silence threshold before a sliced-hosts peer's "
+        "lease is considered stale and fenced (default 5.0)",
     )
     run_parser.add_argument(
         "--no-auto-slice",
@@ -817,6 +840,14 @@ def _result_lines(result: RunResult, info: Dict[str, Any]) -> List[str]:
                 f"workers: {stats['workers']}   "
                 f"recoveries: {stats['recoveries']}"
             )
+    elif engine == "sliced-hosts":
+        lines = [
+            f"passes: {info['passes']}   rounds: {info['rounds']}   "
+            f"spill traffic: {stats['spill_bytes'] / 1e6:.2f} MB",
+            f"host {stats['host']}: executed {stats['steps_executed']} "
+            f"of {stats['steps']} steps   stale peers fenced: "
+            f"{stats['takeovers']}",
+        ]
     elif engine == "parallel-sliced":
         lines = [
             f"super-rounds: {info['passes']}   messages: "
@@ -845,13 +876,22 @@ def _engine_options(args: argparse.Namespace) -> Dict[str, Any]:
     if args.engine in SLICED_ENGINES:
         _check_num_slices(args.num_slices)
         options["num_slices"] = args.num_slices
-    if args.engine in ("sliced", "sliced-mp"):
+    if args.engine in ("sliced", "sliced-mp", "sliced-hosts"):
         options["queue_capacity"] = args.queue_capacity
         options["auto_slice"] = not args.no_auto_slice
     if args.engine == "sliced-mp":
         if args.workers < 1:
             raise ReproError(f"--workers must be >= 1, got {args.workers}")
         options["num_workers"] = args.workers
+    if args.engine == "sliced-hosts":
+        if args.hosts_dir is None:
+            raise ReproError(
+                "--engine sliced-hosts requires --hosts-dir (the shared "
+                "substrate directory all participating hosts point at)"
+            )
+        options["hosts_dir"] = args.hosts_dir
+        options["host_id"] = args.host_id
+        options["lease_timeout"] = args.lease_timeout
     return options
 
 

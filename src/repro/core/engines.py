@@ -560,6 +560,54 @@ def _summarize_sliced_mp(result) -> RunResult:
     return summary
 
 
+def _build_sliced_hosts(graph, spec, options, *, resilience, timeseries):
+    from .hostsliced import HostSlicedGraphPulse
+    from .slicing import contiguous_partition, resolve_partition
+
+    kwargs = _take(
+        options,
+        hosts_dir=None,
+        host_id=None,
+        num_slices=1,
+        queue_capacity=None,
+        auto_slice=True,
+        partition_fn=contiguous_partition,
+        lease_timeout=None,
+        poll_interval=0.05,
+        num_bins=64,
+        block_size=128,
+        max_passes=10_000,
+        rounds_per_activation=None,
+    )
+    partition = resolve_partition(
+        graph,
+        num_slices=kwargs.pop("num_slices"),
+        queue_capacity=kwargs.pop("queue_capacity"),
+        auto_slice=kwargs.pop("auto_slice"),
+        partition_fn=kwargs.pop("partition_fn"),
+    )
+    return HostSlicedGraphPulse(partition, spec, **kwargs)
+
+
+def _summarize_sliced_hosts(result) -> RunResult:
+    return RunResult(
+        engine="sliced-hosts",
+        values=result.values,
+        converged=result.converged,
+        rounds=result.total_rounds,
+        passes=result.num_passes,
+        stats={
+            "events_processed": result.events_processed,
+            "spill_bytes": result.total_spill_bytes,
+            "steps": result.steps_total,
+            "steps_executed": result.steps_executed,
+            "takeovers": result.takeovers,
+            "host": result.host,
+        },
+        raw=result,
+    )
+
+
 def _build_parallel_sliced(graph, spec, options, *, resilience, timeseries):
     from .slicing import (
         ParallelSlicedGraphPulse,
@@ -675,6 +723,18 @@ register_engine(
     resilient=True,
     resumable=True,
     description="multi-process sliced workers with per-slice leases",
+)
+# sliced-hosts is deliberately neither resilient nor resumable: the
+# shared hosts directory *is* its durable substrate — every step
+# journals, publishes a shard and moves the cursor, so any host (or
+# all of them) can be SIGKILLed and a fresh host continues from the
+# durable state; layering the single-process resilience harness on top
+# would double-journal the same spill traffic into a second WAL.
+register_engine(
+    "sliced-hosts",
+    _build_sliced_hosts,
+    _summarize_sliced_hosts,
+    description="cross-host sliced supervisors over a shared substrate dir",
 )
 # parallel-sliced is deliberately neither resilient nor resumable: the
 # model never threads a ResilienceHarness (no fault sites, no rollback

@@ -75,12 +75,8 @@ from ..graph.partition import Partition
 from ..obs import metrics as obs_metrics
 from ..obs import probe
 from ..obs import trace as obs_trace
-from ..resilience.lease import (
-    DEFAULT_LEASE_TIMEOUT,
-    SliceLease,
-    break_stale,
-    lease_path,
-)
+from ..resilience.lease import DEFAULT_LEASE_TIMEOUT
+from ..resilience.substrate import build_substrate
 from .event import Event
 from .functional import TrafficCounters
 from .slicing import (
@@ -191,10 +187,9 @@ def _worker_main(
     if obs_trace.ACTIVE is not None:
         obs_trace.uninstall()
     try:
+        lease_store = build_substrate().lease_store(lease_dir)
         leases = [
-            SliceLease.acquire(
-                lease_dir, s, owner=f"worker-{worker_id}", epoch=epoch
-            )
+            lease_store.acquire(s, owner=f"worker-{worker_id}", epoch=epoch)
             for s in owned_slices
         ]
     except Exception as exc:
@@ -328,10 +323,9 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         that raises :class:`repro.errors.LeaseHeldError` instead of
         silently double-running.
         """
+        store = build_substrate().lease_store(lease_dir)
         for slice_index in range(self.partition.num_slices):
-            break_stale(
-                lease_path(lease_dir, slice_index), timeout=self.lease_timeout
-            )
+            store.break_stale(slice_index, timeout=self.lease_timeout)
 
     def _spawn_worker(
         self,
@@ -520,11 +514,10 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
             or self._journal is None
         ):
             return None
-        from ..resilience.journal import SpillJournal
-
         path = self.resilience.durable.store.journal_path
-        buffers, _ = SpillJournal.replay(
-            path, self.partition.num_slices, pass_index, self.spec.reduce
+        transport = build_substrate().spill_transport(path)
+        buffers, _ = transport.replay(
+            self.partition.num_slices, pass_index, self.spec.reduce
         )
         return [
             {
@@ -591,10 +584,9 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
 
         # 4. break the stale leases and re-lease to a fresh worker
         #    (chaos disabled: the replacement must not re-trigger)
+        store = build_substrate().lease_store(lease_dir)
         for slice_index in handle.owned:
-            break_stale(
-                lease_path(lease_dir, slice_index), timeout=self.lease_timeout
-            )
+            store.break_stale(slice_index, timeout=self.lease_timeout)
         self._epoch += 1
         workers[death.worker_id] = self._spawn_worker(
             ctx, death.worker_id, lease_dir, options, chaos=None

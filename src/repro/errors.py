@@ -15,6 +15,7 @@ than spinning until the round limit and dying with a one-line message.
 
 from __future__ import annotations
 
+import errno as _errno
 from typing import Any, Dict, List, Optional
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "ManifestMismatchError",
     "RunInterruptedError",
     "LeaseHeldError",
+    "OutOfSpaceError",
 ]
 
 
@@ -150,6 +152,26 @@ class LeaseHeldError(ReproError, RuntimeError):
 
     def __init__(self, message: str, **context: Any):
         super().__init__(message)
+        self.context: Dict[str, Any] = context
+
+
+class OutOfSpaceError(ReproError, OSError):
+    """The storage backing the durable layer is persistently full.
+
+    Raised when a bounded IO retry (``retry_transient``) exhausts its
+    attempt budget and *every* failure was ``ENOSPC`` — a full disk is
+    not transient flakiness, and surfacing it as a generic ``OSError``
+    would bury the one failure an operator can actually act on.
+    Double-inherits :class:`OSError` (with ``errno`` forced to
+    ``ENOSPC``) so existing ``except OSError`` recovery ladders keep
+    working; the CLI reports it as a typed exit-2 ``--json`` payload.
+    ``context`` carries the operation ``description``, ``path`` when
+    known, and the exhausted ``attempts`` budget.
+    """
+
+    def __init__(self, message: str, **context: Any):
+        super().__init__(message)
+        self.errno = _errno.ENOSPC
         self.context: Dict[str, Any] = context
 
 

@@ -24,6 +24,7 @@ __all__ = [
     "atomic_write_text",
     "atomic_open",
     "exclusive_create_bytes",
+    "read_bytes",
     "io_shim",
     "set_io_shim",
 ]
@@ -57,6 +58,13 @@ def set_io_shim(shim: Optional[object]) -> Optional[object]:
     ``on_create(path)``
         Called by :func:`exclusive_create_bytes` before the exclusive
         open; may raise ``OSError`` for transient create failures.
+
+    ``on_read(path, data) -> bytes``
+        Called by :func:`read_bytes` after the file content is read; may
+        return damaged bytes (read-side bit rot: the disk image is
+        intact but the bytes delivered to the consumer are not — a bad
+        controller, cable or cache line) or raise ``OSError`` for
+        transient read failures.
     """
     global IO_SHIM
     previous = IO_SHIM
@@ -124,6 +132,25 @@ def exclusive_create_bytes(path: PathLike, data: bytes) -> None:
             os.fsync(dir_fd)
         finally:
             os.close(dir_fd)
+
+
+def read_bytes(path: PathLike) -> bytes:
+    """Read ``path`` fully, consulting the IO shim's read hook.
+
+    The one sanctioned read path for durable artifacts (checkpoints,
+    manifests, journal files): routing loads through here lets the
+    storage-fault layer model *read-side* corruption — bytes damaged
+    between the platter and the consumer — against any backend, which a
+    write-time-only shim can never produce.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if IO_SHIM is not None:
+        hook = getattr(IO_SHIM, "on_read", None)
+        if hook is not None:
+            data = hook(path, data)
+    return data
 
 
 def atomic_write_bytes(path: PathLike, data: bytes) -> None:

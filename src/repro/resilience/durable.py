@@ -61,7 +61,7 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 import numpy as np
 
 from ..errors import CheckpointCorruptError, ManifestMismatchError, RunInterruptedError
-from ..ioutil import atomic_write_bytes, atomic_write_text
+from ..ioutil import atomic_write_bytes, read_bytes
 from ..obs import probe
 from ..obs import trace as obs_trace
 from .checkpoint import Checkpoint, CheckpointManager
@@ -348,11 +348,33 @@ class DurableCheckpointStore:
     def checkpoint_path(self, seq: int) -> Path:
         return self.run_dir / f"checkpoint-{seq:06d}.ckpt"
 
+    # -- backend IO primitives ------------------------------------------
+    # The five operations every piece of store logic above funnels
+    # through.  The filesystem defaults below ARE the durable contract
+    # (atomic publish, shim-visible reads); the in-memory substrate
+    # backend overrides exactly these to get byte-identical manifest /
+    # generation-ladder semantics without touching a disk.
+
+    def _ensure_root(self) -> None:
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+
+    def _exists(self, path: PathLike) -> bool:
+        return Path(path).exists()
+
+    def _publish(self, path: PathLike, data: bytes) -> None:
+        atomic_write_bytes(path, data)
+
+    def _read(self, path: PathLike) -> bytes:
+        return read_bytes(path)
+
+    def _unlink(self, path: PathLike) -> None:
+        Path(path).unlink()
+
     # -- lifecycle ------------------------------------------------------
     def create(self, manifest: Dict[str, Any]) -> None:
         """Start a fresh run directory; refuses to clobber an existing run."""
-        self.run_dir.mkdir(parents=True, exist_ok=True)
-        if self.manifest_path.exists():
+        self._ensure_root()
+        if self._exists(self.manifest_path):
             raise ManifestMismatchError(
                 f"{self.run_dir} already contains a durable run; "
                 f"resume it with 'repro resume {self.run_dir}' or pick a "
@@ -364,15 +386,17 @@ class DurableCheckpointStore:
 
     def open(self) -> Dict[str, Any]:
         """Load + validate an existing run directory's manifest."""
-        if not self.manifest_path.exists():
+        if not self._exists(self.manifest_path):
             raise ManifestMismatchError(
                 f"{self.run_dir} has no {MANIFEST_NAME}; not a durable run "
                 f"directory",
                 run_dir=str(self.run_dir),
             )
         try:
-            manifest = json.loads(self.manifest_path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+            # loads route through the read primitive so the storage-fault
+            # shim can model read-side corruption of the manifest too
+            manifest = json.loads(self._read(self.manifest_path).decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise CheckpointCorruptError(
                 f"{self.manifest_path}: unreadable manifest ({exc})",
                 path=str(self.manifest_path),
@@ -395,7 +419,7 @@ class DurableCheckpointStore:
         # atomic temp+rename discipline makes the re-attempt safe (the
         # failed attempt never touched the destination)
         retry_transient(
-            lambda: atomic_write_text(self.manifest_path, text),
+            lambda: self._publish(self.manifest_path, text.encode("utf-8")),
             description=f"manifest write ({self.manifest_path})",
         )
 
@@ -438,7 +462,7 @@ class DurableCheckpointStore:
         )
         path = self.checkpoint_path(checkpoint.index)
         retry_transient(
-            lambda: atomic_write_bytes(path, blob),
+            lambda: self._publish(path, blob),
             description=f"checkpoint write ({path})",
         )
         entries = list(self.manifest.get("checkpoints", []))
@@ -459,7 +483,7 @@ class DurableCheckpointStore:
         self._write_manifest()
         for entry in dropped:
             try:
-                (self.run_dir / entry["file"]).unlink()
+                self._unlink(self.run_dir / entry["file"])
             except OSError:
                 pass  # GC is best-effort; the manifest no longer points here
         if obs_trace.ACTIVE is not None:
@@ -475,7 +499,7 @@ class DurableCheckpointStore:
     def load(self, seq: int) -> RestoredRun:
         path = self.checkpoint_path(seq)
         try:
-            data = path.read_bytes()
+            data = self._read(path)
         except OSError as exc:
             raise CheckpointCorruptError(
                 f"{path}: cannot read checkpoint ({exc})", path=str(path)
@@ -520,7 +544,7 @@ class DurableCheckpointStore:
         self._write_manifest()
         for entry in dropped:
             try:
-                (self.run_dir / entry["file"]).unlink()
+                self._unlink(self.run_dir / entry["file"])
             except OSError:
                 pass  # best-effort; the manifest no longer points here
         return dropped
@@ -749,12 +773,13 @@ def resume_run(
     from ..graph.io import graph_fingerprint
     from .faults import FaultPlan
     from .harness import ResilienceConfig
-    from .journal import SpillJournal
+    from .substrate import build_substrate
 
     # wall clock feeds only the resume-span telemetry below, never the
     # replayed trajectory  # repro: allow(DET-001)
     wall_start = time.monotonic()
-    store = DurableCheckpointStore(run_dir)
+    substrate = build_substrate()
+    store = substrate.checkpoint_store(run_dir)
     manifest = store.open()
 
     workload = manifest.get("workload") or {}
@@ -866,13 +891,12 @@ def resume_run(
         if skipped:
             store.drop_newer_than(None)
         handle = build()
-        if engine in ("sliced", "sliced-mp") and store.journal_path.exists():
+        transport = substrate.spill_transport(store.journal_path)
+        if engine in ("sliced", "sliced-mp") and transport.exists():
             # the surviving journal pairs with checkpoints we no longer
             # trust (or that never existed): reset it so the fresh run's
             # records do not stack on the dead run's history
-            SpillJournal.create(
-                store.journal_path, handle.runner.partition.num_slices
-            ).close()
+            transport.create(handle.runner.partition.num_slices).close()
 
     journal_stats = getattr(handle.runner, "journal_replay", None)
     provenance = {
@@ -952,7 +976,9 @@ def gc_run_dir(
     commit is ever removed.  ``keep`` defaults to the run's configured
     ``checkpoint_keep``.  ``dry_run`` reports without mutating.
     """
-    store = DurableCheckpointStore(run_dir)
+    from .substrate import build_substrate
+
+    store = build_substrate().checkpoint_store(run_dir)
     manifest = store.open()
     if keep is None:
         keep = int((manifest.get("resilience") or {}).get("checkpoint_keep", 2))

@@ -101,6 +101,11 @@ class ResilienceConfig:
     resume:
         True when this configuration continues an existing run
         directory (opens the manifest instead of creating it).
+    substrate:
+        Which durable-substrate backend holds the run's checkpoints,
+        manifest and spill journal (``"fs"`` — the default, survives
+        process death — or ``"memory"``, the in-process conformance
+        backend used by protocol tests).
     """
 
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
@@ -116,6 +121,7 @@ class ResilienceConfig:
     checkpoint_dir: Optional[str] = None
     run_meta: Optional[Mapping[str, Any]] = None
     resume: bool = False
+    substrate: str = "fs"
 
 
 class ResilienceHarness:
@@ -134,17 +140,16 @@ class ResilienceHarness:
         self.engine = engine
         self.injector = FaultInjector(config.fault_plan)
         self.durable = None  #: DurableCheckpointManager when checkpoint_dir set
-        self.journal = None  #: SpillJournal on durable sliced runs
+        self.journal = None  #: live spill-journal writer on durable sliced runs
+        self.substrate = None  #: Substrate when checkpoint_dir set
         if config.checkpoint_dir is not None:
             # lazy import: durability is optional machinery and ``durable``
             # itself imports back through the resilience package
-            from .durable import (
-                DurableCheckpointManager,
-                DurableCheckpointStore,
-                build_manifest,
-            )
+            from .durable import DurableCheckpointManager, build_manifest
+            from .substrate import build_substrate
 
-            store = DurableCheckpointStore(config.checkpoint_dir)
+            self.substrate = build_substrate(config.substrate)
+            store = self.substrate.checkpoint_store(config.checkpoint_dir)
             if config.resume:
                 store.open()
             else:
@@ -368,13 +373,13 @@ class ResilienceHarness:
         """The sliced engines' spill journal (None unless durable+sliced)."""
         if self.durable is None or self.engine not in ("sliced", "sliced-mp"):
             return None
-        from .journal import SpillJournal
-
-        path = self.durable.store.journal_path
+        transport = self.substrate.spill_transport(
+            self.durable.store.journal_path
+        )
         if self.config.resume:
-            self.journal = SpillJournal.open_append(path, num_slices)
+            self.journal = transport.open_append(num_slices)
         else:
-            self.journal = SpillJournal.create(path, num_slices)
+            self.journal = transport.create(num_slices)
         return self.journal
 
     # -- quiescent repair ----------------------------------------------

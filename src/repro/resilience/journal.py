@@ -54,7 +54,18 @@ from ..obs import probe
 from ..obs import trace as obs_trace
 from .storagefaults import retry_transient
 
-__all__ = ["SpillJournal", "JournalScan", "JOURNAL_MAGIC", "JOURNAL_VERSION"]
+__all__ = [
+    "SpillJournal",
+    "JournalScan",
+    "JOURNAL_MAGIC",
+    "JOURNAL_VERSION",
+    "encode_header",
+    "encode_spill",
+    "encode_consume",
+    "encode_commit",
+    "scan_bytes",
+    "compact_bytes",
+]
 
 PathLike = Union[str, os.PathLike]
 
@@ -77,6 +88,37 @@ _HEADER_LEN = len(JOURNAL_MAGIC) + _HEADER.size
 def _record(record_type: int, payload: bytes) -> bytes:
     body = bytes([record_type]) + payload
     return body + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+# -- byte-level codec -------------------------------------------------
+# The GPJL wire format is shared verbatim by every spill transport
+# backend (filesystem journal file, in-memory byte log), so torn-tail
+# and CRC semantics are provably identical across backends: they all
+# encode with these helpers and decode with :func:`scan_bytes`.
+
+
+def encode_header(num_slices: int) -> bytes:
+    """The GPJL file header for a ``num_slices``-slice journal."""
+    return JOURNAL_MAGIC + _HEADER.pack(JOURNAL_VERSION, num_slices)
+
+
+def encode_spill(
+    slice_index: int, vertex: int, generation: int, delta: float
+) -> bytes:
+    """One CRC-framed SPILL record."""
+    return _record(
+        _TYPE_SPILL, _SPILL.pack(slice_index, vertex, generation, delta)
+    )
+
+
+def encode_consume(slice_index: int) -> bytes:
+    """One CRC-framed CONSUME record."""
+    return _record(_TYPE_CONSUME, _CONSUME.pack(slice_index))
+
+
+def encode_commit(commit_id: int) -> bytes:
+    """One CRC-framed COMMIT marker."""
+    return _record(_TYPE_COMMIT, _COMMIT.pack(commit_id))
 
 
 _PAYLOAD_LEN = {
@@ -140,6 +182,164 @@ class JournalScan:
         }
 
 
+def scan_bytes(
+    data: bytes,
+    num_slices: int,
+    upto: Optional[int],
+    reduce_fn: Callable[[float, float], float],
+    *,
+    source: str = "<journal>",
+) -> JournalScan:
+    """Replay a GPJL byte string up to commit ``upto``.
+
+    The backend-neutral core of :meth:`SpillJournal.scan`: the
+    filesystem journal hands it file contents, the in-memory transport
+    hands it its byte log, and both get identical torn-tail tolerance,
+    CRC validation and coalescing.  ``source`` only labels error
+    messages (a path for the fs backend, a virtual name otherwise).
+    """
+    _validate_header(data[:_HEADER_LEN], source, num_slices)
+
+    buffers: List[Dict[int, Tuple[float, int]]] = [
+        {} for _ in range(num_slices)
+    ]
+    # replay applies mutations tentatively and re-baselines at each
+    # commit marker; anything after the last commit <= upto is dropped
+    committed: List[Dict[int, Tuple[float, int]]] = [
+        dict(bucket) for bucket in buffers
+    ]
+    committed_offset = _HEADER_LEN
+    reached: Optional[int] = None
+    records_seen = 0
+    records_committed = 0
+
+    pos = _HEADER_LEN
+    corrupt: Optional[CheckpointCorruptError] = None
+    while pos < len(data):
+        record_type = data[pos]
+        payload_len = _PAYLOAD_LEN.get(record_type)
+        if payload_len is None:
+            corrupt = CheckpointCorruptError(
+                f"{source}: unknown journal record type "
+                f"0x{record_type:02x} at offset {pos}",
+                path=source,
+                offset=pos,
+            )
+            break
+        end = pos + 1 + payload_len + _CRC.size
+        if end > len(data):
+            break  # torn tail: crash mid-flush
+        body = data[pos : pos + 1 + payload_len]
+        (crc,) = _CRC.unpack_from(data, pos + 1 + payload_len)
+        if crc != zlib.crc32(body) & 0xFFFFFFFF:
+            corrupt = CheckpointCorruptError(
+                f"{source}: journal record CRC mismatch at offset {pos}",
+                path=source,
+                offset=pos,
+            )
+            break
+        records_seen += 1
+        payload = body[1:]
+        if record_type == _TYPE_SPILL:
+            slice_index, vertex, generation, delta = _SPILL.unpack(payload)
+            if slice_index >= num_slices:
+                corrupt = CheckpointCorruptError(
+                    f"{source}: journal names slice {slice_index} but the "
+                    f"run has {num_slices}",
+                    path=source,
+                    offset=pos,
+                )
+                break
+            bucket = buffers[slice_index]
+            existing = bucket.get(vertex)
+            if existing is None:
+                bucket[vertex] = (delta, generation)
+            else:
+                bucket[vertex] = (
+                    reduce_fn(existing[0], delta),
+                    max(existing[1], generation),
+                )
+        elif record_type == _TYPE_CONSUME:
+            (slice_index,) = _CONSUME.unpack(payload)
+            if slice_index >= num_slices:
+                corrupt = CheckpointCorruptError(
+                    f"{source}: journal names slice {slice_index} but the "
+                    f"run has {num_slices}",
+                    path=source,
+                    offset=pos,
+                )
+                break
+            buffers[slice_index] = {}
+        else:
+            (commit_id,) = _COMMIT.unpack(payload)
+            committed = [dict(bucket) for bucket in buffers]
+            committed_offset = end
+            reached = commit_id
+            records_committed = records_seen
+            if upto is not None and commit_id >= upto:
+                break
+        pos = end
+
+    if upto is not None and (reached is None or reached < upto):
+        if corrupt is not None:
+            raise corrupt
+        raise CheckpointCorruptError(
+            f"{source}: journal ends at commit "
+            f"{reached if reached is not None else '<none>'} but the "
+            f"checkpoint references commit {upto}",
+            path=source,
+            last_commit=reached,
+            wanted_commit=upto,
+        )
+    return JournalScan(
+        buffers=committed,
+        offset=committed_offset,
+        records_applied=records_committed,
+        tail_records=_count_tail(data, committed_offset),
+        tail_bytes=len(data) - committed_offset,
+        last_commit=reached,
+    )
+
+
+def compact_bytes(
+    data: bytes,
+    num_slices: int,
+    upto: int,
+    reduce_fn: Callable[[float, float], float],
+    *,
+    source: str = "<journal>",
+) -> Tuple[bytes, Dict[str, int]]:
+    """Re-baseline a GPJL byte string at commit ``upto``.
+
+    The backend-neutral core of :meth:`SpillJournal.compact_file`:
+    history up to ``upto`` collapses into one coalesced SPILL record per
+    pending bucket entry plus a ``COMMIT(upto)`` marker; everything past
+    ``upto`` is preserved byte-for-byte.  Returns ``(blob, stats)`` —
+    publishing the blob is the caller's (backend's) job.
+    """
+    scan = scan_bytes(data, num_slices, upto, reduce_fn, source=source)
+    tail = data[scan.offset :]
+    parts = [encode_header(num_slices)]
+    baseline_records = 0
+    for slice_index, bucket in enumerate(scan.buffers):
+        for vertex, (delta, generation) in bucket.items():
+            parts.append(
+                encode_spill(slice_index, vertex, generation, delta)
+            )
+            baseline_records += 1
+    parts.append(encode_commit(upto))
+    blob = b"".join(parts) + tail
+    return blob, {
+        "upto": int(upto),
+        "records_dropped": max(
+            0, scan.records_applied - baseline_records - 1
+        ),
+        "baseline_records": baseline_records,
+        "bytes_before": len(data),
+        "bytes_after": len(blob),
+    }
+
+
 class SpillJournal:
     """Append-only WAL of spill-buffer mutations, committed per pass."""
 
@@ -164,9 +364,7 @@ class SpillJournal:
         """Start a fresh journal, truncating any previous file."""
         path = Path(path)
         handle = open(path, "wb")
-        handle.write(
-            JOURNAL_MAGIC + _HEADER.pack(JOURNAL_VERSION, num_slices)
-        )
+        handle.write(encode_header(num_slices))
         handle.flush()
         os.fsync(handle.fileno())
         return cls(path, handle, num_slices)
@@ -317,114 +515,10 @@ class SpillJournal:
         durable tail past it — see :class:`JournalScan`.
         """
         path = Path(path)
-        with open(path, "rb") as handle:
-            data = handle.read()
-        _validate_header(data[:_HEADER_LEN], path, num_slices)
-
-        buffers: List[Dict[int, Tuple[float, int]]] = [
-            {} for _ in range(num_slices)
-        ]
-        # replay applies mutations tentatively and re-baselines at each
-        # commit marker; anything after the last commit <= upto is dropped
-        committed: List[Dict[int, Tuple[float, int]]] = [
-            dict(bucket) for bucket in buffers
-        ]
-        committed_offset = _HEADER_LEN
-        reached: Optional[int] = None
-        records_seen = 0
-        records_committed = 0
-
-        pos = _HEADER_LEN
-        corrupt: Optional[CheckpointCorruptError] = None
-        while pos < len(data):
-            record_type = data[pos]
-            if record_type == _TYPE_SPILL:
-                payload_len = _SPILL.size
-            elif record_type == _TYPE_CONSUME:
-                payload_len = _CONSUME.size
-            elif record_type == _TYPE_COMMIT:
-                payload_len = _COMMIT.size
-            else:
-                corrupt = CheckpointCorruptError(
-                    f"{path}: unknown journal record type "
-                    f"0x{record_type:02x} at offset {pos}",
-                    path=str(path),
-                    offset=pos,
-                )
-                break
-            end = pos + 1 + payload_len + _CRC.size
-            if end > len(data):
-                break  # torn tail: crash mid-flush
-            body = data[pos : pos + 1 + payload_len]
-            (crc,) = _CRC.unpack_from(data, pos + 1 + payload_len)
-            if crc != zlib.crc32(body) & 0xFFFFFFFF:
-                corrupt = CheckpointCorruptError(
-                    f"{path}: journal record CRC mismatch at offset {pos}",
-                    path=str(path),
-                    offset=pos,
-                )
-                break
-            records_seen += 1
-            payload = body[1:]
-            if record_type == _TYPE_SPILL:
-                slice_index, vertex, generation, delta = _SPILL.unpack(payload)
-                if slice_index >= num_slices:
-                    corrupt = CheckpointCorruptError(
-                        f"{path}: journal names slice {slice_index} but the "
-                        f"run has {num_slices}",
-                        path=str(path),
-                        offset=pos,
-                    )
-                    break
-                bucket = buffers[slice_index]
-                existing = bucket.get(vertex)
-                if existing is None:
-                    bucket[vertex] = (delta, generation)
-                else:
-                    bucket[vertex] = (
-                        reduce_fn(existing[0], delta),
-                        max(existing[1], generation),
-                    )
-            elif record_type == _TYPE_CONSUME:
-                (slice_index,) = _CONSUME.unpack(payload)
-                if slice_index >= num_slices:
-                    corrupt = CheckpointCorruptError(
-                        f"{path}: journal names slice {slice_index} but the "
-                        f"run has {num_slices}",
-                        path=str(path),
-                        offset=pos,
-                    )
-                    break
-                buffers[slice_index] = {}
-            else:
-                (commit_id,) = _COMMIT.unpack(payload)
-                committed = [dict(bucket) for bucket in buffers]
-                committed_offset = end
-                reached = commit_id
-                records_committed = records_seen
-                if upto is not None and commit_id >= upto:
-                    break
-            pos = end
-
-        if upto is not None and (reached is None or reached < upto):
-            if corrupt is not None:
-                raise corrupt
-            raise CheckpointCorruptError(
-                f"{path}: journal ends at commit "
-                f"{reached if reached is not None else '<none>'} but the "
-                f"checkpoint references commit {upto}",
-                path=str(path),
-                last_commit=reached,
-                wanted_commit=upto,
-            )
-        return JournalScan(
-            buffers=committed,
-            offset=committed_offset,
-            records_applied=records_committed,
-            tail_records=_count_tail(data, committed_offset),
-            tail_bytes=len(data) - committed_offset,
-            last_commit=reached,
-        )
+        # loads go through ioutil.read_bytes so the storage-fault shim
+        # can model read-side bit rot against journal replay too
+        data = ioutil.read_bytes(path)
+        return scan_bytes(data, num_slices, upto, reduce_fn, source=str(path))
 
     @staticmethod
     def truncate(path: PathLike, offset: int) -> None:
@@ -459,33 +553,12 @@ class SpillJournal:
         Publishing is atomic (temp + fsync + rename), so a crash during
         compaction leaves the previous journal intact.
         """
-        scan = cls.scan(path, num_slices, upto, reduce_fn)
-        with open(path, "rb") as handle:
-            data = handle.read()
-        tail = data[scan.offset :]
-        parts = [JOURNAL_MAGIC + _HEADER.pack(JOURNAL_VERSION, num_slices)]
-        baseline_records = 0
-        for slice_index, bucket in enumerate(scan.buffers):
-            for vertex, (delta, generation) in bucket.items():
-                parts.append(
-                    _record(
-                        _TYPE_SPILL,
-                        _SPILL.pack(slice_index, vertex, generation, delta),
-                    )
-                )
-                baseline_records += 1
-        parts.append(_record(_TYPE_COMMIT, _COMMIT.pack(upto)))
-        blob = b"".join(parts) + tail
+        data = ioutil.read_bytes(path)
+        blob, stats = compact_bytes(
+            data, num_slices, upto, reduce_fn, source=str(path)
+        )
         ioutil.atomic_write_bytes(path, blob)
-        return {
-            "upto": int(upto),
-            "records_dropped": max(
-                0, scan.records_applied - baseline_records - 1
-            ),
-            "baseline_records": baseline_records,
-            "bytes_before": len(data),
-            "bytes_after": len(blob),
-        }
+        return stats
 
     def compact(
         self, upto: int, reduce_fn: Callable[[float, float], float]
@@ -512,24 +585,26 @@ class SpillJournal:
         return stats
 
 
-def _validate_header(header: bytes, path: Path, num_slices: int) -> None:
+def _validate_header(
+    header: bytes, source: Union[str, Path], num_slices: int
+) -> None:
     if len(header) < _HEADER_LEN or header[:4] != JOURNAL_MAGIC:
         raise CheckpointCorruptError(
-            f"{path}: not a spill journal (bad magic)", path=str(path)
+            f"{source}: not a spill journal (bad magic)", path=str(source)
         )
     version, recorded_slices = _HEADER.unpack_from(header, 4)
     if version != JOURNAL_VERSION:
         raise CheckpointCorruptError(
-            f"{path}: unsupported journal version {version} "
+            f"{source}: unsupported journal version {version} "
             f"(expected {JOURNAL_VERSION})",
-            path=str(path),
+            path=str(source),
             version=version,
         )
     if recorded_slices != num_slices:
         raise CheckpointCorruptError(
-            f"{path}: journal was written for {recorded_slices} slices "
+            f"{source}: journal was written for {recorded_slices} slices "
             f"but the run has {num_slices}",
-            path=str(path),
+            path=str(source),
             journal_slices=recorded_slices,
             run_slices=num_slices,
         )

@@ -9,13 +9,19 @@ directory (durable runs) or a scratch directory (ephemeral runs):
   record — owner name, pid, epoch.  Two processes racing for the same
   slice cannot both win; the loser sees the holder and raises
   :class:`repro.errors.LeaseHeldError`.
-- **heartbeat** is an mtime refresh (``os.utime``).  Workers run a
-  daemon thread touching their leases every few hundred milliseconds.
+- **heartbeat** rewrites the payload with a monotonically increasing
+  ``heartbeat`` counter (and, as a side effect of the atomic publish,
+  a fresh mtime).  Workers run a daemon thread beating their leases
+  every few hundred milliseconds.
 - **staleness** is observable by anyone: a lease is stale when its
-  recorded pid no longer exists *or* its mtime has not been refreshed
-  within the timeout.  A SIGKILLed worker stops heartbeating instantly
-  and its pid is reaped by the supervisor's ``join``, so both signals
-  fire.
+  recorded pid no longer exists *or* its heartbeat has gone silent for
+  the timeout.  Silence is judged two ways: callers that poll can pass
+  an ``observations`` cache and :func:`is_stale` compares successive
+  *heartbeat counters* — immune to coarse filesystem mtime resolution
+  (FAT's 2s, or network filesystems that round) — while one-shot
+  callers fall back to mtime age.  A SIGKILLed worker stops
+  heartbeating instantly and its pid is reaped by the supervisor's
+  ``join``, so both signals fire.
 - **break_stale** unlinks a stale lease so the slice can be re-leased
   to a replacement worker.  Breaking a *fresh* lease is refused with
   :class:`LeaseHeldError` — the supervisor only ever breaks leases of
@@ -34,7 +40,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from .. import ioutil
 from ..errors import LeaseHeldError
@@ -45,6 +51,7 @@ __all__ = [
     "LeaseInfo",
     "SliceLease",
     "lease_path",
+    "parse_lease_bytes",
     "read_lease",
     "is_stale",
     "break_stale",
@@ -59,12 +66,18 @@ DEFAULT_LEASE_TIMEOUT = 5.0
 
 @dataclass(frozen=True)
 class LeaseInfo:
-    """The JSON payload of a lease file."""
+    """The JSON payload of a lease file.
+
+    ``heartbeat`` is a monotonic per-lease counter bumped by every
+    :meth:`SliceLease.refresh`; a stable counter across a timeout means
+    the owner went silent regardless of filesystem mtime granularity.
+    """
 
     slice_index: int
     owner: str
     pid: int
     epoch: int
+    heartbeat: int = 0
 
     def to_json(self) -> str:
         return json.dumps(
@@ -73,6 +86,7 @@ class LeaseInfo:
                 "owner": self.owner,
                 "pid": self.pid,
                 "epoch": self.epoch,
+                "heartbeat": self.heartbeat,
             },
             sort_keys=True,
         )
@@ -83,6 +97,27 @@ def lease_path(lease_dir: PathLike, slice_index: int) -> Path:
     return Path(lease_dir) / f"slice-{slice_index:04d}.lease"
 
 
+def parse_lease_bytes(data: bytes) -> Optional[LeaseInfo]:
+    """Decode a lease payload; ``None`` if the bytes are unparseable.
+
+    The backend-neutral half of :func:`read_lease`: the filesystem
+    backend feeds it file contents, the in-memory substrate backend its
+    stored blob, so a damaged payload means "stale" identically
+    everywhere.
+    """
+    try:
+        payload = json.loads(data.decode("utf-8"))
+        return LeaseInfo(
+            slice_index=int(payload["slice"]),
+            owner=str(payload["owner"]),
+            pid=int(payload["pid"]),
+            epoch=int(payload.get("epoch", 0)),
+            heartbeat=int(payload.get("heartbeat", 0)),
+        )
+    except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+        return None
+
+
 def read_lease(path: PathLike) -> Optional[LeaseInfo]:
     """Parse a lease file; ``None`` if it is missing or unreadable.
 
@@ -91,15 +126,10 @@ def read_lease(path: PathLike) -> Optional[LeaseInfo]:
     that cannot prove liveness does not hold the slice.
     """
     try:
-        payload = json.loads(Path(path).read_text())
-        return LeaseInfo(
-            slice_index=int(payload["slice"]),
-            owner=str(payload["owner"]),
-            pid=int(payload["pid"]),
-            epoch=int(payload.get("epoch", 0)),
-        )
-    except (OSError, ValueError, KeyError, TypeError):
+        data = Path(path).read_bytes()
+    except OSError:
         return None
+    return parse_lease_bytes(data)
 
 
 def _pid_alive(pid: int) -> bool:
@@ -112,11 +142,26 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-def is_stale(path: PathLike, *, timeout: float = DEFAULT_LEASE_TIMEOUT) -> bool:
+def is_stale(
+    path: PathLike,
+    *,
+    timeout: float = DEFAULT_LEASE_TIMEOUT,
+    observations: Optional[Dict[str, Tuple[int, float]]] = None,
+) -> bool:
     """Whether the lease at ``path`` has a dead or silent owner.
 
     Missing files are *not* stale (there is nothing to break — acquire
     would simply succeed); unparseable files are.
+
+    ``observations`` is an optional caller-owned cache mapping lease
+    path to the last ``(heartbeat, seen_at)`` pair.  Pollers that pass
+    the same dict on every check get counter-based staleness: the lease
+    is fresh while the payload's heartbeat counter keeps advancing and
+    stale once it sits unchanged for ``timeout`` seconds.  This removes
+    the dependence on filesystem mtime resolution (coarse-mtime
+    filesystems round to whole seconds or worse, which would make a
+    live 200ms heartbeat look silent).  One-shot callers without a
+    cache fall back to mtime age.
     """
     path = Path(path)
     try:
@@ -129,22 +174,35 @@ def is_stale(path: PathLike, *, timeout: float = DEFAULT_LEASE_TIMEOUT) -> bool:
     # wall clock by design: staleness is real elapsed time since the
     # last heartbeat (this file is DET-001 allowlisted — lease state
     # is operational liveness, never part of the replayed trajectory)
+    if observations is not None:
+        key = str(path)
+        now = time.monotonic()
+        seen = observations.get(key)
+        if seen is None or seen[0] != info.heartbeat:
+            observations[key] = (info.heartbeat, now)
+            return False
+        return (now - seen[1]) > timeout
     return (time.time() - mtime) > timeout
 
 
 def break_stale(
-    path: PathLike, *, timeout: float = DEFAULT_LEASE_TIMEOUT
+    path: PathLike,
+    *,
+    timeout: float = DEFAULT_LEASE_TIMEOUT,
+    observations: Optional[Dict[str, Tuple[int, float]]] = None,
 ) -> bool:
     """Unlink a stale lease so the slice can be re-leased.
 
     Returns ``True`` if a stale lease was removed, ``False`` if there
     was no lease to begin with.  Raises :class:`LeaseHeldError` when the
     lease is fresh — its owner is alive and heartbeating.
+    ``observations`` threads through to :func:`is_stale` for pollers
+    using counter-based staleness.
     """
     path = Path(path)
     if not path.exists():
         return False
-    if not is_stale(path, timeout=timeout):
+    if not is_stale(path, timeout=timeout, observations=observations):
         info = read_lease(path)
         raise LeaseHeldError(
             f"{path}: lease is held by live owner "
@@ -216,13 +274,25 @@ class SliceLease:
         return cls(path, info)
 
     def refresh(self) -> None:
-        """Heartbeat: bump the lease's mtime to now.
+        """Heartbeat: bump the payload's counter (and thereby the mtime).
 
-        A transient IO error must not kill the heartbeat thread (a
-        worker that stops heartbeating over one flaky ``EIO`` gets its
-        lease broken and its slice stolen), so the utime is retried with
-        a bounded backoff before giving up.
+        The refreshed payload is the acquired one with ``heartbeat``
+        incremented, published atomically so observers only ever parse
+        a complete record; the counter makes staleness detection work
+        on filesystems whose mtime granularity is coarser than the
+        heartbeat interval (see :func:`is_stale`).  A transient IO
+        error must not kill the heartbeat thread (a worker that stops
+        heartbeating over one flaky ``EIO`` gets its lease broken and
+        its slice stolen), so the publish is retried with a bounded
+        backoff before giving up.
         """
+        next_info = LeaseInfo(
+            slice_index=self.info.slice_index,
+            owner=self.info.owner,
+            pid=self.info.pid,
+            epoch=self.info.epoch,
+            heartbeat=self.info.heartbeat + 1,
+        )
 
         def attempt() -> None:
             shim = ioutil.IO_SHIM
@@ -230,14 +300,22 @@ class SliceLease:
                 hook = getattr(shim, "on_utime", None)
                 if hook is not None:
                     hook(self.path)
-            os.utime(self.path)
+            # a broken (unlinked) lease must stay broken: rewriting it
+            # would resurrect a fenced claim, so probe existence first
+            # and let the FileNotFoundError fall through to the caller
+            if not self.path.exists():
+                raise FileNotFoundError(str(self.path))
+            ioutil.atomic_write_bytes(
+                self.path, next_info.to_json().encode("utf-8")
+            )
 
         try:
             retry_transient(
                 attempt, description=f"lease heartbeat ({self.path})"
             )
         except FileNotFoundError:
-            pass  # broken from under us; the next acquire conflict reports it
+            return  # broken from under us; the next acquire conflict reports it
+        self.info = next_info
 
     def release(self) -> None:
         """Give the slice up cleanly (idempotent)."""

@@ -16,10 +16,24 @@ seeded :class:`StorageFaultPlan` can reproduce, byte for byte:
 ``bitrot``
     flip bytes *after* the write is staged, the silent-corruption case
     checksums exist for;
+``readrot``
+    flip bytes on the *read* path (:func:`repro.ioutil.read_bytes`):
+    the disk image stays intact but the consumer receives damaged
+    bytes — a bad controller, cable or cache line.  Read ops count
+    separately from write ops, so a readrot ``op_index`` indexes
+    matching loads;
+``correlated``
+    one firing damages *every* existing file matching ``path_glob`` in
+    the triggering path's directory (plus the staged payload itself) —
+    the shared-medium failure a single-file fault can never model, and
+    the case that defeats single-generation redundancy;
 ``eio`` / ``enospc``
     transient ``OSError`` raised *before* the underlying syscall (so a
     bounded retry never duplicates bytes), failing ``times`` consecutive
-    attempts;
+    attempts.  An ``enospc`` whose ``times`` outlasts the retry budget
+    is *persistent* disk-full: :func:`retry_transient` then raises the
+    typed :class:`repro.errors.OutOfSpaceError` instead of a generic
+    ``OSError``;
 ``crash``
     SIGKILL the process at the fault point — crash-before-rename when it
     lands on a publish hook.
@@ -52,7 +66,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import OutOfSpaceError, ReproError
 from .. import ioutil
 
 __all__ = [
@@ -73,7 +87,15 @@ __all__ = [
 ]
 
 #: the fault vocabulary (module docs)
-STORAGE_FAULT_KINDS = ("torn", "bitrot", "eio", "enospc", "crash")
+STORAGE_FAULT_KINDS = (
+    "torn",
+    "bitrot",
+    "readrot",
+    "correlated",
+    "eio",
+    "enospc",
+    "crash",
+)
 
 #: errno values treated as transient (worth a bounded retry)
 TRANSIENT_ERRNOS = (_errno.EIO, _errno.ENOSPC, _errno.EAGAIN)
@@ -118,12 +140,25 @@ def retry_transient(
     for attempt in range(attempts):
         try:
             return operation()
+        except OutOfSpaceError:
+            raise  # already classified persistent by an inner retry
         except OSError as exc:
             if exc.errno not in TRANSIENT_ERRNOS:
                 raise
             last = exc
             if attempt + 1 < attempts:
                 sleep(base_delay * (2.0 ** attempt))
+    if last is not None and last.errno == _errno.ENOSPC:
+        # every attempt hit ENOSPC: the disk is *full*, not flaky —
+        # surface the one storage failure an operator can act on as its
+        # typed error (the CLI turns it into an exit-2 --json payload)
+        raise OutOfSpaceError(
+            f"{description}: storage persistently out of space after "
+            f"{attempts} attempts: {last}",
+            description=description,
+            attempts=attempts,
+            path=getattr(last, "filename", None),
+        )
     raise OSError(
         last.errno if last is not None else _errno.EIO,
         f"{description}: still failing after {attempts} attempts: {last}",
@@ -241,6 +276,21 @@ class StorageFaultInjector:
         for op in self._due(final_path):
             self._fire(op, site="publish", path=final_path, mutate=tmp_path)
 
+    def on_publish_bytes(self, path: os.PathLike, data: bytes) -> bytes:
+        """Interface-boundary publish hook for byte-backed substrate
+        backends: the in-memory backend routes every atomic publish
+        (lease payload, checkpoint blob, manifest) through here at a
+        *virtual* path whose basename matches the fs artifact exactly,
+        so the same plan chaos-tests both backends identically.  Shares
+        the write-site op counters with :meth:`on_publish` — a plan
+        written against fs publish ops fires at the same ``op_index``
+        against the memory backend."""
+        for op in self._due(path):
+            damaged = self._fire(op, site="publish", path=path, payload=data)
+            if damaged is not None:
+                data = damaged
+        return data
+
     def on_append(self, path: os.PathLike, data: bytes) -> bytes:
         """Journal-commit hook: may truncate/flip the record batch about
         to be appended, or raise a transient error before any byte is
@@ -259,14 +309,29 @@ class StorageFaultInjector:
         for op in self._due(path):
             self._fire(op, site="utime", path=path)
 
+    def on_read(self, path: os.PathLike, data: bytes) -> bytes:
+        """Load hook (:func:`repro.ioutil.read_bytes`): damage the bytes
+        *delivered to the consumer* — the on-disk file stays intact, so
+        a retry or a different reader may still see good data."""
+        for op in self._due(path, read=True):
+            data = self._fire(op, site="read", path=path, payload=data)
+        return data
+
     # -- mechanics -----------------------------------------------------
 
-    def _due(self, path: os.PathLike) -> List[StorageFaultOp]:
+    def _due(
+        self, path: os.PathLike, *, read: bool = False
+    ) -> List[StorageFaultOp]:
         self.operations += 1
         name = os.path.basename(os.fspath(path))
         full = os.fspath(path)
         due: List[StorageFaultOp] = []
         for index, op in enumerate(self.plan.ops):
+            # readrot ops count (and fire) only on the read path; every
+            # other kind only on the write/heartbeat path — so adding
+            # read instrumentation never shifts a write op's op_index
+            if (op.kind == "readrot") != read:
+                continue
             if not (fnmatch(name, op.path_glob) or fnmatch(full, op.path_glob)):
                 continue
             seen = self._seen.get(index, 0)
@@ -299,6 +364,15 @@ class StorageFaultInjector:
             self.injected.append(record)
             os.kill(os.getpid(), signal.SIGKILL)
             raise RuntimeError("unreachable: SIGKILL returned")
+        if op.kind == "correlated":
+            record["files"] = self._damage_correlated(op, path, mutate)
+            if payload is not None:
+                damaged, detail = self._damage_bytes(op, payload)
+                record.update(detail)
+                self.injected.append(record)
+                return damaged
+            self.injected.append(record)
+            return payload
         if payload is not None:
             damaged, detail = self._damage_bytes(op, payload)
             record.update(detail)
@@ -308,6 +382,51 @@ class StorageFaultInjector:
             record.update(self._damage_file(op, mutate))
             self.injected.append(record)
         return payload
+
+    def _damage_correlated(
+        self,
+        op: StorageFaultOp,
+        path: os.PathLike,
+        mutate: Optional[str],
+    ) -> List[Dict[str, Any]]:
+        """Bit-rot every existing sibling matching the op's glob.
+
+        Models a shared-medium failure (controller cache flush gone
+        wrong, a dying flash block striped across files): the staged
+        temp file *and* all previously published matching artifacts in
+        the same directory take damage in one event, which is the case
+        that defeats keep-the-last-K redundancy one file at a time
+        cannot.
+        """
+        files: List[Dict[str, Any]] = []
+        directory = os.path.dirname(os.fspath(path)) or "."
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            names = []
+        for name in names:
+            target = os.path.join(directory, name)
+            if mutate is not None and os.path.abspath(
+                target
+            ) == os.path.abspath(mutate):
+                continue  # the staged temp is damaged once, below
+            if not os.path.isfile(target):
+                continue
+            if not (
+                fnmatch(name, op.path_glob) or fnmatch(target, op.path_glob)
+            ):
+                continue
+            if os.path.getsize(target) == 0:
+                continue
+            detail = self._damage_file(op, target)
+            detail["path"] = target
+            files.append(detail)
+        if mutate is not None and os.path.getsize(mutate) > 0:
+            detail = self._damage_file(op, mutate)
+            detail["path"] = os.fspath(path)
+            detail["staged"] = True
+            files.append(detail)
+        return files
 
     def _pick_offset(self, op: StorageFaultOp, size: int) -> int:
         if op.offset is not None:

@@ -1,0 +1,54 @@
+"""Transport-neutral durable substrate: interfaces + backend registry.
+
+See :mod:`repro.resilience.substrate.base` for the contract, ``fs`` for
+the production filesystem backend and ``memory`` for the byte-backed
+conformance twin.  Consumers pick a backend by name::
+
+    from repro.resilience.substrate import build_substrate
+
+    substrate = build_substrate("fs")
+    store = substrate.checkpoint_store(run_dir)
+    journal = substrate.spill_transport(store.journal_path).create(n)
+"""
+
+from __future__ import annotations
+
+from .base import (
+    SUBSTRATE_BACKENDS,
+    CheckpointStore,
+    HeldLease,
+    LeaseStore,
+    SpillTransport,
+    Substrate,
+    build_substrate,
+)
+from .fs import FsCheckpointStore, FsLeaseStore, FsSpillTransport, FsSubstrate
+from .memory import (
+    MemoryCheckpointStore,
+    MemoryLeaseStore,
+    MemorySpillJournal,
+    MemorySpillTransport,
+    MemorySubstrate,
+)
+
+__all__ = [
+    "HeldLease",
+    "LeaseStore",
+    "SpillTransport",
+    "CheckpointStore",
+    "Substrate",
+    "SUBSTRATE_BACKENDS",
+    "build_substrate",
+    "FsLeaseStore",
+    "FsSpillTransport",
+    "FsCheckpointStore",
+    "FsSubstrate",
+    "MemoryLeaseStore",
+    "MemorySpillTransport",
+    "MemorySpillJournal",
+    "MemoryCheckpointStore",
+    "MemorySubstrate",
+]
+
+SUBSTRATE_BACKENDS["fs"] = FsSubstrate
+SUBSTRATE_BACKENDS["memory"] = MemorySubstrate

@@ -1,0 +1,259 @@
+"""The durable-substrate interfaces: leases, spill transport, checkpoints.
+
+Everything the resilient engines persist flows through three narrow
+interfaces, so the *protocol* (epoch-fenced slice ownership, GPJL
+write-ahead spill logging, GPCK checkpoint generations) is separated
+from the *medium* it happens to live on:
+
+:class:`LeaseStore` / :class:`HeldLease`
+    Crash-detectable slice ownership: atomic exclusive acquisition,
+    monotonic heartbeat counters, staleness observation, and
+    ``break_stale`` fencing.  One store covers one lease namespace (a
+    directory for the fs backend).
+
+:class:`SpillTransport`
+    The write-ahead journal of inter-slice spill traffic.  Every
+    backend speaks the same GPJL wire format (encoded and decoded by
+    the ``repro.resilience.journal`` byte codec), so torn-tail
+    tolerance, CRC validation and replay coalescing are provably
+    identical across backends.
+
+:class:`CheckpointStore`
+    GPCK checkpoint generations plus the manifest index — create /
+    open / write / load / the fallback generation ladder
+    (``drop_newer_than``).
+
+:class:`Substrate` bundles the three factories for one backend;
+:func:`build_substrate` is the registry.  Two backends ship:
+
+``fs``
+    The durable filesystem implementation — lease files, ``journal.bin``,
+    a run directory of ``checkpoint-NNNNNN.ckpt`` files.  This is the
+    production backend; everything it persists survives SIGKILL.
+
+``memory``
+    Byte-backed stores with *identical* failure semantics: lease
+    payloads, the GPJL log and GPCK blobs are held as raw bytes and
+    parsed through the same codecs, and every operation consults the
+    global IO shim (:mod:`repro.resilience.storagefaults`) at a virtual
+    path whose basename matches the fs artifact — the shim's
+    *interface-boundary mode*.  It exists so the conformance suite and
+    hot unit tests exercise protocol logic (fencing, replay, the
+    generation ladder) without disk IO, under the same chaos plans.
+
+Construction discipline (lint rule SUB-001): the concrete primitives —
+``SliceLease``, ``SpillJournal``, ``DurableCheckpointStore`` — are only
+ever constructed inside this package (and the engine registry); every
+other consumer goes through a :class:`Substrate`, which is what keeps a
+backend swap a one-line change.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..journal import JournalScan
+from ..lease import DEFAULT_LEASE_TIMEOUT, LeaseInfo
+
+__all__ = [
+    "HeldLease",
+    "LeaseStore",
+    "SpillTransport",
+    "CheckpointStore",
+    "Substrate",
+    "SUBSTRATE_BACKENDS",
+    "build_substrate",
+]
+
+PathLike = Union[str, os.PathLike]
+ReduceFn = Callable[[float, float], float]
+Observations = Dict[str, Tuple[int, float]]
+
+
+class HeldLease(abc.ABC):
+    """One held slice lease: heartbeat it, release it.
+
+    Implementations expose ``info`` (the :class:`LeaseInfo` last
+    published) and ``path`` (the artifact's real or virtual location,
+    for diagnostics).
+    """
+
+    info: LeaseInfo
+
+    @abc.abstractmethod
+    def refresh(self) -> None:
+        """Heartbeat: publish the payload with the counter incremented.
+
+        Must not resurrect a broken (fenced) lease — if the lease was
+        removed from under the holder, refresh is a silent no-op and the
+        next acquisition conflict reports the loss.
+        """
+
+    @abc.abstractmethod
+    def release(self) -> None:
+        """Give the slice up cleanly (idempotent)."""
+
+
+class LeaseStore(abc.ABC):
+    """Crash-detectable slice ownership over one lease namespace."""
+
+    @abc.abstractmethod
+    def acquire(
+        self,
+        slice_index: int,
+        *,
+        owner: str,
+        pid: Optional[int] = None,
+        epoch: int = 0,
+    ) -> HeldLease:
+        """Atomically claim a slice; :class:`repro.errors.LeaseHeldError`
+        if any holder — live or dead — already has it."""
+
+    @abc.abstractmethod
+    def read(self, slice_index: int) -> Optional[LeaseInfo]:
+        """The current holder's payload, or ``None`` if absent/unreadable."""
+
+    @abc.abstractmethod
+    def is_stale(
+        self,
+        slice_index: int,
+        *,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        observations: Optional[Observations] = None,
+    ) -> bool:
+        """Whether the lease has a dead or heartbeat-silent owner.
+
+        ``observations`` is the caller-owned counter cache of
+        :func:`repro.resilience.lease.is_stale` — pollers passing the
+        same dict get mtime-independent counter staleness.
+        """
+
+    @abc.abstractmethod
+    def break_stale(
+        self,
+        slice_index: int,
+        *,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        observations: Optional[Observations] = None,
+    ) -> bool:
+        """Remove a stale lease (fencing the old epoch); ``True`` when
+        one was removed, :class:`repro.errors.LeaseHeldError` when the
+        holder is alive and heartbeating."""
+
+
+class SpillTransport(abc.ABC):
+    """One GPJL write-ahead spill log, whatever medium holds the bytes.
+
+    ``create``/``open_append`` return the live journal writer (the
+    ``SpillJournal`` recording surface: ``spill`` / ``consume`` /
+    ``commit`` / ``reset`` / ``discard_uncommitted`` / ``compact`` /
+    ``close`` plus the lifecycle counters); the remaining methods are
+    the read-only recovery surface and are safe from any process.
+    """
+
+    @abc.abstractmethod
+    def exists(self) -> bool:
+        """Whether the log has been created."""
+
+    @abc.abstractmethod
+    def create(self, num_slices: int) -> Any:
+        """Start a fresh journal (truncating any previous log)."""
+
+    @abc.abstractmethod
+    def open_append(self, num_slices: int) -> Any:
+        """Reopen the log for appending (resume path); validates the
+        header against ``num_slices``."""
+
+    @abc.abstractmethod
+    def scan(
+        self, num_slices: int, upto: Optional[int], reduce_fn: ReduceFn
+    ) -> JournalScan:
+        """Replay to commit ``upto`` with recovery provenance; identical
+        torn-tail / CRC semantics on every backend (``scan_bytes``)."""
+
+    def replay(
+        self, num_slices: int, upto: Optional[int], reduce_fn: ReduceFn
+    ) -> Tuple[List[Dict[int, Tuple[float, int]]], int]:
+        """``(buffers, offset)`` as of commit ``upto`` (scan, minus the
+        bookkeeping)."""
+        scan = self.scan(num_slices, upto, reduce_fn)
+        return scan.buffers, scan.offset
+
+    @abc.abstractmethod
+    def truncate(self, offset: int) -> None:
+        """Discard everything past ``offset`` (the torn tail) in place."""
+
+    @abc.abstractmethod
+    def compact_file(
+        self, num_slices: int, upto: int, reduce_fn: ReduceFn
+    ) -> Dict[str, int]:
+        """Re-baseline the durable log at commit ``upto`` (closed log)."""
+
+
+class CheckpointStore(abc.ABC):
+    """GPCK checkpoint generations + manifest index for one run.
+
+    The interface is exactly the surface of
+    :class:`repro.resilience.durable.DurableCheckpointStore` (which is
+    also the shared implementation — backends override only its five IO
+    primitives), registered virtually so ``isinstance`` checks hold
+    without a metaclass dance.
+    """
+
+    @classmethod
+    def __subclasshook__(cls, candidate: type) -> Any:
+        if cls is not CheckpointStore:
+            return NotImplemented
+        required = (
+            "create",
+            "open",
+            "write",
+            "load",
+            "load_latest",
+            "next_seq",
+            "drop_newer_than",
+        )
+        if all(any(m in sup.__dict__ for sup in candidate.__mro__) for m in required):
+            return True
+        return NotImplemented
+
+
+class Substrate(abc.ABC):
+    """One backend's factory bundle: leases + transport + checkpoints."""
+
+    #: registry key ("fs", "memory")
+    backend: str
+
+    @abc.abstractmethod
+    def lease_store(self, root: PathLike) -> LeaseStore:
+        """The lease namespace rooted at ``root`` (a directory for fs,
+        a virtual prefix for memory)."""
+
+    @abc.abstractmethod
+    def spill_transport(self, path: PathLike) -> SpillTransport:
+        """The spill log living at ``path``."""
+
+    @abc.abstractmethod
+    def checkpoint_store(self, run_dir: PathLike) -> CheckpointStore:
+        """The checkpoint store for the run directory ``run_dir``."""
+
+
+#: backend name -> zero-argument Substrate factory; populated by the
+#: backend modules at import time (see ``substrate/__init__.py``)
+SUBSTRATE_BACKENDS: Dict[str, Callable[[], Substrate]] = {}
+
+
+def build_substrate(backend: str = "fs") -> Substrate:
+    """The one place a backend name becomes a :class:`Substrate`."""
+    try:
+        factory = SUBSTRATE_BACKENDS[backend]
+    except KeyError:
+        from ...errors import ReproError
+
+        raise ReproError(
+            f"unknown substrate backend {backend!r}; registered backends: "
+            f"{', '.join(sorted(SUBSTRATE_BACKENDS))}"
+        ) from None
+    return factory()

@@ -1,0 +1,157 @@
+"""The filesystem substrate backend — the production durable medium.
+
+Thin bindings of the existing primitives to the substrate interfaces:
+lease files (``repro.resilience.lease``), the ``journal.bin`` GPJL log
+(``repro.resilience.journal``), and the run-directory checkpoint store
+(``repro.resilience.durable``).  This module is the construction
+authority lint rule SUB-001 enforces: ``SliceLease`` / ``SpillJournal``
+/ ``DurableCheckpointStore`` are instantiated here (and nowhere outside
+the substrate package) so every consumer inherits backend neutrality.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional
+
+from ..durable import DurableCheckpointStore
+from ..journal import SpillJournal
+from ..lease import (
+    DEFAULT_LEASE_TIMEOUT,
+    LeaseInfo,
+    SliceLease,
+    break_stale,
+    is_stale,
+    lease_path,
+    read_lease,
+)
+from .base import (
+    CheckpointStore,
+    HeldLease,
+    LeaseStore,
+    Observations,
+    PathLike,
+    ReduceFn,
+    SpillTransport,
+    Substrate,
+)
+
+__all__ = [
+    "FsLeaseStore",
+    "FsSpillTransport",
+    "FsCheckpointStore",
+    "FsSubstrate",
+]
+
+# SliceLease already satisfies the HeldLease surface (info / refresh /
+# release); register it so isinstance checks treat it as one
+HeldLease.register(SliceLease)
+
+
+class FsLeaseStore(LeaseStore):
+    """Lease files under one directory (``slice-NNNN.lease``)."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    def acquire(
+        self,
+        slice_index: int,
+        *,
+        owner: str,
+        pid: Optional[int] = None,
+        epoch: int = 0,
+    ) -> SliceLease:
+        # the namespace is the store's responsibility, not the caller's:
+        # the memory backend needs no setup, so neither may this one
+        self.root.mkdir(parents=True, exist_ok=True)
+        return SliceLease.acquire(
+            self.root, slice_index, owner=owner, pid=pid, epoch=epoch
+        )
+
+    def read(self, slice_index: int) -> Optional[LeaseInfo]:
+        return read_lease(lease_path(self.root, slice_index))
+
+    def is_stale(
+        self,
+        slice_index: int,
+        *,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        observations: Optional[Observations] = None,
+    ) -> bool:
+        return is_stale(
+            lease_path(self.root, slice_index),
+            timeout=timeout,
+            observations=observations,
+        )
+
+    def break_stale(
+        self,
+        slice_index: int,
+        *,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        observations: Optional[Observations] = None,
+    ) -> bool:
+        return break_stale(
+            lease_path(self.root, slice_index),
+            timeout=timeout,
+            observations=observations,
+        )
+
+
+class FsSpillTransport(SpillTransport):
+    """The GPJL journal file at one path."""
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def create(self, num_slices: int) -> SpillJournal:
+        return SpillJournal.create(self.path, num_slices)
+
+    def open_append(self, num_slices: int) -> SpillJournal:
+        return SpillJournal.open_append(self.path, num_slices)
+
+    def scan(
+        self, num_slices: int, upto: Optional[int], reduce_fn: ReduceFn
+    ) -> Any:
+        return SpillJournal.scan(self.path, num_slices, upto, reduce_fn)
+
+    def truncate(self, offset: int) -> None:
+        SpillJournal.truncate(self.path, offset)
+
+    def compact_file(
+        self, num_slices: int, upto: int, reduce_fn: ReduceFn
+    ) -> Any:
+        return SpillJournal.compact_file(
+            self.path, num_slices, upto, reduce_fn
+        )
+
+
+class FsCheckpointStore(DurableCheckpointStore):
+    """The run-directory checkpoint store, unchanged.
+
+    A subclass (not a wrapper) so every existing consumer attribute —
+    ``run_dir``, ``manifest``, ``journal_path``, ``checkpoint_path`` —
+    keeps working on the object the substrate hands out.
+    """
+
+
+class FsSubstrate(Substrate):
+    """Factory bundle for the filesystem backend."""
+
+    backend = "fs"
+
+    def lease_store(self, root: PathLike) -> FsLeaseStore:
+        return FsLeaseStore(root)
+
+    def spill_transport(self, path: PathLike) -> FsSpillTransport:
+        return FsSpillTransport(path)
+
+    def checkpoint_store(self, run_dir: PathLike) -> FsCheckpointStore:
+        return FsCheckpointStore(run_dir)
+
+
+assert issubclass(FsCheckpointStore, CheckpointStore)

@@ -1,0 +1,530 @@
+"""In-memory substrate backend: same protocol, no disk.
+
+Every store here keeps its artifacts as **raw bytes** — lease payloads
+as the JSON blobs :mod:`repro.resilience.lease` publishes, the spill
+log as one GPJL byte string, checkpoints as GPCK blobs with a JSON
+manifest — and parses them through the exact same codecs the fs backend
+uses (``parse_lease_bytes``, ``scan_bytes``/``compact_bytes``,
+``serialize_checkpoint``/``deserialize_checkpoint``).  A torn commit, a
+flipped lease byte or a rotted checkpoint therefore fails *identically*
+on both backends, which is what lets one conformance suite
+(``tests/resilience/test_substrate.py``) prove them interchangeable.
+
+Interface-boundary chaos: each operation consults the global IO shim
+(:func:`repro.ioutil.io_shim`) at a **virtual path** whose basename
+matches the fs artifact (``slice-0003.lease``, ``journal.bin``,
+``checkpoint-000002.ckpt``), through the same hooks the fs layer fires
+— ``on_create`` at acquisition, ``on_utime`` + ``on_publish_bytes`` at
+heartbeat, ``on_append`` at journal commit, ``on_publish_bytes`` at
+checkpoint/manifest publish, ``on_read`` on every load.  A
+:class:`repro.resilience.storagefaults.StorageFaultPlan` written
+against fs paths chaos-tests this backend without modification.
+
+This backend is intentionally in-process: it models the durable
+*protocol*, not cross-process durability — a SIGKILL erases it, which
+is exactly why the conformance suite covers semantics and the crash
+harnesses stay on fs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ... import ioutil
+from ...errors import CheckpointCorruptError, LeaseHeldError
+from ...obs import probe
+from ...obs import trace as obs_trace
+from ..durable import DurableCheckpointStore
+from ..journal import (
+    JOURNAL_MAGIC,
+    JournalScan,
+    compact_bytes,
+    encode_commit,
+    encode_consume,
+    encode_header,
+    encode_spill,
+    scan_bytes,
+)
+from ..lease import DEFAULT_LEASE_TIMEOUT, LeaseInfo, parse_lease_bytes
+from ..storagefaults import retry_transient
+from .base import (
+    HeldLease,
+    LeaseStore,
+    Observations,
+    PathLike,
+    ReduceFn,
+    SpillTransport,
+    Substrate,
+)
+
+__all__ = [
+    "MemoryLeaseStore",
+    "MemorySpillTransport",
+    "MemorySpillJournal",
+    "MemoryCheckpointStore",
+    "MemorySubstrate",
+]
+
+
+# -- interface-boundary shim consultation ------------------------------
+# The memory backend has no syscalls for the fault layer to wrap, so it
+# consults the installed shim explicitly at each operation — the same
+# hook, site and path-matching semantics as the fs choke points.
+
+
+def _shim_hook(name: str) -> Optional[Callable[..., Any]]:
+    shim = ioutil.io_shim()
+    if shim is None:
+        return None
+    return getattr(shim, name, None)
+
+
+def _shim_create(path: str) -> None:
+    hook = _shim_hook("on_create")
+    if hook is not None:
+        hook(path)
+
+
+def _shim_utime(path: str) -> None:
+    hook = _shim_hook("on_utime")
+    if hook is not None:
+        hook(path)
+
+
+def _shim_publish(path: str, data: bytes) -> bytes:
+    hook = _shim_hook("on_publish_bytes")
+    if hook is not None:
+        data = hook(path, data)
+    return data
+
+
+def _shim_append(path: str, data: bytes) -> bytes:
+    hook = _shim_hook("on_append")
+    if hook is not None:
+        data = hook(path, data)
+    return data
+
+
+def _shim_read(path: str, data: bytes) -> bytes:
+    hook = _shim_hook("on_read")
+    if hook is not None:
+        data = hook(path, data)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+
+
+class MemoryHeldLease(HeldLease):
+    """One held in-memory lease (see :class:`SliceLease` for the fs twin)."""
+
+    def __init__(self, store: "MemoryLeaseStore", path: str, info: LeaseInfo):
+        self.store = store
+        self.path = path
+        self.info = info
+
+    def refresh(self) -> None:
+        """Heartbeat: republish the payload with the counter bumped.
+
+        Mirrors ``SliceLease.refresh`` exactly: the utime hook fires,
+        transient publish errors get the bounded retry, and a broken
+        (fenced) lease is never resurrected — if the slot is gone the
+        refresh silently stops.
+        """
+        next_info = LeaseInfo(
+            slice_index=self.info.slice_index,
+            owner=self.info.owner,
+            pid=self.info.pid,
+            epoch=self.info.epoch,
+            heartbeat=self.info.heartbeat + 1,
+        )
+
+        def attempt() -> None:
+            _shim_utime(self.path)
+            if self.info.slice_index not in self.store._slots:
+                raise FileNotFoundError(self.path)
+            payload = _shim_publish(
+                self.path, next_info.to_json().encode("utf-8")
+            )
+            self.store._slots[self.info.slice_index] = payload
+
+        try:
+            retry_transient(
+                attempt, description=f"lease heartbeat ({self.path})"
+            )
+        except FileNotFoundError:
+            return  # broken from under us; the next acquire conflict reports it
+        self.info = next_info
+
+    def release(self) -> None:
+        self.store._slots.pop(self.info.slice_index, None)
+
+
+class MemoryLeaseStore(LeaseStore):
+    """Byte-payload slice leases with counter-based staleness.
+
+    Staleness is *always* heartbeat-counter based (there is no mtime to
+    fall back on): the store keeps its own observation cache so one-shot
+    callers get the same semantics pollers get by passing
+    ``observations`` explicitly.
+    """
+
+    def __init__(self, root: PathLike = "mem/leases"):
+        self.root = str(root)
+        self._slots: Dict[int, bytes] = {}
+        self._beats: Observations = {}
+
+    def _vpath(self, slice_index: int) -> str:
+        return f"{self.root}/slice-{slice_index:04d}.lease"
+
+    def acquire(
+        self,
+        slice_index: int,
+        *,
+        owner: str,
+        pid: Optional[int] = None,
+        epoch: int = 0,
+    ) -> MemoryHeldLease:
+        info = LeaseInfo(
+            slice_index=slice_index,
+            owner=owner,
+            pid=os.getpid() if pid is None else pid,
+            epoch=epoch,
+        )
+        path = self._vpath(slice_index)
+
+        def attempt() -> None:
+            _shim_create(path)
+            if slice_index in self._slots:
+                raise FileExistsError(path)
+            self._slots[slice_index] = info.to_json().encode("utf-8")
+
+        try:
+            # same discipline as the fs acquire: transient EIO/ENOSPC is
+            # retried, a lost race (FileExistsError) never is
+            retry_transient(attempt, description=f"lease acquire ({path})")
+        except FileExistsError:
+            holder = self.read(slice_index)
+            raise LeaseHeldError(
+                f"{path}: slice {slice_index} is already leased to "
+                f"{holder.owner if holder else '<unreadable>'} "
+                f"(pid {holder.pid if holder else '?'})",
+                path=path,
+                slice=slice_index,
+                holder=None if holder is None else holder.owner,
+                pid=None if holder is None else holder.pid,
+            ) from None
+        return MemoryHeldLease(self, path, info)
+
+    def read(self, slice_index: int) -> Optional[LeaseInfo]:
+        data = self._slots.get(slice_index)
+        if data is None:
+            return None
+        try:
+            data = _shim_read(self._vpath(slice_index), data)
+        except OSError:
+            return None  # unreadable == cannot prove liveness == stale
+        return parse_lease_bytes(data)
+
+    def is_stale(
+        self,
+        slice_index: int,
+        *,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        observations: Optional[Observations] = None,
+    ) -> bool:
+        if slice_index not in self._slots:
+            return False  # nothing to break; acquire would just succeed
+        info = self.read(slice_index)
+        if info is None or not _pid_alive(info.pid):
+            return True
+        cache = self._beats if observations is None else observations
+        key = self._vpath(slice_index)
+        # wall clock by design: staleness is real elapsed silence —
+        # operational liveness, never part of the replayed trajectory
+        # (same rationale as lease.py)  # repro: allow(DET-001)
+        now = time.monotonic()
+        seen = cache.get(key)
+        if seen is None or seen[0] != info.heartbeat:
+            cache[key] = (info.heartbeat, now)
+            return False
+        return (now - seen[1]) > timeout
+
+    def break_stale(
+        self,
+        slice_index: int,
+        *,
+        timeout: float = DEFAULT_LEASE_TIMEOUT,
+        observations: Optional[Observations] = None,
+    ) -> bool:
+        if slice_index not in self._slots:
+            return False
+        if not self.is_stale(
+            slice_index, timeout=timeout, observations=observations
+        ):
+            info = self.read(slice_index)
+            raise LeaseHeldError(
+                f"{self._vpath(slice_index)}: lease is held by live owner "
+                f"{info.owner if info else '<unreadable>'} "
+                f"(pid {info.pid if info else '?'})",
+                path=self._vpath(slice_index),
+                holder=None if info is None else info.owner,
+                pid=None if info is None else info.pid,
+            )
+        self._slots.pop(slice_index, None)
+        self._beats.pop(self._vpath(slice_index), None)
+        return True
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+# ----------------------------------------------------------------------
+# Spill transport
+# ----------------------------------------------------------------------
+
+
+class MemorySpillJournal:
+    """The live recording surface over a byte log (fs twin: ``SpillJournal``).
+
+    Byte-for-byte the same WAL: records buffer in memory and reach the
+    "durable" log only at :meth:`commit`, through the same ``on_append``
+    shim hook and bounded retry, so an injected torn commit leaves the
+    log with the identical torn tail replay must tolerate.
+    """
+
+    def __init__(self, transport: "MemorySpillTransport", num_slices: int):
+        self.transport = transport
+        self.path = transport.path
+        self.num_slices = num_slices
+        self._buffer: List[bytes] = []
+        self._closed = False
+        self.commits = 0
+        self.records_flushed = 0
+        self.bytes_flushed = 0
+        self.compacted_upto = 0
+        self.compactions = 0
+        self.records_dropped = 0
+
+    # -- recording ------------------------------------------------------
+    def spill(
+        self, slice_index: int, vertex: int, generation: int, delta: float
+    ) -> None:
+        self._buffer.append(
+            encode_spill(slice_index, vertex, generation, delta)
+        )
+
+    def consume(self, slice_index: int) -> None:
+        self._buffer.append(encode_consume(slice_index))
+
+    def reset(self, buffers: List[Dict[int, Tuple[float, int]]]) -> None:
+        self._buffer = []
+        for slice_index in range(self.num_slices):
+            self.consume(slice_index)
+        for slice_index, bucket in enumerate(buffers):
+            for vertex, (delta, generation) in bucket.items():
+                self.spill(slice_index, vertex, generation, delta)
+
+    def discard_uncommitted(self) -> None:
+        self._buffer = []
+
+    def commit(self, commit_id: int) -> None:
+        self._buffer.append(encode_commit(commit_id))
+        data = b"".join(self._buffer)
+        records = len(self._buffer)
+        self._buffer = []
+
+        def attempt() -> bytes:
+            out = _shim_append(self.path, data)
+            self.transport._log_or_raise().extend(out)
+            return out
+
+        written = retry_transient(
+            attempt, description=f"journal commit ({self.path})"
+        )
+        self.commits += 1
+        self.records_flushed += records
+        self.bytes_flushed += len(written)
+        if obs_trace.ACTIVE is not None:
+            probe.journal_flush(
+                float(commit_id),
+                commit=commit_id,
+                records=records,
+                nbytes=len(written),
+            )
+
+    def compact(self, upto: int, reduce_fn: ReduceFn) -> Dict[str, int]:
+        if self._buffer:
+            raise ValueError(
+                "journal compaction requires a committed boundary "
+                f"({len(self._buffer)} uncommitted record(s) buffered)"
+            )
+        stats = self.transport.compact_file(self.num_slices, upto, reduce_fn)
+        self.compacted_upto = int(upto)
+        self.compactions += 1
+        self.records_dropped += stats["records_dropped"]
+        return stats
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class MemorySpillTransport(SpillTransport):
+    """One GPJL log held as a byte string."""
+
+    def __init__(self, path: PathLike = "mem/journal.bin"):
+        self.path = str(path)
+        self._log: Optional[bytearray] = None
+
+    def _log_or_raise(self) -> bytearray:
+        if self._log is None:
+            raise FileNotFoundError(self.path)
+        return self._log
+
+    def exists(self) -> bool:
+        return self._log is not None
+
+    def create(self, num_slices: int) -> MemorySpillJournal:
+        self._log = bytearray(encode_header(num_slices))
+        return MemorySpillJournal(self, num_slices)
+
+    def open_append(self, num_slices: int) -> MemorySpillJournal:
+        data = bytes(self._log_or_raise())
+        if data[:4] != JOURNAL_MAGIC:
+            raise CheckpointCorruptError(
+                f"{self.path}: not a spill journal (bad magic)",
+                path=self.path,
+            )
+        # full header validation (version + slice count) is scan_bytes's
+        # first act; replaying zero records costs nothing here
+        scan_bytes(
+            data[: len(encode_header(num_slices))],
+            num_slices,
+            None,
+            lambda a, b: a,
+            source=self.path,
+        )
+        return MemorySpillJournal(self, num_slices)
+
+    def scan(
+        self, num_slices: int, upto: Optional[int], reduce_fn: ReduceFn
+    ) -> JournalScan:
+        data = _shim_read(self.path, bytes(self._log_or_raise()))
+        return scan_bytes(data, num_slices, upto, reduce_fn, source=self.path)
+
+    def truncate(self, offset: int) -> None:
+        del self._log_or_raise()[offset:]
+
+    def compact_file(
+        self, num_slices: int, upto: int, reduce_fn: ReduceFn
+    ) -> Dict[str, int]:
+        data = _shim_read(self.path, bytes(self._log_or_raise()))
+        blob, stats = compact_bytes(
+            data, num_slices, upto, reduce_fn, source=self.path
+        )
+
+        def attempt() -> None:
+            out = _shim_publish(self.path, blob)
+            self._log = bytearray(out)
+
+        retry_transient(
+            attempt, description=f"journal compaction ({self.path})"
+        )
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+
+class MemoryCheckpointStore(DurableCheckpointStore):
+    """The run-directory store with its five IO primitives swapped out.
+
+    All manifest bookkeeping, the write-order crash-safety argument, the
+    generation ladder (``drop_newer_than``) and GPCK (de)serialization
+    are literally the shared :class:`DurableCheckpointStore` code; only
+    where the bytes live differs.
+    """
+
+    def __init__(self, run_dir: PathLike = "mem/run"):
+        super().__init__(run_dir)
+        self._files: Dict[str, bytes] = {}
+
+    def _key(self, path: PathLike) -> str:
+        return str(path)
+
+    def _ensure_root(self) -> None:
+        pass  # nothing to mkdir
+
+    def _exists(self, path: PathLike) -> bool:
+        return self._key(path) in self._files
+
+    def _publish(self, path: PathLike, data: bytes) -> None:
+        key = self._key(path)
+        self._files[key] = _shim_publish(key, data)
+
+    def _read(self, path: PathLike) -> bytes:
+        key = self._key(path)
+        if key not in self._files:
+            raise FileNotFoundError(key)
+        return _shim_read(key, self._files[key])
+
+    def _unlink(self, path: PathLike) -> None:
+        if self._files.pop(self._key(path), None) is None:
+            raise FileNotFoundError(self._key(path))
+
+
+# ----------------------------------------------------------------------
+# The substrate
+# ----------------------------------------------------------------------
+
+
+class MemorySubstrate(Substrate):
+    """Factory bundle for the in-memory backend.
+
+    Stores are memoized per root/path, so two consumers asking for the
+    same location share state — the property that makes the conformance
+    suite's "reader sees what the writer persisted" assertions
+    meaningful without a filesystem.
+    """
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._lease_stores: Dict[str, MemoryLeaseStore] = {}
+        self._transports: Dict[str, MemorySpillTransport] = {}
+        self._checkpoint_stores: Dict[str, MemoryCheckpointStore] = {}
+
+    def lease_store(self, root: PathLike = "mem/leases") -> MemoryLeaseStore:
+        key = str(root)
+        if key not in self._lease_stores:
+            self._lease_stores[key] = MemoryLeaseStore(key)
+        return self._lease_stores[key]
+
+    def spill_transport(
+        self, path: PathLike = "mem/journal.bin"
+    ) -> MemorySpillTransport:
+        key = str(path)
+        if key not in self._transports:
+            self._transports[key] = MemorySpillTransport(key)
+        return self._transports[key]
+
+    def checkpoint_store(
+        self, run_dir: PathLike = "mem/run"
+    ) -> MemoryCheckpointStore:
+        key = str(run_dir)
+        if key not in self._checkpoint_stores:
+            self._checkpoint_stores[key] = MemoryCheckpointStore(key)
+        return self._checkpoint_stores[key]

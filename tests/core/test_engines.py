@@ -32,6 +32,7 @@ ALL_ENGINES = (
     "cycle",
     "sliced",
     "sliced-mp",
+    "sliced-hosts",
     "parallel-sliced",
     "bsp",
     "ligra",
@@ -48,11 +49,16 @@ def small_graph():
     return erdos_renyi_graph(120, 700, seed=5)
 
 
-def _options(engine):
+def _options(engine, tmp_path=None):
     if engine in ("sliced", "parallel-sliced"):
         return {"num_slices": 3}
     if engine == "sliced-mp":
         return {"num_slices": 3, "num_workers": 2}
+    if engine == "sliced-hosts":
+        # a virgin substrate dir per call; constructing without one is
+        # itself an error the registry tests exercise
+        hosts = tmp_path / "hosts" if tmp_path is not None else None
+        return {"num_slices": 3, "hosts_dir": hosts, "lease_timeout": 1.0}
     return {}
 
 
@@ -88,7 +94,7 @@ class TestRegistry:
         resumable = set(resumable_engine_names())
         assert resumable == {"functional", "cycle", "sliced", "sliced-mp"}
 
-    def test_resumable_flag_matches_runner_restore(self, small_graph):
+    def test_resumable_flag_matches_runner_restore(self, small_graph, tmp_path):
         """The registry flag must be truthful: every resumable engine's
         runner exposes ``restore()`` and no non-resumable engine does.
         In particular parallel-sliced stays excluded from crash-resume
@@ -98,7 +104,9 @@ class TestRegistry:
         spec = algorithms.make_pagerank_delta()
         resumable = set(resumable_engine_names())
         for name in engine_names():
-            handle = build_engine(name, (small_graph, spec), _options(name))
+            handle = build_engine(
+                name, (small_graph, spec), _options(name, tmp_path)
+            )
             has_restore = callable(getattr(handle.runner, "restore", None))
             assert has_restore == (name in resumable), name
         assert "parallel-sliced" not in resumable
@@ -111,9 +119,11 @@ class TestRegistry:
 
 class TestRunResultSchema:
     @pytest.mark.parametrize("engine", ALL_ENGINES)
-    def test_payload_validates_for_every_engine(self, graph, engine):
+    def test_payload_validates_for_every_engine(self, graph, engine, tmp_path):
         spec = algorithms.make_pagerank_delta()
-        result = build_engine(engine, (graph, spec), _options(engine)).run()
+        result = build_engine(
+            engine, (graph, spec), _options(engine, tmp_path)
+        ).run()
         assert isinstance(result, RunResult)
         payload = result.to_json()
         validate_run_result(payload)  # raises on any schema violation
@@ -226,24 +236,30 @@ class TestCrossEngineIdentity:
     """All engines compute the same fixed point on the same workload."""
 
     @pytest.mark.parametrize("fixture", ["graph", "small_graph"])
-    def test_pagerank_matches_functional_reference(self, fixture, request):
+    def test_pagerank_matches_functional_reference(
+        self, fixture, request, tmp_path
+    ):
         g = request.getfixturevalue(fixture)
         reference = algorithms.pagerank_reference(g)
         for engine in ALL_ENGINES:
             result = build_engine(
-                engine, (g, algorithms.make_pagerank_delta()), _options(engine)
+                engine,
+                (g, algorithms.make_pagerank_delta()),
+                _options(engine, tmp_path / engine),
             ).run()
             assert np.allclose(result.values, reference, atol=1e-4), engine
             assert result.converged, engine
 
     @pytest.mark.parametrize("fixture", ["graph", "small_graph"])
-    def test_sssp_exact_across_engines(self, fixture, request):
+    def test_sssp_exact_across_engines(self, fixture, request, tmp_path):
         g = random_weights(request.getfixturevalue(fixture), seed=7)
         root = int(np.argmax(g.out_degrees()))
         spec = algorithms.make_sssp(root=root)
         reference = algorithms.sssp_reference(g, root)
         for engine in ALL_ENGINES:
-            result = build_engine(engine, (g, spec), _options(engine)).run()
+            result = build_engine(
+                engine, (g, spec), _options(engine, tmp_path / engine)
+            ).run()
             finite = np.isfinite(reference)
             assert np.array_equal(
                 result.values[finite], reference[finite]
@@ -265,4 +281,25 @@ class TestCrossEngineIdentity:
         assert sequential.rounds == parallel.rounds
         assert (
             sequential.stats["spill_bytes"] == parallel.stats["spill_bytes"]
+        )
+
+    def test_sliced_hosts_bit_identical_to_sliced(self, graph, tmp_path):
+        spec = algorithms.make_pagerank_delta()
+        sequential = build_engine(
+            "sliced", (graph, spec), {"num_slices": 3}
+        ).run()
+        hosted = build_engine(
+            "sliced-hosts",
+            (graph, spec),
+            {
+                "num_slices": 3,
+                "hosts_dir": tmp_path / "hosts",
+                "lease_timeout": 1.0,
+            },
+        ).run()
+        assert sequential.values.tobytes() == hosted.values.tobytes()
+        assert sequential.passes == hosted.passes
+        assert sequential.rounds == hosted.rounds
+        assert (
+            sequential.stats["spill_bytes"] == hosted.stats["spill_bytes"]
         )

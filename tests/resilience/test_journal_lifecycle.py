@@ -7,6 +7,12 @@ boundary, duplicate commit markers — and the compaction machinery:
 re-baselining must leave replay to any retained commit bit-identical,
 and the engine-driven compaction at checkpoint boundaries must never
 strand a retained generation.
+
+The protocol cases run through the substrate transport interface,
+parameterized over the fs and memory backends — the GPJL byte machine
+has exactly one behavior wherever the log lives (and the memory leg
+keeps the hot path off the disk).  Only the engine-driven test at the
+bottom is inherently fs-bound (it resumes a real run directory).
 """
 
 import json
@@ -17,6 +23,7 @@ from repro.analysis import prepare_workload
 from repro.core import build_sliced
 from repro.errors import CheckpointCorruptError
 from repro.resilience import ResilienceConfig, SpillJournal, resume_run
+from repro.resilience.substrate import build_substrate
 
 _CRC_SIZE = 4
 _RECORD_SIZES = {
@@ -30,62 +37,91 @@ def add(a, b):
     return a + b
 
 
-class TestTornTailEdgeCases:
-    def test_zero_byte_journal_is_a_typed_failure(self, tmp_path):
-        """An empty file is not 'an empty journal': the header is gone,
-        so trusting it would mean trusting an unknown slice count."""
-        path = tmp_path / "journal.bin"
-        path.write_bytes(b"")
-        with pytest.raises(CheckpointCorruptError, match="magic"):
-            SpillJournal.replay(path, 2, None, add)
+class Log:
+    """One journal plus raw-byte access to wherever its bytes live.
 
-    def test_header_only_journal_replays_empty(self, tmp_path):
-        path = tmp_path / "journal.bin"
-        SpillJournal.create(path, num_slices=2).close()
-        scan = SpillJournal.scan(path, 2, None, add)
+    The tests damage the log the way a crash or bitrot would — partial
+    writes, flipped bytes — which needs a medium-specific escape hatch
+    (the file for fs, the transport's byte buffer for memory); every
+    protocol operation goes through the portable transport surface.
+    """
+
+    def __init__(self, backend, path):
+        self.backend = backend
+        self.path = path
+        self.transport = build_substrate(backend).spill_transport(path)
+
+    def read(self):
+        if self.backend == "fs":
+            return self.path.read_bytes()
+        return bytes(self.transport._log)
+
+    def write(self, data):
+        if self.backend == "fs":
+            self.path.write_bytes(data)
+        else:
+            self.transport._log = bytearray(data)
+
+    def size(self):
+        return len(self.read())
+
+
+@pytest.fixture(params=["fs", "memory"])
+def log(request, tmp_path):
+    return Log(request.param, tmp_path / "journal.bin")
+
+
+class TestTornTailEdgeCases:
+    def test_zero_byte_journal_is_a_typed_failure(self, log):
+        """An empty log is not 'an empty journal': the header is gone,
+        so trusting it would mean trusting an unknown slice count."""
+        log.write(b"")
+        with pytest.raises(CheckpointCorruptError, match="magic"):
+            log.transport.replay(2, None, add)
+
+    def test_header_only_journal_replays_empty(self, log):
+        log.transport.create(2).close()
+        scan = log.transport.scan(2, None, add)
         assert scan.buffers == [{}, {}]
         assert scan.records_applied == 0
         assert scan.tail_bytes == 0
         assert scan.last_commit is None
 
-    def test_truncation_exactly_at_a_record_boundary(self, tmp_path):
+    def test_truncation_exactly_at_a_record_boundary(self, log):
         """The tail ends on a whole-record edge — no partial bytes.
         Replay must treat the complete-but-uncommitted record as tail,
         reproducing the committed state bit for bit."""
-        path = tmp_path / "journal.bin"
-        journal = SpillJournal.create(path, num_slices=1)
+        journal = log.transport.create(1)
         journal.spill(0, vertex=1, generation=0, delta=1.0)
         journal.commit(0)
         journal.spill(0, vertex=2, generation=0, delta=2.0)
         journal.commit(1)
         journal.close()
-        # drop commit 1's marker exactly: the file now ends at the
+        # drop commit 1's marker exactly: the log now ends at the
         # uncommitted spill record's boundary
-        size = path.stat().st_size
-        SpillJournal.truncate(path, size - _RECORD_SIZES["commit"])
-        scan = SpillJournal.scan(path, 1, 0, add)
+        log.transport.truncate(log.size() - _RECORD_SIZES["commit"])
+        scan = log.transport.scan(1, 0, add)
         assert scan.buffers[0] == {1: (1.0, 0)}
         assert scan.last_commit == 0
         assert scan.tail_records == 1  # the whole, valid, orphaned spill
         assert scan.tail_bytes == _RECORD_SIZES["spill"]
         # truncating at the scan offset then replaying is idempotent
-        SpillJournal.truncate(path, scan.offset)
-        again, offset = SpillJournal.replay(path, 1, 0, add)
+        log.transport.truncate(scan.offset)
+        again, offset = log.transport.replay(1, 0, add)
         assert again == scan.buffers
-        assert offset == path.stat().st_size
+        assert offset == log.size()
 
-    def test_duplicate_commit_markers_are_deterministic(self, tmp_path):
+    def test_duplicate_commit_markers_are_deterministic(self, log):
         """Two COMMIT(1) markers (a retried flush that actually landed
         twice): replay-to-1 adopts the first, replay-to-latest adopts
         the second — identical buffers either way."""
-        path = tmp_path / "journal.bin"
-        journal = SpillJournal.create(path, num_slices=1)
+        journal = log.transport.create(1)
         journal.spill(0, vertex=1, generation=0, delta=1.0)
         journal.commit(1)
         journal.commit(1)  # duplicate marker, no records in between
         journal.close()
-        first = SpillJournal.scan(path, 1, 1, add)
-        latest = SpillJournal.scan(path, 1, None, add)
+        first = log.transport.scan(1, 1, add)
+        latest = log.transport.scan(1, None, add)
         assert first.buffers == latest.buffers == [{1: (1.0, 0)}]
         assert first.last_commit == latest.last_commit == 1
         # the first scan stops at the first marker; the duplicate is a
@@ -93,27 +129,26 @@ class TestTornTailEdgeCases:
         assert latest.offset - first.offset == _RECORD_SIZES["commit"]
         assert first.tail_records == 1
 
-    def test_corruption_in_tail_only_stops_the_tail_count(self, tmp_path):
-        path = tmp_path / "journal.bin"
-        journal = SpillJournal.create(path, num_slices=1)
+    def test_corruption_in_tail_only_stops_the_tail_count(self, log):
+        journal = log.transport.create(1)
         journal.spill(0, vertex=1, generation=0, delta=1.0)
         journal.commit(0)
         journal.spill(0, vertex=2, generation=0, delta=2.0)
         journal.commit(1)
         journal.close()
-        data = bytearray(path.read_bytes())
+        data = bytearray(log.read())
         data[-2] ^= 0xFF  # inside commit 1's CRC: corrupt, but post-target
-        path.write_bytes(bytes(data))
-        scan = SpillJournal.scan(path, 1, 0, add)
+        log.write(bytes(data))
+        scan = log.transport.scan(1, 0, add)
         assert scan.buffers[0] == {1: (1.0, 0)}
         assert scan.tail_records == 1  # the spill counts, commit 1 doesn't
         with pytest.raises(CheckpointCorruptError):
-            SpillJournal.scan(path, 1, 1, add)
+            log.transport.scan(1, 1, add)
 
 
 class TestCompaction:
-    def build_journal(self, path):
-        journal = SpillJournal.create(path, num_slices=2)
+    def build_journal(self, log):
+        journal = log.transport.create(2)
         for commit in range(4):
             for vertex in range(6):
                 journal.spill(
@@ -125,47 +160,43 @@ class TestCompaction:
             journal.commit(commit)
         journal.close()
 
-    def test_replay_after_compaction_is_bit_identical(self, tmp_path):
-        path = tmp_path / "journal.bin"
-        self.build_journal(path)
+    def test_replay_after_compaction_is_bit_identical(self, log):
+        self.build_journal(log)
         before = {
-            upto: SpillJournal.replay(path, 2, upto, add)[0]
+            upto: log.transport.replay(2, upto, add)[0]
             for upto in (1, 2, 3)
         }
-        stats = SpillJournal.compact_file(path, 2, 1, add)
+        stats = log.transport.compact_file(2, 1, add)
         assert stats["upto"] == 1
         assert stats["bytes_after"] < stats["bytes_before"]
         assert stats["records_dropped"] > 0
         for upto in (1, 2, 3):
-            after, _ = SpillJournal.replay(path, 2, upto, add)
+            after, _ = log.transport.replay(2, upto, add)
             assert after == before[upto]
 
-    def test_commits_below_the_boundary_resolve_to_the_baseline(self, tmp_path):
+    def test_commits_below_the_boundary_resolve_to_the_baseline(self, log):
         """``upto`` means "replay to at least this commit": after
         compaction the oldest reachable state is the baseline, so a
         request for an older commit deterministically adopts it rather
         than failing — gc retention guarantees no live checkpoint ever
         references a commit below the boundary."""
-        path = tmp_path / "journal.bin"
-        self.build_journal(path)
-        baseline, _ = SpillJournal.replay(path, 2, 2, add)
-        SpillJournal.compact_file(path, 2, 2, add)
-        scan = SpillJournal.scan(path, 2, 0, add)
+        self.build_journal(log)
+        baseline, _ = log.transport.replay(2, 2, add)
+        log.transport.compact_file(2, 2, add)
+        scan = log.transport.scan(2, 0, add)
         assert scan.last_commit == 2
         assert scan.buffers == baseline
 
-    def test_compaction_is_idempotent_at_the_same_boundary(self, tmp_path):
-        path = tmp_path / "journal.bin"
-        self.build_journal(path)
-        SpillJournal.compact_file(path, 2, 2, add)
-        first = path.read_bytes()
-        stats = SpillJournal.compact_file(path, 2, 2, add)
-        assert path.read_bytes() == first
+    def test_compaction_is_idempotent_at_the_same_boundary(self, log):
+        self.build_journal(log)
+        log.transport.compact_file(2, 2, add)
+        first = log.read()
+        stats = log.transport.compact_file(2, 2, add)
+        assert log.read() == first
         assert stats["records_dropped"] == 0
 
-    def test_live_compact_requires_a_committed_boundary(self, tmp_path):
-        path = tmp_path / "journal.bin"
-        journal = SpillJournal.create(path, num_slices=1)
+    def test_live_compact_requires_a_committed_boundary(self, log):
+        journal = log.transport.create(1)
         journal.spill(0, vertex=1, generation=0, delta=1.0)
         journal.commit(0)
         journal.spill(0, vertex=2, generation=0, delta=2.0)  # uncommitted
@@ -173,9 +204,8 @@ class TestCompaction:
             journal.compact(0, add)
         journal.close()
 
-    def test_live_compact_keeps_appending(self, tmp_path):
-        path = tmp_path / "journal.bin"
-        journal = SpillJournal.create(path, num_slices=1)
+    def test_live_compact_keeps_appending(self, log):
+        journal = log.transport.create(1)
         journal.spill(0, vertex=1, generation=0, delta=1.0)
         journal.commit(0)
         journal.compact(0, add)
@@ -184,7 +214,7 @@ class TestCompaction:
         journal.spill(0, vertex=2, generation=1, delta=2.0)
         journal.commit(1)
         journal.close()
-        buffers, _ = SpillJournal.replay(path, 1, 1, add)
+        buffers, _ = log.transport.replay(1, 1, add)
         assert buffers[0] == {1: (1.0, 0), 2: (2.0, 1)}
 
 

@@ -33,7 +33,7 @@ from repro.core import (
     build_sliced,
     validate_resume_payload,
 )
-from repro.errors import CheckpointCorruptError, ReproError
+from repro.errors import CheckpointCorruptError, OutOfSpaceError, ReproError
 from repro.resilience import (
     ResilienceConfig,
     SpillJournal,
@@ -107,15 +107,41 @@ class TestRetryTransient:
     def test_exhaustion_raises_with_budget_in_message(self):
         calls = []
 
-        def dead_disk():
+        def flaky_disk():
             calls.append(1)
-            raise OSError(errno.ENOSPC, "full")
+            raise OSError(errno.EIO, "io error")
 
         with pytest.raises(OSError, match="still failing after"):
             retry_transient(
-                dead_disk, sleep=lambda _: None, description="test write"
+                flaky_disk, sleep=lambda _: None, description="test write"
             )
         assert len(calls) == RETRY_ATTEMPTS
+
+    def test_persistent_enospc_raises_typed_out_of_space(self):
+        calls = []
+
+        def full_disk():
+            calls.append(1)
+            raise OSError(errno.ENOSPC, "full", "/some/artifact")
+
+        with pytest.raises(OutOfSpaceError) as excinfo:
+            retry_transient(
+                full_disk, sleep=lambda _: None, description="test write"
+            )
+        assert len(calls) == RETRY_ATTEMPTS
+        exc = excinfo.value
+        assert exc.errno == errno.ENOSPC
+        assert exc.context["attempts"] == RETRY_ATTEMPTS
+        assert exc.context["path"] == "/some/artifact"
+        # the typed error still satisfies legacy OSError handlers …
+        assert isinstance(exc, OSError)
+        # … and an outer retry must not re-retry what an inner retry
+        # already classified as persistent
+        with pytest.raises(OutOfSpaceError):
+            retry_transient(
+                lambda: retry_transient(full_disk, sleep=lambda _: None),
+                sleep=lambda _: None,
+            )
 
     def test_zero_attempts_rejected(self):
         with pytest.raises(ValueError):
