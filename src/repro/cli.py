@@ -167,6 +167,13 @@ RESILIENT_ENGINES = resilient_engine_names()
 #: engines whose --num-slices / --queue-capacity flags apply
 SLICED_ENGINES = ("sliced", "sliced-mp", "sliced-hosts", "parallel-sliced")
 
+#: version of the CLI's top-level ``--json`` payloads (run/resume/gc).
+#: Bumped whenever a payload key is added, removed or re-typed, so
+#: downstream tooling can gate on the shape it parses.  The nested
+#: ``result`` block carries its own ``schema_version`` (the RunResult
+#: schema) and bench artifacts version themselves independently.
+PAYLOAD_SCHEMA_VERSION = 1
+
 
 def _dead_lane(value: str) -> Tuple[int, int]:
     """Parse a ``LANE[:CYCLE]`` dead-lane spec (CYCLE defaults to 0)."""
@@ -215,6 +222,21 @@ def _engine_list(value: str) -> Tuple[str, ...]:
     return names
 
 
+def _workers_sweep(value: str) -> Tuple[int, ...]:
+    """Parse a comma-separated worker-count sweep for the bench suite."""
+    try:
+        counts = tuple(int(w.strip()) for w in value.split(",") if w.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated worker counts, got {value!r}"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be >= 1, got {value!r}"
+        )
+    return counts
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -257,10 +279,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--workers",
         type=int,
-        default=2,
+        default=None,
         metavar="N",
         help="worker process count for --engine sliced-mp (default 2; "
-        "clamped to the slice count)",
+        "must not exceed --num-slices)",
+    )
+    run_parser.add_argument(
+        "--dispatch",
+        choices=("barrier", "chained"),
+        default=None,
+        metavar="MODE",
+        help="intra-pass spill visibility for --engine sliced/sliced-mp: "
+        "'barrier' (default) buffers outbound spills and merges them at "
+        "the pass barrier in deterministic (slice, emission) order; "
+        "'chained' restores the old sequential order where slice k sees "
+        "same-pass spills from slices < k",
     )
     run_parser.add_argument(
         "--hosts-dir",
@@ -648,6 +681,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--scale", type=float, default=0.05)
     bench_parser.add_argument(
+        "--mp-workers",
+        type=_workers_sweep,
+        default=None,
+        metavar="COUNTS",
+        help="comma-separated worker counts (e.g. '1,2,4'): expand "
+        "every sliced-mp engine cell into one variant per count, all "
+        "at a slice count of 2x the largest — the speedup-vs-workers "
+        "sweep",
+    )
+    bench_parser.add_argument(
         "--warmup",
         type=int,
         default=1,
@@ -774,9 +817,10 @@ def _resilience_config(
                 "num_slices": args.num_slices,
                 "queue_capacity": args.queue_capacity,
                 "auto_slice": not args.no_auto_slice,
+                "dispatch": args.dispatch or "barrier",
             }
         if args.engine == "sliced-mp":
-            engine_options["num_workers"] = args.workers
+            engine_options["num_workers"] = _resolved_workers(args)
         run_meta = {
             "workload": {
                 "algorithm": args.algorithm,
@@ -837,7 +881,8 @@ def _result_lines(result: RunResult, info: Dict[str, Any]) -> List[str]:
         ]
         if engine == "sliced-mp":
             lines.append(
-                f"workers: {stats['workers']}   "
+                f"workers: {stats['workers']}   max in-flight: "
+                f"{stats.get('max_inflight', 0)}   "
                 f"recoveries: {stats['recoveries']}"
             )
     elif engine == "sliced-hosts":
@@ -870,8 +915,34 @@ def _result_lines(result: RunResult, info: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _resolved_workers(args: argparse.Namespace) -> int:
+    """The effective ``--workers`` value, validated up front.
+
+    workers > slices is a typed exit-2 error (never a silent clamp):
+    every worker must own at least one slice or the extra processes
+    would idle while still costing spawn + barrier bookkeeping.
+    """
+    workers = 2 if args.workers is None else args.workers
+    if workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {workers}")
+    if workers > args.num_slices:
+        raise ReproError(
+            f"--workers ({workers}) exceeds --num-slices "
+            f"({args.num_slices}); every worker needs at least one "
+            f"slice to own — lower --workers or raise --num-slices"
+        )
+    return workers
+
+
 def _engine_options(args: argparse.Namespace) -> Dict[str, Any]:
-    """Translate ``run`` flags into the engine's ``build_engine`` config."""
+    """Translate ``run`` flags into the engine's ``build_engine`` config.
+
+    Flags that the chosen engine does not model (``--workers`` on
+    ``functional``, ``--dispatch`` on ``sliced-hosts``, ...) are passed
+    through anyway when given explicitly, so the rejection comes from
+    :func:`repro.core.build_engine`'s unknown-option path — one error
+    message for CLI and library callers alike.
+    """
     options: Dict[str, Any] = {}
     if args.engine in SLICED_ENGINES:
         _check_num_slices(args.num_slices)
@@ -880,9 +951,11 @@ def _engine_options(args: argparse.Namespace) -> Dict[str, Any]:
         options["queue_capacity"] = args.queue_capacity
         options["auto_slice"] = not args.no_auto_slice
     if args.engine == "sliced-mp":
-        if args.workers < 1:
-            raise ReproError(f"--workers must be >= 1, got {args.workers}")
+        options["num_workers"] = _resolved_workers(args)
+    elif args.workers is not None:
         options["num_workers"] = args.workers
+    if args.dispatch is not None:
+        options["dispatch"] = args.dispatch
     if args.engine == "sliced-hosts":
         if args.hosts_dir is None:
             raise ReproError(
@@ -1001,6 +1074,7 @@ def _command_run(args: argparse.Namespace) -> int:
     )
 
     payload: Dict[str, Any] = {
+        "schema_version": PAYLOAD_SCHEMA_VERSION,
         "workload": {
             "algorithm": args.algorithm,
             "dataset": args.dataset,
@@ -1343,6 +1417,7 @@ def _command_resume(args: argparse.Namespace) -> int:
     )
 
     payload: Dict[str, Any] = {
+        "schema_version": PAYLOAD_SCHEMA_VERSION,
         "resumed": {
             "run_dir": args.run_dir,
             "checkpoint": restored.seq if restored is not None else None,
@@ -1428,7 +1503,10 @@ def _command_gc(args: argparse.Namespace) -> int:
             f"{journal.get('bytes_after', 0):,} bytes)"
         )
     if args.json is not None:
-        _write_json(report.to_json(), args.json)
+        _write_json(
+            {"schema_version": PAYLOAD_SCHEMA_VERSION, **report.to_json()},
+            args.json,
+        )
     return 0
 
 
@@ -1442,6 +1520,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         algorithms=args.algorithms,
         dataset=args.dataset,
         scale=args.scale,
+        mp_workers=args.mp_workers or (),
     )
     json_to_stdout = args.json == "-"
 

@@ -9,12 +9,16 @@ those ladders with:
 
 ``build_engine(name, workload, config, *, resilience=None,
 timeseries=None)``
-    The single construction path.  ``workload`` is ``(graph, spec)``,
-    ``config`` is a plain option mapping validated against the engine's
-    accepted options (an unknown key raises
-    :class:`repro.errors.ReproError` — options are never silently
-    dropped).  Engines that do not accept resilience refuse it here,
-    before any work happens.
+    The single construction path.  ``workload`` is ``(graph, spec)``;
+    ``config`` is either an instance of the engine's registered
+    :class:`EngineOptions` dataclass or a plain mapping coerced into
+    one (the historical calling convention; every CLI flag and stored
+    manifest still arrives this way).  Unknown keys and mistyped values
+    raise :class:`repro.errors.ReproError` **before** any work happens
+    — options are never silently dropped — and the resolved options are
+    echoed under ``options`` in ``RunResult.to_json()`` so a payload
+    records exactly what configuration produced it.  Engines that do
+    not accept resilience refuse it here too.
 
 :class:`RunResult`
     The unified result: final ``values``, ``converged``, the
@@ -39,19 +43,42 @@ construction logic — register here instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+import os
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    Type,
+)
 
 import numpy as np
 
 from ..errors import ReproError
+from ..graph.partition import contiguous_partition
 from ..obs import trace as obs_trace
 
 __all__ = [
     "Engine",
     "EngineSpec",
+    "EngineOptions",
+    "FunctionalOptions",
+    "CycleOptions",
+    "SlicedOptions",
+    "SlicedMpOptions",
+    "SlicedHostsOptions",
+    "ParallelSlicedOptions",
+    "BspOptions",
+    "LigraOptions",
     "RunResult",
     "RUN_RESULT_SCHEMA",
+    "RUN_RESULT_SCHEMA_VERSION",
     "RESUME_PAYLOAD_SCHEMA",
     "JOURNAL_PROVENANCE_KEYS",
     "WORKER_STATS_KEYS",
@@ -90,29 +117,42 @@ class RunResult:
     resilience: Optional[Dict[str, Any]] = None
     #: the tracer active during the run, when tracing was on
     trace: Optional[Any] = None
+    #: the resolved :class:`EngineOptions` the engine was built with;
+    #: None when the result was assembled outside ``build_engine``
+    options: Optional["EngineOptions"] = None
     #: the engine's native result object (escape hatch for the long tail)
     raw: Any = None
 
     def to_json(self) -> Dict[str, Any]:
         """The one ``--json`` result schema, identical across engines."""
         return {
+            "schema_version": RUN_RESULT_SCHEMA_VERSION,
             "engine": self.engine,
             "converged": bool(self.converged),
             "rounds": None if self.rounds is None else int(self.rounds),
             "passes": None if self.passes is None else int(self.passes),
             "stats": dict(self.stats),
             "resilience": self.resilience,
+            "options": (
+                None if self.options is None else self.options.to_json()
+            ),
         }
 
 
+#: version of the ``RunResult.to_json()`` schema.  2 added
+#: ``schema_version`` itself and the resolved ``options`` echo.
+RUN_RESULT_SCHEMA_VERSION = 2
+
 #: key -> allowed types of the ``RunResult.to_json()`` payload
 RUN_RESULT_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "schema_version": (int,),
     "engine": (str,),
     "converged": (bool,),
     "rounds": (int, type(None)),
     "passes": (int, type(None)),
     "stats": (dict,),
     "resilience": (dict, type(None)),
+    "options": (dict, type(None)),
 }
 
 
@@ -182,6 +222,11 @@ def validate_run_result(payload: Dict[str, Any]) -> None:
                 f"{'/'.join(t.__name__ for t in types)}, "
                 f"got {type(payload[key]).__name__}"
             )
+    if payload["schema_version"] != RUN_RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"result schema_version {payload['schema_version']} does not "
+            f"match the validator's ({RUN_RESULT_SCHEMA_VERSION})"
+        )
     if payload["engine"] == "sliced-mp":
         _validate_worker_stats(payload["stats"])
 
@@ -260,6 +305,294 @@ def validate_resume_payload(payload: Dict[str, Any]) -> None:
 
 
 # ----------------------------------------------------------------------
+# Typed engine options
+# ----------------------------------------------------------------------
+
+
+def _json_safe(value: Any) -> Any:
+    """Render one option value into something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, os.PathLike):
+        return os.fspath(value)
+    if callable(value):
+        return getattr(value, "__name__", repr(value))
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _type_ok(code: str, value: Any) -> bool:
+    """Check a value against a :data:`EngineOptions._FIELD_TYPES` code.
+
+    Codes: ``int``/``float``/``bool``/``str``/``path``/``callable``/
+    ``any``; a trailing ``?`` allows None.  ``bool`` is not an ``int``
+    here (a ``--workers True`` typo must not pass), and ``float``
+    accepts ints.
+    """
+    if code.endswith("?"):
+        if value is None:
+            return True
+        code = code[:-1]
+    elif value is None:
+        return False
+    if code == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if code == "float":
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        )
+    if code == "bool":
+        return isinstance(value, bool)
+    if code == "str":
+        return isinstance(value, str)
+    if code == "path":
+        return isinstance(value, (str, os.PathLike))
+    if code == "callable":
+        return callable(value)
+    if code == "any":
+        return True
+    raise AssertionError(f"unknown option type code {code!r}")
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Base class for per-engine typed option sets.
+
+    Each engine registers a frozen subclass on its :class:`EngineSpec`;
+    :func:`build_engine` routes every ``config`` argument through
+    :meth:`coerce`, so dict input (CLI flags, stored run manifests)
+    keeps working while unknown keys and mistyped values fail with the
+    same typed errors regardless of how the options arrived.  Field
+    types are declared as string codes in ``_FIELD_TYPES`` (see
+    :func:`_type_ok`); subclasses override :meth:`validate` for
+    cross-field and choice constraints.
+    """
+
+    #: field name -> type code; subclasses must cover every field
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {}
+
+    @classmethod
+    def coerce(cls, engine: str, config: Any) -> "EngineOptions":
+        """Build validated options from None, a mapping, or an instance."""
+        if config is None:
+            options = cls()
+        elif isinstance(config, cls):
+            options = config
+        elif isinstance(config, EngineOptions):
+            raise ReproError(
+                f"engine {engine!r} takes {cls.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        elif isinstance(config, Mapping):
+            mapping = dict(config)
+            known = {f.name for f in dataclass_fields(cls)}
+            unknown = sorted(set(mapping) - known)
+            if unknown:
+                raise ReproError(
+                    f"engine {engine!r} does not accept option(s) "
+                    f"{', '.join(unknown)}"
+                )
+            options = cls(**mapping)
+        else:
+            raise ReproError(
+                f"engine {engine!r} options must be a mapping or "
+                f"{cls.__name__}, got {type(config).__name__}"
+            )
+        options._check_types(engine)
+        options.validate(engine)
+        return options
+
+    def _check_types(self, engine: str) -> None:
+        for spec in dataclass_fields(self):
+            code = self._FIELD_TYPES[spec.name]
+            value = getattr(self, spec.name)
+            if not _type_ok(code, value):
+                raise ReproError(
+                    f"engine {engine!r} option {spec.name!r} should be "
+                    f"{code}, got {type(value).__name__} ({value!r})"
+                )
+
+    def validate(self, engine: str) -> None:
+        """Cross-field / choice constraints; subclasses override."""
+
+    def to_json(self) -> Dict[str, Any]:
+        """The resolved options as JSON-safe key/value pairs."""
+        return {
+            spec.name: _json_safe(getattr(self, spec.name))
+            for spec in dataclass_fields(self)
+        }
+
+
+@dataclass(frozen=True)
+class FunctionalOptions(EngineOptions):
+    num_bins: int = 64
+    block_size: int = 128
+    track_lookahead: bool = False
+    global_threshold: Optional[float] = None
+    max_rounds: int = 100_000
+    scheduling: str = "round-robin"
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {
+        "num_bins": "int",
+        "block_size": "int",
+        "track_lookahead": "bool",
+        "global_threshold": "float?",
+        "max_rounds": "int",
+        "scheduling": "str",
+    }
+
+
+@dataclass(frozen=True)
+class CycleOptions(EngineOptions):
+    #: an AcceleratorConfig, or None for the paper's defaults
+    config: Any = None
+    global_threshold: Optional[float] = None
+    max_rounds: int = 10_000
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {
+        "config": "any?",
+        "global_threshold": "float?",
+        "max_rounds": "int",
+    }
+
+
+@dataclass(frozen=True)
+class SlicedOptions(EngineOptions):
+    num_slices: int = 1
+    queue_capacity: Optional[int] = None
+    auto_slice: bool = True
+    partition_fn: Callable = contiguous_partition
+    dispatch: str = "barrier"
+    num_bins: int = 64
+    block_size: int = 128
+    max_passes: int = 10_000
+    rounds_per_activation: Optional[int] = None
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {
+        "num_slices": "int",
+        "queue_capacity": "int?",
+        "auto_slice": "bool",
+        "partition_fn": "callable",
+        "dispatch": "str",
+        "num_bins": "int",
+        "block_size": "int",
+        "max_passes": "int",
+        "rounds_per_activation": "int?",
+    }
+
+    def validate(self, engine: str) -> None:
+        from .slicing import DISPATCH_MODES
+
+        if self.dispatch not in DISPATCH_MODES:
+            raise ReproError(
+                f"engine {engine!r} option 'dispatch' must be one of "
+                f"{', '.join(DISPATCH_MODES)}; got {self.dispatch!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SlicedMpOptions(SlicedOptions):
+    num_workers: int = 2
+    lease_dir: Optional[Any] = None
+    lease_timeout: Optional[float] = None
+    max_recoveries: int = 8
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {
+        **SlicedOptions._FIELD_TYPES,
+        "num_workers": "int",
+        "lease_dir": "path?",
+        "lease_timeout": "float?",
+        "max_recoveries": "int",
+    }
+
+    def validate(self, engine: str) -> None:
+        super().validate(engine)
+        if self.num_workers < 1:
+            raise ReproError(
+                f"engine {engine!r} option 'num_workers' must be >= 1, "
+                f"got {self.num_workers}"
+            )
+
+
+@dataclass(frozen=True)
+class SlicedHostsOptions(EngineOptions):
+    """Options of the cross-host engine.  Its step schedule is
+    inherently chained (step ``k`` is slice ``k % N`` of pass
+    ``k // N``, claimed one at a time over the shared substrate), so
+    there is deliberately no ``dispatch`` field here — comparisons
+    against the in-process engines pin those to ``dispatch="chained"``.
+    """
+
+    hosts_dir: Optional[Any] = None
+    host_id: Optional[str] = None
+    num_slices: int = 1
+    queue_capacity: Optional[int] = None
+    auto_slice: bool = True
+    partition_fn: Callable = contiguous_partition
+    lease_timeout: Optional[float] = None
+    poll_interval: float = 0.05
+    num_bins: int = 64
+    block_size: int = 128
+    max_passes: int = 10_000
+    rounds_per_activation: Optional[int] = None
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {
+        "hosts_dir": "path?",
+        "host_id": "str?",
+        "num_slices": "int",
+        "queue_capacity": "int?",
+        "auto_slice": "bool",
+        "partition_fn": "callable",
+        "lease_timeout": "float?",
+        "poll_interval": "float",
+        "num_bins": "int",
+        "block_size": "int",
+        "max_passes": "int",
+        "rounds_per_activation": "int?",
+    }
+
+
+@dataclass(frozen=True)
+class ParallelSlicedOptions(EngineOptions):
+    num_slices: int = 2
+    partition_fn: Callable = contiguous_partition
+    num_bins: int = 64
+    block_size: int = 128
+    max_super_rounds: int = 100_000
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {
+        "num_slices": "int",
+        "partition_fn": "callable",
+        "num_bins": "int",
+        "block_size": "int",
+        "max_super_rounds": "int",
+    }
+
+
+@dataclass(frozen=True)
+class BspOptions(EngineOptions):
+    max_iterations: int = 100_000
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {"max_iterations": "int"}
+
+
+@dataclass(frozen=True)
+class LigraOptions(EngineOptions):
+    cpu_config: Any = None
+    random_footprint_bytes: Optional[int] = None
+    max_iterations: int = 100_000
+
+    _FIELD_TYPES: ClassVar[Dict[str, str]] = {
+        "cpu_config": "any?",
+        "random_footprint_bytes": "int?",
+        "max_iterations": "int",
+    }
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -285,6 +618,9 @@ class EngineSpec:
     resilient: bool = False
     resumable: bool = False
     description: str = ""
+    #: the engine's typed option dataclass; ``build_engine`` coerces
+    #: every ``config`` argument through ``options.coerce``
+    options: Type[EngineOptions] = EngineOptions
 
 
 _REGISTRY: Dict[str, EngineSpec] = {}
@@ -298,6 +634,7 @@ def register_engine(
     resilient: bool = False,
     resumable: bool = False,
     description: str = "",
+    options: Type[EngineOptions] = EngineOptions,
 ) -> None:
     """Add an engine to the registry (last registration wins)."""
     _REGISTRY[name] = EngineSpec(
@@ -307,6 +644,7 @@ def register_engine(
         resilient=resilient,
         resumable=resumable,
         description=description,
+        options=options,
     )
 
 
@@ -340,9 +678,11 @@ class EngineHandle:
         name: str,
         runner: Any,
         summarize: Callable[[Any], RunResult],
+        options: Optional[EngineOptions] = None,
     ):
         self.name = name
         self.runner = runner
+        self.options = options
         self._summarize = summarize
 
     def restore(self, restored: Any) -> None:
@@ -352,6 +692,7 @@ class EngineHandle:
     def run(self) -> RunResult:
         result = self._summarize(self.runner.run())
         result.trace = obs_trace.ACTIVE
+        result.options = self.options
         return result
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -361,15 +702,17 @@ class EngineHandle:
 def build_engine(
     name: str,
     workload: Tuple[Any, Any],
-    config: Optional[Dict[str, Any]] = None,
+    config: Optional[Any] = None,
     *,
     resilience: Optional[Any] = None,
     timeseries: Optional[Any] = None,
 ) -> EngineHandle:
     """Construct a registered engine (the single construction path).
 
-    ``workload`` is ``(graph, spec)``; ``config`` maps engine option
-    names to values and is validated strictly.  ``resilience`` is a
+    ``workload`` is ``(graph, spec)``; ``config`` is the engine's
+    :class:`EngineOptions` instance or a mapping coerced into one
+    (unknown keys and mistyped values raise
+    :class:`repro.errors.ReproError`).  ``resilience`` is a
     :class:`repro.resilience.ResilienceConfig` and is refused by
     engines not registered as resilient.
     """
@@ -380,16 +723,11 @@ def build_engine(
             f"engine {name!r} does not support resilience; choose one of: "
             f"{', '.join(resilient_engine_names())}"
         )
-    options = dict(config or {})
+    options = entry.options.coerce(name, config)
     runner = entry.build(
         graph, spec, options, resilience=resilience, timeseries=timeseries
     )
-    if options:
-        raise ReproError(
-            f"engine {name!r} does not accept option(s) "
-            f"{', '.join(sorted(options))}"
-        )
-    return EngineHandle(name, runner, entry.summarize)
+    return EngineHandle(name, runner, entry.summarize, options)
 
 
 # ----------------------------------------------------------------------
@@ -397,28 +735,20 @@ def build_engine(
 # ----------------------------------------------------------------------
 
 
-def _take(options: Dict[str, Any], **defaults: Any) -> Dict[str, Any]:
-    """Pop the engine's known options, leaving unknowns for the caller
-    check in :func:`build_engine` to reject."""
-    return {
-        key: options.pop(key, default) for key, default in defaults.items()
-    }
-
-
 def _build_functional(graph, spec, options, *, resilience, timeseries):
     from .functional import FunctionalGraphPulse
 
-    kwargs = _take(
-        options,
-        num_bins=64,
-        block_size=128,
-        track_lookahead=False,
-        global_threshold=None,
-        max_rounds=100_000,
-        scheduling="round-robin",
-    )
     return FunctionalGraphPulse(
-        graph, spec, timeseries=timeseries, resilience=resilience, **kwargs
+        graph,
+        spec,
+        timeseries=timeseries,
+        resilience=resilience,
+        num_bins=options.num_bins,
+        block_size=options.block_size,
+        track_lookahead=options.track_lookahead,
+        global_threshold=options.global_threshold,
+        max_rounds=options.max_rounds,
+        scheduling=options.scheduling,
     )
 
 
@@ -442,17 +772,14 @@ def _summarize_functional(result) -> RunResult:
 def _build_cycle(graph, spec, options, *, resilience, timeseries):
     from .accelerator import GraphPulseAccelerator
 
-    kwargs = _take(
-        options, config=None, global_threshold=None, max_rounds=10_000
-    )
-    config = kwargs.pop("config")
     return GraphPulseAccelerator(
         graph,
         spec,
-        config,
+        options.config,
         timeseries=timeseries,
         resilience=resilience,
-        **kwargs,
+        global_threshold=options.global_threshold,
+        max_rounds=options.max_rounds,
     )
 
 
@@ -487,20 +814,22 @@ def _sliced_stats(result) -> Dict[str, Any]:
 
 
 def _build_sliced(graph, spec, options, *, resilience, timeseries):
-    from .slicing import build_sliced, contiguous_partition
+    from .slicing import build_sliced
 
-    kwargs = _take(
-        options,
-        num_slices=1,
-        queue_capacity=None,
-        auto_slice=True,
-        partition_fn=contiguous_partition,
-        num_bins=64,
-        block_size=128,
-        max_passes=10_000,
-        rounds_per_activation=None,
+    return build_sliced(
+        graph,
+        spec,
+        resilience=resilience,
+        num_slices=options.num_slices,
+        queue_capacity=options.queue_capacity,
+        auto_slice=options.auto_slice,
+        partition_fn=options.partition_fn,
+        dispatch=options.dispatch,
+        num_bins=options.num_bins,
+        block_size=options.block_size,
+        max_passes=options.max_passes,
+        rounds_per_activation=options.rounds_per_activation,
     )
-    return build_sliced(graph, spec, resilience=resilience, **kwargs)
 
 
 def _summarize_sliced(result) -> RunResult:
@@ -517,37 +846,36 @@ def _summarize_sliced(result) -> RunResult:
 
 
 def _build_sliced_mp(graph, spec, options, *, resilience, timeseries):
+    from ..resilience.lease import DEFAULT_LEASE_TIMEOUT
     from .mpsliced import MultiprocessSlicedGraphPulse
-    from .slicing import contiguous_partition, resolve_partition
+    from .slicing import resolve_partition
 
-    kwargs = _take(
-        options,
-        num_slices=1,
-        queue_capacity=None,
-        auto_slice=True,
-        partition_fn=contiguous_partition,
-        num_workers=2,
-        lease_dir=None,
-        lease_timeout=None,
-        max_recoveries=8,
-        num_bins=64,
-        block_size=128,
-        max_passes=10_000,
-        rounds_per_activation=None,
-    )
     partition = resolve_partition(
         graph,
-        num_slices=kwargs.pop("num_slices"),
-        queue_capacity=kwargs["queue_capacity"],
-        auto_slice=kwargs.pop("auto_slice"),
-        partition_fn=kwargs.pop("partition_fn"),
+        num_slices=options.num_slices,
+        queue_capacity=options.queue_capacity,
+        auto_slice=options.auto_slice,
+        partition_fn=options.partition_fn,
     )
-    if kwargs["lease_timeout"] is None:
-        from ..resilience.lease import DEFAULT_LEASE_TIMEOUT
-
-        kwargs["lease_timeout"] = DEFAULT_LEASE_TIMEOUT
+    lease_timeout = (
+        DEFAULT_LEASE_TIMEOUT
+        if options.lease_timeout is None
+        else options.lease_timeout
+    )
     return MultiprocessSlicedGraphPulse(
-        partition, spec, resilience=resilience, **kwargs
+        partition,
+        spec,
+        resilience=resilience,
+        num_workers=options.num_workers,
+        lease_dir=options.lease_dir,
+        lease_timeout=lease_timeout,
+        max_recoveries=options.max_recoveries,
+        dispatch=options.dispatch,
+        queue_capacity=options.queue_capacity,
+        num_bins=options.num_bins,
+        block_size=options.block_size,
+        max_passes=options.max_passes,
+        rounds_per_activation=options.rounds_per_activation,
     )
 
 
@@ -557,36 +885,33 @@ def _summarize_sliced_mp(result) -> RunResult:
     summary.stats["workers"] = result.num_workers
     summary.stats["recoveries"] = result.recoveries
     summary.stats["worker_stats"] = [dict(w) for w in result.worker_stats]
+    summary.stats["max_inflight"] = result.max_inflight
     return summary
 
 
 def _build_sliced_hosts(graph, spec, options, *, resilience, timeseries):
     from .hostsliced import HostSlicedGraphPulse
-    from .slicing import contiguous_partition, resolve_partition
+    from .slicing import resolve_partition
 
-    kwargs = _take(
-        options,
-        hosts_dir=None,
-        host_id=None,
-        num_slices=1,
-        queue_capacity=None,
-        auto_slice=True,
-        partition_fn=contiguous_partition,
-        lease_timeout=None,
-        poll_interval=0.05,
-        num_bins=64,
-        block_size=128,
-        max_passes=10_000,
-        rounds_per_activation=None,
-    )
     partition = resolve_partition(
         graph,
-        num_slices=kwargs.pop("num_slices"),
-        queue_capacity=kwargs.pop("queue_capacity"),
-        auto_slice=kwargs.pop("auto_slice"),
-        partition_fn=kwargs.pop("partition_fn"),
+        num_slices=options.num_slices,
+        queue_capacity=options.queue_capacity,
+        auto_slice=options.auto_slice,
+        partition_fn=options.partition_fn,
     )
-    return HostSlicedGraphPulse(partition, spec, **kwargs)
+    return HostSlicedGraphPulse(
+        partition,
+        spec,
+        hosts_dir=options.hosts_dir,
+        host_id=options.host_id,
+        lease_timeout=options.lease_timeout,
+        poll_interval=options.poll_interval,
+        num_bins=options.num_bins,
+        block_size=options.block_size,
+        max_passes=options.max_passes,
+        rounds_per_activation=options.rounds_per_activation,
+    )
 
 
 def _summarize_sliced_hosts(result) -> RunResult:
@@ -609,26 +934,20 @@ def _summarize_sliced_hosts(result) -> RunResult:
 
 
 def _build_parallel_sliced(graph, spec, options, *, resilience, timeseries):
-    from .slicing import (
-        ParallelSlicedGraphPulse,
-        contiguous_partition,
-        resolve_partition,
-    )
+    from .slicing import ParallelSlicedGraphPulse, resolve_partition
 
-    kwargs = _take(
-        options,
-        num_slices=2,
-        partition_fn=contiguous_partition,
-        num_bins=64,
-        block_size=128,
-        max_super_rounds=100_000,
-    )
     partition = resolve_partition(
         graph,
-        num_slices=kwargs.pop("num_slices"),
-        partition_fn=kwargs.pop("partition_fn"),
+        num_slices=options.num_slices,
+        partition_fn=options.partition_fn,
     )
-    return ParallelSlicedGraphPulse(partition, spec, **kwargs)
+    return ParallelSlicedGraphPulse(
+        partition,
+        spec,
+        num_bins=options.num_bins,
+        block_size=options.block_size,
+        max_super_rounds=options.max_super_rounds,
+    )
 
 
 def _summarize_parallel_sliced(result) -> RunResult:
@@ -649,8 +968,9 @@ def _summarize_parallel_sliced(result) -> RunResult:
 def _build_bsp(graph, spec, options, *, resilience, timeseries):
     from ..baselines import SynchronousDeltaEngine
 
-    kwargs = _take(options, max_iterations=100_000)
-    return SynchronousDeltaEngine(graph, spec, **kwargs)
+    return SynchronousDeltaEngine(
+        graph, spec, max_iterations=options.max_iterations
+    )
 
 
 def _summarize_bsp(result) -> RunResult:
@@ -668,13 +988,13 @@ def _summarize_bsp(result) -> RunResult:
 def _build_ligra(graph, spec, options, *, resilience, timeseries):
     from ..baselines import LigraEngine
 
-    kwargs = _take(
-        options,
-        cpu_config=None,
-        random_footprint_bytes=None,
-        max_iterations=100_000,
+    return LigraEngine(
+        graph,
+        spec,
+        cpu_config=options.cpu_config,
+        random_footprint_bytes=options.random_footprint_bytes,
+        max_iterations=options.max_iterations,
     )
-    return LigraEngine(graph, spec, **kwargs)
 
 
 def _summarize_ligra(result) -> RunResult:
@@ -699,6 +1019,7 @@ register_engine(
     resilient=True,
     resumable=True,
     description="event-model functional engine (coalescing queue)",
+    options=FunctionalOptions,
 )
 register_engine(
     "cycle",
@@ -707,6 +1028,7 @@ register_engine(
     resilient=True,
     resumable=True,
     description="cycle-level accelerator model",
+    options=CycleOptions,
 )
 register_engine(
     "sliced",
@@ -715,6 +1037,7 @@ register_engine(
     resilient=True,
     resumable=True,
     description="sequential large-graph slicing runtime (Sec IV-F)",
+    options=SlicedOptions,
 )
 register_engine(
     "sliced-mp",
@@ -722,7 +1045,9 @@ register_engine(
     _summarize_sliced_mp,
     resilient=True,
     resumable=True,
-    description="multi-process sliced workers with per-slice leases",
+    description="concurrent multi-process sliced workers with "
+    "per-slice leases",
+    options=SlicedMpOptions,
 )
 # sliced-hosts is deliberately neither resilient nor resumable: the
 # shared hosts directory *is* its durable substrate — every step
@@ -735,6 +1060,7 @@ register_engine(
     _build_sliced_hosts,
     _summarize_sliced_hosts,
     description="cross-host sliced supervisors over a shared substrate dir",
+    options=SlicedHostsOptions,
 )
 # parallel-sliced is deliberately neither resilient nor resumable: the
 # model never threads a ResilienceHarness (no fault sites, no rollback
@@ -750,16 +1076,19 @@ register_engine(
     _build_parallel_sliced,
     _summarize_parallel_sliced,
     description="multi-accelerator super-round model (Sec IV-F, option b)",
+    options=ParallelSlicedOptions,
 )
 register_engine(
     "bsp",
     _build_bsp,
     _summarize_bsp,
     description="synchronous delta baseline (BSP)",
+    options=BspOptions,
 )
 register_engine(
     "ligra",
     _build_ligra,
     _summarize_ligra,
     description="direction-optimizing CPU baseline (Ligra model)",
+    options=LigraOptions,
 )

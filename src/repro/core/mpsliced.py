@@ -1,4 +1,5 @@
-"""Multi-process sliced execution with per-slice leases (crash isolation).
+"""Multi-process sliced execution: concurrent slice dispatch with
+per-slice leases (crash isolation *and* wall-clock parallelism).
 
 ``SlicedGraphPulse`` drains slices one at a time inside a single
 process; a stray segfault or OOM kill anywhere loses the whole run.
@@ -13,14 +14,25 @@ Workers are stateless between activations.  For each activation the
 supervisor ships the slice's **state shard** (the vertex values of that
 slice only) plus its inbound spill events; the worker drains the slice
 with :func:`repro.core.slicing.run_slice_activation` and ships back the
-updated shard together with the **ordered outbound spill stream**.  The
-supervisor replays that stream through the same coalesce-and-journal
-path the sequential engine uses, so spill buffers, journal bytes and
-final vertex state are bit-identical to a sequential run.  Dispatch is
-sequential in slice order — intra-pass chaining (slice ``k`` sees
-spills from slices ``< k`` of the same pass) is part of the sequential
-schedule, so what the process boundary buys is *crash isolation*, not
-wall-clock speedup.
+updated shard together with the **ordered outbound spill stream**.
+
+Under the default ``dispatch="barrier"`` schedule the pass's active set
+is fixed at the pass boundary, which makes the slices of one pass
+data-independent (each activation touches only its own shard) — so the
+supervisor dispatches **all of them concurrently**, one outstanding
+activation per worker, multiplexing replies with
+:func:`multiprocessing.connection.wait`.  At the pass barrier it merges
+the buffered outbound streams in deterministic **(slice-id,
+emission-index)** order (:func:`repro.core.slicing.merge_outbound_streams`)
+and replays them through the same coalesce-and-journal path the
+sequential engine uses, so spill buffers, journal bytes and final
+vertex state are bit-identical to sequential ``dispatch="barrier"``
+execution no matter how the activations interleaved in wall time.
+
+``dispatch="chained"`` keeps the historical Gauss-Seidel schedule
+(slice ``k`` sees same-pass spills from slices ``< k``); it is
+inherently serial, so there the process boundary buys crash isolation
+only.
 
 Crash recovery
 --------------
@@ -39,8 +51,10 @@ and then:
    adopts the replayed buffers after cross-checking them bit-for-bit
    against the snapshot;
 4. breaks the stale lease, re-leases the dead worker's slices to a
-   fresh process (chaos hooks disabled, epoch bumped), and retries the
-   pass from slice 0.
+   fresh process (chaos hooks disabled, epoch bumped), drains any
+   in-flight results surviving workers still owe from the aborted
+   attempt (a per-attempt fence token makes them safe to discard), and
+   retries the pass from slice 0.
 
 The run completes without restarting, and the final values are
 bit-identical to ``SlicedGraphPulse`` — asserted by the tests and the
@@ -63,6 +77,7 @@ import signal
 import tempfile
 import threading
 from dataclasses import dataclass, field, fields as dataclass_fields
+from multiprocessing import connection as mp_connection
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -84,6 +99,7 @@ from .slicing import (
     SliceActivation,
     SlicedGraphPulse,
     SlicedResult,
+    merge_outbound_streams,
     run_slice_activation,
 )
 
@@ -115,16 +131,30 @@ class MultiprocessSlicedResult(SlicedResult):
     #: of barrier wait, kept off the wall clock for determinism),
     #: ``journal_replays`` and ``lease_recoveries``
     worker_stats: List[Dict[str, int]] = field(default_factory=list)
+    #: peak number of simultaneously outstanding activations in any
+    #: committed pass — ≥ 2 proves slices genuinely ran concurrently
+    #: (deterministic: the initial burst is one activation per worker
+    #: with work, so this equals the busiest pass's active worker count)
+    max_inflight: int = 0
 
 
 class _WorkerDied(Exception):
     """Internal: a worker process stopped responding mid-pass."""
 
-    def __init__(self, worker_id: int, slice_index: int, reason: str):
+    def __init__(
+        self,
+        worker_id: int,
+        slice_index: int,
+        reason: str,
+        stragglers: Tuple[int, ...] = (),
+    ):
         super().__init__(reason)
         self.worker_id = worker_id
         self.slice_index = slice_index
         self.reason = reason
+        #: surviving workers that still owe a result from the aborted
+        #: attempt; recovery must drain them before the retry sends
+        self.stragglers = stragglers
 
 
 @dataclass
@@ -212,7 +242,15 @@ def _worker_main(
             message = conn.recv()
             if message[0] == "stop":
                 break
-            (_, task_epoch, pass_index, slice_index, shard, inbound) = message
+            (
+                _,
+                task_epoch,
+                attempt,
+                pass_index,
+                slice_index,
+                shard,
+                inbound,
+            ) = message
             if chaos is not None and chaos == (slice_index, pass_index):
                 os.kill(os.getpid(), signal.SIGKILL)
             vertices = partition.slices[slice_index].vertices
@@ -236,6 +274,7 @@ def _worker_main(
                 (
                     "result",
                     task_epoch,
+                    attempt,
                     pass_index,
                     slice_index,
                     state[vertices].copy(),
@@ -276,7 +315,10 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         ----------
         num_workers:
             Worker process count; slice ``s`` is owned by worker
-            ``s % num_workers``.  Clamped to the slice count.
+            ``s % num_workers``.  Must not exceed the slice count —
+            a worker with no slices would idle for the whole run, so
+            that is a configuration error, not something to clamp
+            silently.
         lease_dir:
             Where lease files live.  Defaults to the durable run
             directory when checkpointing is on, else a scratch
@@ -290,9 +332,17 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         super().__init__(partition, spec, **kwargs)
         if num_workers < 1:
             raise ReproError(f"num_workers must be >= 1, got {num_workers}")
-        self.num_workers = min(int(num_workers), partition.num_slices)
+        if int(num_workers) > partition.num_slices:
+            raise ReproError(
+                f"num_workers ({int(num_workers)}) exceeds the slice "
+                f"count ({partition.num_slices}); every worker needs at "
+                f"least one slice to own — lower --workers or raise "
+                f"--num-slices"
+            )
+        self.num_workers = int(num_workers)
         self.lease_timeout = float(lease_timeout)
         self.max_recoveries = int(max_recoveries)
+        self._attempt = 0
         self._lease_dir = None if lease_dir is None else Path(lease_dir)
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         self._epoch = 0
@@ -404,7 +454,13 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         traffic: TrafficCounters,
         spill: List[Dict[int, Event]],
     ) -> SliceActivation:
-        """Run one activation on the owning worker; apply its results."""
+        """Run one activation on the owning worker; apply its results.
+
+        The sequential path of the ``chained`` schedule: one activation
+        outstanding in the whole fleet, results applied inline so the
+        next slice sees them (the ``barrier`` schedule goes through
+        :meth:`_run_pass_concurrent` instead).
+        """
         worker_id = slice_index % self.num_workers
         handle = workers[worker_id]
         vertices = self.partition.slices[slice_index].vertices
@@ -413,6 +469,7 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                 (
                     "activate",
                     handle.epoch,
+                    self._attempt,
                     pass_index,
                     slice_index,
                     state[vertices].copy(),
@@ -437,6 +494,7 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         (
             _,
             epoch,
+            reply_attempt,
             reply_pass,
             reply_slice,
             shard,
@@ -446,14 +504,16 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
             spilled,
             traffic_delta,
         ) = message
-        if (epoch, reply_pass, reply_slice) != (
+        if (epoch, reply_attempt, reply_pass, reply_slice) != (
             handle.epoch,
+            self._attempt,
             pass_index,
             slice_index,
         ):
             raise UnrecoverableFaultError(
                 f"worker {worker_id} replied out of order "
-                f"(epoch {epoch}, pass {reply_pass}, slice {reply_slice})",
+                f"(epoch {epoch}, attempt {reply_attempt}, "
+                f"pass {reply_pass}, slice {reply_slice})",
                 worker=worker_id,
             )
         state[vertices] = shard
@@ -496,6 +556,243 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
             events_spilled=spilled,
             rounds=rounds,
         )
+
+    def _run_pass_concurrent(
+        self,
+        workers: List[Optional[_WorkerHandle]],
+        pass_index: int,
+        batch: List[Tuple[int, List[Event]]],
+        state: np.ndarray,
+    ) -> Tuple[Dict[int, tuple], int]:
+        """Dispatch one barrier pass's activations across all workers.
+
+        Every slice in ``batch`` (the pass-start active set) is queued
+        on its owning worker; each worker holds **at most one
+        outstanding activation** — the next is sent only after its
+        result arrives, so a send never targets a busy worker and the
+        pipe pair cannot fill in both directions at once.  Replies are
+        multiplexed with :func:`multiprocessing.connection.wait`, so
+        workers genuinely run their slices simultaneously.
+
+        Nothing is applied here: results are buffered and returned as
+        ``{slice_index: (worker_id, shard, outbound, processed, rounds,
+        spilled, traffic_delta)}`` for the caller to merge at the
+        barrier in deterministic slice order.  ``state`` is only *read*
+        (pass-start shards), which is safe because barrier slices are
+        disjoint and data-independent.
+
+        Also returns the peak outstanding-activation count.  Results
+        carrying a stale attempt token (stragglers of an aborted pass
+        retry) are discarded without unblocking the slot — the real
+        result follows on the same pipe.
+        """
+        queues: List[List[Tuple[int, List[Event]]]] = [
+            [] for _ in range(self.num_workers)
+        ]
+        for slice_index, inbound in batch:
+            queues[slice_index % self.num_workers].append(
+                (slice_index, inbound)
+            )
+        attempt = self._attempt
+        #: conn -> (worker_id, expected slice)
+        outstanding: Dict[object, Tuple[int, int]] = {}
+        results: Dict[int, tuple] = {}
+        max_inflight = 0
+
+        def straggler_ids(dead_worker: int) -> Tuple[int, ...]:
+            return tuple(
+                sorted(
+                    wid
+                    for wid, _ in outstanding.values()
+                    if wid != dead_worker
+                )
+            )
+
+        def send_next(worker_id: int) -> None:
+            nonlocal max_inflight
+            if not queues[worker_id]:
+                return
+            slice_index, inbound = queues[worker_id].pop(0)
+            handle = workers[worker_id]
+            vertices = self.partition.slices[slice_index].vertices
+            try:
+                handle.conn.send(
+                    (
+                        "activate",
+                        handle.epoch,
+                        attempt,
+                        pass_index,
+                        slice_index,
+                        state[vertices].copy(),
+                        inbound,
+                    )
+                )
+            except Exception as exc:
+                handle.process.join(timeout=5.0)
+                if not handle.process.is_alive():
+                    raise _WorkerDied(
+                        worker_id,
+                        slice_index,
+                        repr(exc),
+                        stragglers=straggler_ids(worker_id),
+                    ) from None
+                raise
+            outstanding[handle.conn] = (worker_id, slice_index)
+            max_inflight = max(max_inflight, len(outstanding))
+
+        for worker_id in range(self.num_workers):
+            send_next(worker_id)
+        while outstanding:
+            for conn in mp_connection.wait(list(outstanding)):
+                worker_id, expected_slice = outstanding[conn]
+                handle = workers[worker_id]
+                try:
+                    message = conn.recv()
+                except Exception as exc:
+                    handle.process.join(timeout=5.0)
+                    if not handle.process.is_alive():
+                        del outstanding[conn]
+                        raise _WorkerDied(
+                            worker_id,
+                            expected_slice,
+                            repr(exc),
+                            stragglers=straggler_ids(worker_id),
+                        ) from None
+                    raise
+                if message[0] != "result":
+                    raise UnrecoverableFaultError(
+                        f"worker {worker_id} sent unexpected "
+                        f"{message[0]!r}",
+                        worker=worker_id,
+                    )
+                (
+                    _,
+                    epoch,
+                    reply_attempt,
+                    reply_pass,
+                    reply_slice,
+                    shard,
+                    outbound,
+                    processed,
+                    rounds,
+                    spilled,
+                    traffic_delta,
+                ) = message
+                if reply_attempt != attempt:
+                    continue  # straggler of an aborted attempt
+                if (epoch, reply_pass, reply_slice) != (
+                    handle.epoch,
+                    pass_index,
+                    expected_slice,
+                ):
+                    raise UnrecoverableFaultError(
+                        f"worker {worker_id} replied out of order "
+                        f"(epoch {epoch}, attempt {reply_attempt}, "
+                        f"pass {reply_pass}, slice {reply_slice})",
+                        worker=worker_id,
+                    )
+                del outstanding[conn]
+                results[reply_slice] = (
+                    worker_id,
+                    shard,
+                    outbound,
+                    processed,
+                    rounds,
+                    spilled,
+                    traffic_delta,
+                )
+                send_next(worker_id)
+        return results, max_inflight
+
+    def _run_pass_barrier(
+        self,
+        workers: List[Optional[_WorkerHandle]],
+        pass_index: int,
+        state: np.ndarray,
+        traffic: TrafficCounters,
+        spill: List[Dict[int, Event]],
+        activations: List[SliceActivation],
+        pending: List[List[int]],
+    ) -> Tuple[int, int, int]:
+        """One barrier pass: concurrent dispatch, deterministic merge.
+
+        Captures the pass-start active set, runs every activation
+        concurrently (:meth:`_run_pass_concurrent`), then — at the
+        barrier, in slice order — applies the returned shards, merges
+        traffic, and replays the outbound streams in (slice-id,
+        emission-index) order (:func:`merge_outbound_streams`) through
+        the exact coalesce-and-journal path the sequential engine uses.
+        Returns ``(pass_inflight, spill_bytes_read,
+        spill_bytes_written)``; telemetry deltas go into ``pending``
+        for the caller to commit only if the pass succeeds.
+        """
+        batch = self._collect_pass_inbound(spill)
+        results, pass_inflight = self._run_pass_concurrent(
+            workers, pass_index, batch, state
+        )
+        partition = self.partition
+        streams: List[Tuple[int, List[Tuple[int, Event]]]] = []
+        spill_read = 0
+        spill_written = 0
+        for slice_index, inbound in batch:
+            (
+                worker_id,
+                shard,
+                outbound,
+                processed,
+                rounds,
+                spilled,
+                traffic_delta,
+            ) = results[slice_index]
+            vertices = partition.slices[slice_index].vertices
+            state[vertices] = shard
+            _merge_traffic(traffic, traffic_delta)
+            streams.append((slice_index, outbound))
+            spill_read += len(inbound) * _SPILL_EVENT_BYTES
+            spill_written += spilled * _SPILL_EVENT_BYTES
+            activations.append(
+                SliceActivation(
+                    pass_index=pass_index,
+                    slice_index=slice_index,
+                    events_in=len(inbound),
+                    events_processed=processed,
+                    events_spilled=spilled,
+                    rounds=rounds,
+                )
+            )
+            slot = pending[worker_id]
+            slot[0] += 1
+            slot[1] += processed
+            slot[2] += rounds
+            if obs_trace.ACTIVE is not None:
+                probe.slice_activation(
+                    slice_index,
+                    pass_index,
+                    events_in=len(inbound),
+                    events_processed=processed,
+                    events_spilled=spilled,
+                    rounds=rounds,
+                )
+                probe.worker_activation(
+                    worker_id,
+                    slice_index,
+                    pass_index,
+                    events_in=len(inbound),
+                    events_processed=processed,
+                    events_spilled=spilled,
+                    rounds=rounds,
+                    epoch=workers[worker_id].epoch,
+                )
+            if obs_metrics.ACTIVE is not None:
+                obs_metrics.ACTIVE.counter(
+                    "worker.events_drained", worker=worker_id
+                ).inc(processed)
+                obs_metrics.ACTIVE.counter(
+                    "worker.activations", worker=worker_id
+                ).inc()
+        for target, event in merge_outbound_streams(streams):
+            self._absorb_spill(spill, target, event)
+        return pass_inflight, spill_read, spill_written
 
     # -- recovery -------------------------------------------------------
     def _replayed_spill_from_journal(
@@ -545,18 +842,6 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         pass_index: int,
     ) -> None:
         """Re-lease a dead worker's slices and rewind to the pass start."""
-        self.recoveries += 1
-        if self.recoveries > self.max_recoveries:
-            raise UnrecoverableFaultError(
-                f"worker death budget exhausted "
-                f"({self.max_recoveries} recoveries)",
-                worker=death.worker_id,
-                slice=death.slice_index,
-            )
-        handle = workers[death.worker_id]
-        handle.process.join(timeout=10.0)
-        handle.conn.close()
-
         # 1. roll back to the pass-start snapshot
         state[:] = snapshot_state
         for i, snap in enumerate(snapshot_spill):
@@ -576,29 +861,116 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                 spill[i] = bucket
 
         telemetry = getattr(self, "_telemetry", None)
-        if telemetry is not None:
-            entry = telemetry[death.worker_id]
-            entry["lease_recoveries"] += 1
-            if replayed is not None:
-                entry["journal_replays"] += 1
+        if telemetry is not None and replayed is not None:
+            telemetry[death.worker_id]["journal_replays"] += 1
 
         # 4. break the stale leases and re-lease to a fresh worker
-        #    (chaos disabled: the replacement must not re-trigger)
+        self._respawn_worker(
+            death.worker_id,
+            death.slice_index,
+            workers,
+            ctx,
+            lease_dir,
+            options,
+            pass_index,
+        )
+
+        # 5. absorb whatever surviving workers still owe from the
+        #    aborted attempt so the retry starts with clean pipes
+        self._drain_stragglers(
+            death.stragglers, workers, ctx, lease_dir, options, pass_index
+        )
+
+    def _respawn_worker(
+        self,
+        worker_id: int,
+        slice_index: int,
+        workers: List[Optional[_WorkerHandle]],
+        ctx,
+        lease_dir: Path,
+        options: Dict[str, object],
+        pass_index: int,
+    ) -> None:
+        """Replace one dead worker: budget, lease break, epoch bump, spawn.
+
+        The replacement gets chaos hooks disabled so an injected kill
+        cannot re-trigger, and a bumped epoch so anything the dead
+        incarnation left behind is fenced off.
+        """
+        self.recoveries += 1
+        if self.recoveries > self.max_recoveries:
+            raise UnrecoverableFaultError(
+                f"worker death budget exhausted "
+                f"({self.max_recoveries} recoveries)",
+                worker=worker_id,
+                slice=slice_index,
+            )
+        handle = workers[worker_id]
+        handle.process.join(timeout=10.0)
+        handle.conn.close()
+        telemetry = getattr(self, "_telemetry", None)
+        if telemetry is not None:
+            telemetry[worker_id]["lease_recoveries"] += 1
         store = build_substrate().lease_store(lease_dir)
-        for slice_index in handle.owned:
-            store.break_stale(slice_index, timeout=self.lease_timeout)
+        for owned_slice in handle.owned:
+            store.break_stale(owned_slice, timeout=self.lease_timeout)
         self._epoch += 1
-        workers[death.worker_id] = self._spawn_worker(
-            ctx, death.worker_id, lease_dir, options, chaos=None
+        workers[worker_id] = self._spawn_worker(
+            ctx, worker_id, lease_dir, options, chaos=None
         )
         if obs_trace.ACTIVE is not None:
             probe.recovery_span(
                 "worker-relaunch",
                 float(pass_index),
                 float(pass_index),
-                worker=death.worker_id,
-                slice=death.slice_index,
+                worker=worker_id,
+                slice=slice_index,
                 epoch=self._epoch,
+            )
+
+    def _drain_stragglers(
+        self,
+        stragglers: Tuple[int, ...],
+        workers: List[Optional[_WorkerHandle]],
+        ctx,
+        lease_dir: Path,
+        options: Dict[str, object],
+        pass_index: int,
+    ) -> None:
+        """Absorb in-flight results survivors owe from an aborted pass.
+
+        A straggler may still be computing its activation when the pass
+        aborts; its result must be read before the retry sends it
+        anything, otherwise both directions of the pipe pair could fill
+        and deadlock.  The stale attempt token makes the drained result
+        safe to discard.  A straggler found dead here is respawned the
+        same way as the primary casualty — the one rollback already
+        restored pass-start state, so no further rewind is needed.
+        """
+        for worker_id in stragglers:
+            handle = workers[worker_id]
+            try:
+                if handle.conn.poll(timeout=60.0):
+                    handle.conn.recv()
+                    continue
+                reason = "timed out waiting for the in-flight result"
+            except (EOFError, OSError) as exc:
+                reason = repr(exc)
+            handle.process.join(timeout=10.0)
+            if handle.process.is_alive():
+                raise UnrecoverableFaultError(
+                    f"worker {worker_id} wedged after an aborted pass: "
+                    f"{reason}",
+                    worker=worker_id,
+                )
+            self._respawn_worker(
+                worker_id,
+                -1,
+                workers,
+                ctx,
+                lease_dir,
+                options,
+                pass_index,
             )
 
     def _check_replay_matches(
@@ -676,6 +1048,7 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
         self._telemetry = telemetry
 
         pass_index = self._start_pass
+        max_inflight = 0
         try:
             for worker_id in range(self.num_workers):
                 workers[worker_id] = self._spawn_worker(
@@ -692,35 +1065,67 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                     marks = (spill_read, spill_written, len(activations))
                     writes_before = traffic.vertex_writes
                     pass_processed = 0
+                    pass_inflight = 0
                     # [activations, events_drained, rounds] per worker
                     pending = [[0, 0, 0] for _ in range(self.num_workers)]
+                    # per-attempt fence: results stamped with an older
+                    # token are stragglers of an aborted retry
+                    self._attempt += 1
                     try:
-                        for slice_index in range(partition.num_slices):
-                            inbound = spill[slice_index]
-                            if not inbound:
-                                continue
-                            if self._journal is not None:
-                                self._journal.consume(slice_index)
-                            spill[slice_index] = {}
-                            spill_read += len(inbound) * _SPILL_EVENT_BYTES
-                            activation = self._dispatch(
+                        if self.dispatch == "barrier":
+                            (
+                                pass_inflight,
+                                pass_read,
+                                pass_written,
+                            ) = self._run_pass_barrier(
                                 workers,
                                 pass_index,
-                                slice_index,
-                                list(inbound.values()),
                                 state,
                                 traffic,
                                 spill,
+                                activations,
+                                pending,
                             )
-                            spill_written += (
-                                activation.events_spilled * _SPILL_EVENT_BYTES
+                            spill_read += pass_read
+                            spill_written += pass_written
+                            pass_processed = sum(
+                                slot[1] for slot in pending
                             )
-                            activations.append(activation)
-                            pass_processed += activation.events_processed
-                            slot = pending[slice_index % self.num_workers]
-                            slot[0] += 1
-                            slot[1] += activation.events_processed
-                            slot[2] += activation.rounds
+                        else:
+                            for slice_index in range(partition.num_slices):
+                                inbound = spill[slice_index]
+                                if not inbound:
+                                    continue
+                                if self._journal is not None:
+                                    self._journal.consume(slice_index)
+                                spill[slice_index] = {}
+                                spill_read += (
+                                    len(inbound) * _SPILL_EVENT_BYTES
+                                )
+                                activation = self._dispatch(
+                                    workers,
+                                    pass_index,
+                                    slice_index,
+                                    list(inbound.values()),
+                                    state,
+                                    traffic,
+                                    spill,
+                                )
+                                spill_written += (
+                                    activation.events_spilled
+                                    * _SPILL_EVENT_BYTES
+                                )
+                                activations.append(activation)
+                                pass_processed += (
+                                    activation.events_processed
+                                )
+                                pass_inflight = 1
+                                slot = pending[
+                                    slice_index % self.num_workers
+                                ]
+                                slot[0] += 1
+                                slot[1] += activation.events_processed
+                                slot[2] += activation.rounds
                     except _WorkerDied as death:
                         spill_read, spill_written = marks[0], marks[1]
                         del activations[marks[2] :]
@@ -739,6 +1144,7 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
                             pass_index,
                         )
                         continue  # retry the pass from slice 0
+                    max_inflight = max(max_inflight, pass_inflight)
                     pass_rounds = sum(slot[2] for slot in pending)
                     for worker_id, slot in enumerate(pending):
                         entry = telemetry[worker_id]
@@ -795,4 +1201,5 @@ class MultiprocessSlicedGraphPulse(SlicedGraphPulse):
             num_workers=self.num_workers,
             recoveries=self.recoveries,
             worker_stats=telemetry,
+            max_inflight=max_inflight,
         )

@@ -79,19 +79,30 @@ _ENGINE_OPTIONS: Dict[str, Dict[str, Any]] = {
 
 @dataclass(frozen=True)
 class BenchCell:
-    """One suite cell: an engine running one workload."""
+    """One suite cell: an engine running one workload.
+
+    ``variant`` distinguishes cells that differ only in engine options
+    (e.g. a worker sweep ``w1``/``w2``/``w4``); it suffixes the pairing
+    key so each variant regresses against its own baseline.  ``options``
+    is merged over the per-engine suite defaults at run time.
+    """
 
     engine: str
     algorithm: str
     dataset: str
     scale: float
+    variant: str = ""
+    options: Optional[Dict[str, Any]] = None
 
     @property
     def key(self) -> str:
         """Stable identity used to pair cells across artifacts."""
-        return (
+        key = (
             f"{self.engine}/{self.algorithm}/{self.dataset}@{self.scale:g}"
         )
+        if self.variant:
+            key += f"+{self.variant}"
+        return key
 
 
 def default_suite(
@@ -99,13 +110,43 @@ def default_suite(
     algorithms: Tuple[str, ...] = ("pagerank", "bfs"),
     dataset: str = "WG",
     scale: float = 0.05,
+    mp_workers: Tuple[int, ...] = (),
 ) -> List[BenchCell]:
-    """The engine × algorithm cross product at one dataset proxy."""
-    return [
-        BenchCell(engine=e, algorithm=a, dataset=dataset, scale=scale)
-        for e in engines
-        for a in algorithms
-    ]
+    """The engine × algorithm cross product at one dataset proxy.
+
+    ``mp_workers`` expands every ``sliced-mp`` entry into one cell per
+    worker count (variant ``wN``).  The sweep pins one slice count —
+    twice the largest worker count, so even the widest variant has
+    work to multiplex — and varies *only* ``num_workers``, which is
+    what makes the resulting events/sec curve a speedup-vs-workers
+    measurement (the EXPERIMENTS.md recipe).
+    """
+    cells: List[BenchCell] = []
+    for e in engines:
+        for a in algorithms:
+            if e == "sliced-mp" and mp_workers:
+                num_slices = 2 * max(mp_workers)
+                cells.extend(
+                    BenchCell(
+                        engine=e,
+                        algorithm=a,
+                        dataset=dataset,
+                        scale=scale,
+                        variant=f"w{n}",
+                        options={
+                            "num_slices": num_slices,
+                            "num_workers": n,
+                        },
+                    )
+                    for n in mp_workers
+                )
+            else:
+                cells.append(
+                    BenchCell(
+                        engine=e, algorithm=a, dataset=dataset, scale=scale
+                    )
+                )
+    return cells
 
 
 def host_fingerprint() -> str:
@@ -204,7 +245,9 @@ def run_cell(
         cell.dataset, cell.algorithm, scale=cell.scale
     )
     workload = (graph, spec)
-    options = _ENGINE_OPTIONS.get(cell.engine, {})
+    options = dict(_ENGINE_OPTIONS.get(cell.engine, {}))
+    if cell.options:
+        options.update(cell.options)
     for _ in range(warmup):
         _timed_run(cell, workload, options)
     seconds: List[float] = []
@@ -220,6 +263,10 @@ def run_cell(
         "algorithm": cell.algorithm,
         "dataset": cell.dataset,
         "scale": cell.scale,
+        # variant/options stay out of _REQUIRED_CELL_KEYS: artifacts
+        # written before the worker-sweep support remain valid baselines
+        "variant": cell.variant,
+        "options": options,
         "key": cell.key,
         "warmup": warmup,
         "repeats": repeats,

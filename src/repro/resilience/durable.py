@@ -835,6 +835,11 @@ def resume_run(
             "num_slices": int(stored_options.get("num_slices", 2)),
             "queue_capacity": stored_options.get("queue_capacity"),
             "auto_slice": bool(stored_options.get("auto_slice", True)),
+            # dispatch changes the float trajectory, so a resume must
+            # rebuild under the mode the run started with; an absent
+            # key means the run used the engine default ("barrier"),
+            # mirroring what build_engine would resolve
+            "dispatch": str(stored_options.get("dispatch", "barrier")),
         }
     if engine == "sliced-mp":
         options["num_workers"] = int(stored_options.get("num_workers", 2))

@@ -133,11 +133,17 @@ class ResilienceHarness:
         spec: AlgorithmSpec,
         graph: CSRGraph,
         engine: str,
+        residual_band: Optional[float] = None,
     ):
         self.config = config
         self.spec = spec
         self.graph = graph
         self.engine = engine
+        #: multiplier on the per-edge fault-free residual band; engines
+        #: whose schedule widens the quiescent tail (sliced dispatch
+        #: modes) pass their own factor, None keeps the engine-name
+        #: heuristic in _tolerances
+        self.residual_band = residual_band
         self.injector = FaultInjector(config.fault_plan)
         self.durable = None  #: DurableCheckpointManager when checkpoint_dir set
         self.journal = None  #: live spill-journal writer on durable sliced runs
@@ -468,12 +474,17 @@ class ResilienceHarness:
         if self._tolerance is None:
             in_degree = self.graph.in_degrees()
             per_edge = max(self.spec.residual_tolerance, 0.0)
-            # the sliced runtime re-drains each slice to quiescence every
-            # activation, so sub-threshold tails accumulate over more,
-            # smaller rounds than the single-queue engines; its fault-free
-            # residual band is correspondingly wider
-            if self.engine in ("sliced", "sliced-mp"):
-                per_edge *= 4.0
+            band = self.residual_band
+            if band is None:
+                # the sliced runtime re-drains each slice to quiescence
+                # every activation, so sub-threshold tails accumulate
+                # over more, smaller rounds than the single-queue
+                # engines; its fault-free residual band is
+                # correspondingly wider (sliced engines normally pass
+                # their dispatch-specific factor explicitly — this is
+                # the fallback for direct harness construction)
+                band = 4.0 if self.engine in ("sliced", "sliced-mp") else 1.0
+            per_edge *= band
             self._tolerance = np.maximum(
                 1e-12, per_edge * np.maximum(in_degree, 1)
             )

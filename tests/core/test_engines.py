@@ -15,7 +15,11 @@ import pytest
 from repro import algorithms
 from repro.core import (
     RUN_RESULT_SCHEMA,
+    RUN_RESULT_SCHEMA_VERSION,
+    BspOptions,
     RunResult,
+    SlicedMpOptions,
+    SlicedOptions,
     build_engine,
     engine_names,
     engine_spec,
@@ -142,12 +146,14 @@ class TestRunResultSchema:
 
     def test_validation_catches_extra_key(self):
         payload = {
+            "schema_version": RUN_RESULT_SCHEMA_VERSION,
             "engine": "bsp",
             "converged": True,
             "rounds": 3,
             "passes": None,
             "stats": {},
             "resilience": None,
+            "options": None,
             "surprise": 1,
         }
         with pytest.raises(ValueError, match="unexpected"):
@@ -155,14 +161,30 @@ class TestRunResultSchema:
 
     def test_validation_catches_wrong_type(self):
         payload = {
+            "schema_version": RUN_RESULT_SCHEMA_VERSION,
             "engine": "bsp",
             "converged": "yes",
             "rounds": 3,
             "passes": None,
             "stats": {},
             "resilience": None,
+            "options": None,
         }
         with pytest.raises(ValueError, match="converged"):
+            validate_run_result(payload)
+
+    def test_validation_catches_wrong_schema_version(self):
+        payload = {
+            "schema_version": RUN_RESULT_SCHEMA_VERSION + 1,
+            "engine": "bsp",
+            "converged": True,
+            "rounds": 3,
+            "passes": None,
+            "stats": {},
+            "resilience": None,
+            "options": None,
+        }
+        with pytest.raises(ValueError, match="schema_version"):
             validate_run_result(payload)
 
     @staticmethod
@@ -180,6 +202,7 @@ class TestRunResultSchema:
             for w in range(2)
         ]
         return {
+            "schema_version": RUN_RESULT_SCHEMA_VERSION,
             "engine": "sliced-mp",
             "converged": True,
             "rounds": 10,
@@ -190,9 +213,11 @@ class TestRunResultSchema:
                 "spill_overhead": 0.0,
                 "workers": 2,
                 "recoveries": 0,
+                "max_inflight": 2,
                 "worker_stats": worker_stats,
             },
             "resilience": None,
+            "options": None,
         }
 
     def test_sliced_mp_requires_worker_stats(self):
@@ -222,14 +247,85 @@ class TestRunResultSchema:
 
     def test_other_engines_do_not_require_worker_stats(self):
         payload = {
+            "schema_version": RUN_RESULT_SCHEMA_VERSION,
             "engine": "sliced",
             "converged": True,
             "rounds": 10,
             "passes": 4,
             "stats": {"events_processed": 20},
             "resilience": None,
+            "options": None,
         }
         validate_run_result(payload)
+
+
+class TestEngineOptions:
+    """The typed options API: coercion, validation, and the echo."""
+
+    def test_dict_input_is_coerced_and_echoed(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        handle = build_engine(
+            "sliced-mp", (graph, spec), {"num_slices": 3, "num_workers": 2}
+        )
+        assert isinstance(handle.options, SlicedMpOptions)
+        assert handle.options.num_slices == 3
+        assert handle.options.num_workers == 2
+        assert handle.options.dispatch == "barrier"
+        payload = handle.run().to_json()
+        validate_run_result(payload)
+        echoed = payload["options"]
+        assert echoed["num_workers"] == 2
+        assert echoed["dispatch"] == "barrier"
+        # callables echo by name, so the payload stays JSON-serializable
+        assert echoed["partition_fn"] == "contiguous_partition"
+        json.dumps(payload)
+
+    def test_typed_instance_accepted_directly(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        options = SlicedOptions(num_slices=3, dispatch="chained")
+        handle = build_engine("sliced", (graph, spec), options)
+        assert handle.options is options
+        from_dict = build_engine(
+            "sliced",
+            (graph, spec),
+            {"num_slices": 3, "dispatch": "chained"},
+        )
+        assert (
+            handle.run().values.tobytes()
+            == from_dict.run().values.tobytes()
+        )
+
+    def test_wrong_options_class_rejected(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with pytest.raises(ReproError, match="takes BspOptions"):
+            build_engine("bsp", (graph, spec), SlicedOptions(num_slices=2))
+
+    def test_wrong_field_type_rejected(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with pytest.raises(ReproError, match="should be int"):
+            build_engine(
+                "sliced-mp",
+                (graph, spec),
+                {"num_slices": 3, "num_workers": "two"},
+            )
+
+    def test_bad_dispatch_value_rejected(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        with pytest.raises(ReproError, match="dispatch"):
+            build_engine(
+                "sliced", (graph, spec), {"num_slices": 2, "dispatch": "zig"}
+            )
+
+    def test_defaults_resolve_without_config(self, graph):
+        spec = algorithms.make_pagerank_delta()
+        handle = build_engine("bsp", (graph, spec))
+        assert isinstance(handle.options, BspOptions)
+        assert handle.options.max_iterations == 100_000
+
+    def test_options_are_frozen(self):
+        options = SlicedOptions(num_slices=2)
+        with pytest.raises(AttributeError):
+            options.num_slices = 4
 
 
 class TestCrossEngineIdentity:
@@ -284,9 +380,12 @@ class TestCrossEngineIdentity:
         )
 
     def test_sliced_hosts_bit_identical_to_sliced(self, graph, tmp_path):
+        # sliced-hosts executes slices strictly in sequence (step k =
+        # slice k % N), so its reference is the *chained* order, not
+        # the barrier default
         spec = algorithms.make_pagerank_delta()
         sequential = build_engine(
-            "sliced", (graph, spec), {"num_slices": 3}
+            "sliced", (graph, spec), {"num_slices": 3, "dispatch": "chained"}
         ).run()
         hosted = build_engine(
             "sliced-hosts",

@@ -1,10 +1,12 @@
 """Tests for the multi-process sliced runtime (leases, crash recovery).
 
 The load-bearing property is *bit-identity with the sequential sliced
-engine* — with and without a worker being SIGKILLed mid-pass.  The
-supervisor dispatches slices in the same order the sequential engine
-drains them, so every float64 of the final state (and the pass/round/
-spill accounting) must match exactly.
+engine* — with and without a worker being SIGKILLed mid-pass, and for
+every worker count.  Under the default barrier dispatch all workers
+drain their slices concurrently within a pass and the supervisor merges
+the buffered outbound spills in deterministic (slice, emission) order,
+so every float64 of the final state (and the pass/round/spill
+accounting) must match the sequential engine exactly.
 """
 
 import os
@@ -57,18 +59,101 @@ class TestBitIdentity:
         mp = build_engine("sliced-mp", (g, spec), dict(WORKLOAD)).run()
         assert mp.values.tobytes() == sequential.values.tobytes()
 
-    def test_more_workers_than_slices_is_clamped(self, graph):
+    def test_more_workers_than_slices_is_rejected(self, graph):
+        # a typed error, never a silent clamp: every worker must own at
+        # least one slice or the extras idle while costing spawn time
         spec = algorithms.make_pagerank_delta()
+        with pytest.raises(ReproError, match="exceeds the slice count"):
+            build_engine(
+                "sliced-mp",
+                (graph, spec),
+                {"num_slices": 2, "num_workers": 16},
+            )
+
+
+class TestConcurrentDispatch:
+    """The tentpole oracle: concurrency must never show in the bits."""
+
+    ALGORITHM_SET = ("pagerank", "bfs", "cc", "sssp", "adsorption")
+
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        from repro.analysis import prepare_workload
+
+        return {
+            name: prepare_workload("WG", name, scale=0.03)
+            for name in self.ALGORITHM_SET
+        }
+
+    @pytest.mark.parametrize("algorithm", ALGORITHM_SET)
+    def test_worker_matrix_bit_identical(self, workloads, algorithm):
+        graph, spec = workloads[algorithm]
+        sequential = build_engine(
+            "sliced", (graph, spec), {"num_slices": 4}
+        ).run()
+        for workers in (1, 2, 4):
+            mp = build_engine(
+                "sliced-mp",
+                (graph, spec),
+                {"num_slices": 4, "num_workers": workers},
+            ).run()
+            label = (algorithm, workers)
+            assert (
+                mp.values.tobytes() == sequential.values.tobytes()
+            ), label
+            assert mp.passes == sequential.passes, label
+            assert mp.rounds == sequential.rounds, label
+            assert (
+                mp.stats["spill_bytes"] == sequential.stats["spill_bytes"]
+            ), label
+            assert 1 <= mp.stats["max_inflight"] <= workers, label
+
+    def test_workers_overlap_within_a_pass(self, workloads):
+        # the concurrency proof: the supervisor saw every worker holding
+        # an outstanding activation at once during some committed pass
+        # (the first pagerank pass activates all four seeded slices)
+        graph, spec = workloads["pagerank"]
         mp = build_engine(
             "sliced-mp",
             (graph, spec),
-            {"num_slices": 2, "num_workers": 16},
+            {"num_slices": 4, "num_workers": 4},
         ).run()
-        assert mp.stats["workers"] == 2
+        assert mp.stats["max_inflight"] == 4
+
+    def test_chained_dispatch_matches_chained_sequential(self, workloads):
+        # the pre-barrier order survives behind dispatch="chained", and
+        # chaining serializes the pass: never more than one in flight
+        graph, spec = workloads["pagerank"]
         sequential = build_engine(
-            "sliced", (graph, spec), {"num_slices": 2}
+            "sliced",
+            (graph, spec),
+            {"num_slices": 4, "dispatch": "chained"},
+        ).run()
+        mp = build_engine(
+            "sliced-mp",
+            (graph, spec),
+            {"num_slices": 4, "num_workers": 2, "dispatch": "chained"},
         ).run()
         assert mp.values.tobytes() == sequential.values.tobytes()
+        assert mp.passes == sequential.passes
+        assert mp.stats["max_inflight"] == 1
+
+    def test_dispatch_modes_reach_the_same_fixed_point(self, workloads):
+        # barrier and chained take different float trajectories to the
+        # same answer within tolerance — the documented semantic shift
+        graph, spec = workloads["pagerank"]
+        barrier = build_engine(
+            "sliced", (graph, spec), {"num_slices": 4}
+        ).run()
+        chained = build_engine(
+            "sliced",
+            (graph, spec),
+            {"num_slices": 4, "dispatch": "chained"},
+        ).run()
+        assert barrier.values.tobytes() != chained.values.tobytes()
+        np.testing.assert_allclose(
+            barrier.values, chained.values, rtol=1e-6, atol=1e-9
+        )
 
 
 class TestKillRecovery:
@@ -85,6 +170,27 @@ class TestKillRecovery:
         assert mp.passes == sequential.passes
         assert mp.rounds == sequential.rounds
         assert mp.stats["spill_bytes"] == sequential.stats["spill_bytes"]
+
+    def test_concurrent_pass_sigkill_recovers_bit_identically(
+        self, graph, monkeypatch
+    ):
+        # kill one of THREE live workers mid-pass: the supervisor must
+        # drain the survivors' stale results (straggler drain), roll
+        # back the pass snapshot, respawn, and still finish bit-equal
+        spec = algorithms.make_pagerank_delta()
+        sequential = _run_sequential(graph, spec)
+        monkeypatch.setenv(KILL_WORKER_ENV, "1:2")
+        mp = build_engine(
+            "sliced-mp",
+            (graph, spec),
+            {"num_slices": 3, "num_workers": 3},
+        ).run()
+        assert mp.stats["recoveries"] == 1
+        assert mp.stats["max_inflight"] >= 2
+        assert mp.raw.worker_stats[1]["lease_recoveries"] == 1
+        assert mp.values.tobytes() == sequential.values.tobytes()
+        assert mp.passes == sequential.passes
+        assert mp.rounds == sequential.rounds
 
     def test_kill_at_first_pass_first_slice(self, graph, monkeypatch):
         spec = algorithms.make_pagerank_delta()
