@@ -1,0 +1,76 @@
+"""Shared banned-call vocabulary for the determinism rules.
+
+The syntactic rules (DET-001/DET-002 in :mod:`.rules`) and the taint
+rule (DET-003 in :mod:`.flowrules`) classify the *same* sources — a
+wall-clock read is a wall-clock read whether it is flagged at the call
+site or chased through a helper chain.  Keeping one table here means a
+new banned entry point lands in both layers at once, and keeps the
+import graph acyclic (``rules`` imports ``flowrules`` to assemble the
+registry, so neither can own constants the other needs).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "WALL_CLOCK_CALLS",
+    "ENTROPY_EXACT",
+    "ENTROPY_PREFIXES",
+    "SEEDED_NUMPY_API",
+    "is_entropy_source",
+]
+
+#: wall-clock entry points banned in deterministic modules (DET-001/003)
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: constructors of the seeded Generator API — the sanctioned path
+SEEDED_NUMPY_API = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+ENTROPY_EXACT = frozenset({"os.urandom", "uuid.uuid4"})
+ENTROPY_PREFIXES = ("random.", "secrets.")
+
+
+def is_entropy_source(name: str, call: ast.Call) -> bool:
+    """Whether a resolved call name draws OS/global-state entropy.
+
+    Mirrors DET-002's classification: stdlib ``random``/``secrets``/
+    ``os.urandom``/``uuid4``, numpy's legacy global-state API, and
+    ``default_rng()`` called without a seed.
+    """
+    if name in ENTROPY_EXACT or name.startswith(ENTROPY_PREFIXES):
+        return True
+    if name.startswith("numpy.random."):
+        tail = name.rsplit(".", 1)[1]
+        if tail not in SEEDED_NUMPY_API:
+            return True
+        if tail == "default_rng" and not (call.args or call.keywords):
+            return True
+    return False

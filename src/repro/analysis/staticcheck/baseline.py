@@ -1,0 +1,97 @@
+"""Findings baseline — the ``repro lint --baseline`` ratchet.
+
+A new strict rule usually surfaces pre-existing findings nobody can
+sweep in the same change.  The ratchet lets it land anyway: write the
+current findings to a baseline file once, then lint against it —
+baselined findings are reported as informational while anything *new*
+still fails ``--strict``.  Shrinking the baseline over time is the
+ratchet's direction of travel; growing it requires a deliberate
+``--update-baseline`` run that shows up in review.
+
+Keys are ``rule|path|message`` (no line numbers), so unrelated edits
+that shift a finding a few lines do not break the build; each key
+carries a count, so adding a *second* identical violation in the same
+file still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from ...ioutil import atomic_write_text
+from .framework import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "finding_key",
+    "read_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """Stable identity of a finding across line drift."""
+    path = finding.path.replace("\\", "/")
+    return f"{finding.rule}|{path}|{finding.message}"
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> int:
+    """Persist the unsuppressed findings as the new baseline; returns
+    the number of distinct entries written."""
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        key = finding_key(finding)
+        entries[key] = entries.get(key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {key: entries[key] for key in sorted(entries)},
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+    return len(entries)
+
+
+def read_baseline(path: str) -> Dict[str, int]:
+    """Load a baseline file; raises ``ValueError`` on malformed input
+    (a corrupt baseline must fail the lint run, not blank-check it)."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"{path} is not a repro lint baseline")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} has baseline version {version!r}; this build "
+            f"reads version {BASELINE_VERSION}"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, dict) or not all(
+        isinstance(key, str) and isinstance(count, int) and count >= 0
+        for key, count in entries.items()
+    ):
+        raise ValueError(f"{path} has malformed baseline entries")
+    return dict(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, baselined)`` against the baseline.
+
+    Counts are consumed in finding order: a baseline entry with count
+    2 absolves the first two matching findings and the third fails.
+    """
+    remaining = dict(entries)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

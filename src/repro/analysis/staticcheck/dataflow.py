@@ -1,0 +1,525 @@
+"""Forward dataflow engines over the :mod:`.cfg` graphs.
+
+Two analyses power the flow-aware rules:
+
+:class:`TaintAnalysis`
+    A may-taint lattice (variable -> set of taint tags, union at joins)
+    with an orthogonal *must*-flag set (intersection at joins) for
+    sanitizer tracking — "this value derives from the wall clock on
+    some path" combined with "the epoch fence has run on every path".
+    Policies (:class:`TaintPolicy` subclasses) decide what calls
+    produce taint, what stores count as sinks, and what comparisons
+    count as sanitizers.
+
+:class:`ProtocolAnalysis`
+    A protocol-order automaton: the state is the set of *possible
+    event histories* (which publish stages may have already run on some
+    path to this point).  Rules declare an ordered stage list plus
+    checks — inversion (a later stage already ran when an earlier one
+    fires), must-precede (a prerequisite ran on *every* path), and
+    escape (a path leaves the function with a sequence started but not
+    completed).
+
+Both run the standard worklist-to-fixed-point loop to compute block
+entry states, then replay each block once in order, firing the policy
+callbacks with the exact state at each statement — so findings carry
+the state that proves them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .cfg import CFG, Block
+
+__all__ = [
+    "TaintPolicy",
+    "TaintState",
+    "TaintAnalysis",
+    "ProtocolSpec",
+    "ProtocolAnalysis",
+    "expr_names",
+]
+
+Tags = FrozenSet[Tuple[str, str]]
+EMPTY: Tags = frozenset()
+
+
+# ----------------------------------------------------------------------
+# Taint
+# ----------------------------------------------------------------------
+
+
+class TaintState:
+    """Immutable-by-convention map of variable taints + must-flags."""
+
+    __slots__ = ("vars", "flags")
+
+    def __init__(self, vars: Optional[Dict[str, Tags]] = None,
+                 flags: FrozenSet[str] = frozenset()):
+        self.vars: Dict[str, Tags] = vars or {}
+        self.flags = flags
+
+    def copy(self) -> "TaintState":
+        return TaintState(dict(self.vars), self.flags)
+
+    def get(self, name: str) -> Tags:
+        return self.vars.get(name, EMPTY)
+
+    def join(self, other: "TaintState") -> "TaintState":
+        vars: Dict[str, Tags] = dict(self.vars)
+        for name, tags in other.vars.items():
+            vars[name] = vars.get(name, EMPTY) | tags
+        return TaintState(vars, self.flags & other.flags)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TaintState)
+                and self.flags == other.flags
+                and self.vars == other.vars)
+
+    def __hash__(self) -> int:  # pragma: no cover - states live in dicts
+        raise TypeError("TaintState is unhashable")
+
+
+class TaintPolicy:
+    """Hooks a flow rule overrides to shape the taint analysis."""
+
+    def initial_state(self, fn: ast.AST) -> TaintState:
+        return TaintState()
+
+    def call_tags(self, node: ast.Call, arg_tags: Tags,
+                  state: TaintState) -> Tags:
+        """Taint tags of a call's return value (sources live here)."""
+        return EMPTY
+
+    def call_site(self, node: ast.Call, arg_tags: Tags,
+                  state: TaintState) -> None:
+        """Observation hook for every call (report pass only)."""
+
+    def store(self, target: ast.expr, tags: Tags, state: TaintState,
+              stmt: ast.stmt) -> None:
+        """Attribute/subscript store sink (report pass only)."""
+
+    def returned(self, node: ast.Return, tags: Tags,
+                 state: TaintState) -> None:
+        """Return-value hook (report pass only)."""
+
+    def sanitize(self, test: ast.expr, state: TaintState) -> TaintState:
+        """Rewrite the state after a branch/assert test evaluates."""
+        return state
+
+    def reset_on_call(self, node: ast.Call) -> bool:
+        """Whether this call invalidates accumulated must-flags."""
+        return False
+
+
+class TaintAnalysis:
+    """Run a :class:`TaintPolicy` over one function CFG."""
+
+    def __init__(self, cfg: CFG, fn: ast.AST, policy: TaintPolicy):
+        self.cfg = cfg
+        self.fn = fn
+        self.policy = policy
+        self._report = False
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, expr: Optional[ast.expr], state: TaintState) -> Tags:
+        if expr is None:
+            return EMPTY
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id)
+        if isinstance(expr, ast.Call):
+            arg_tags = EMPTY
+            for arg in expr.args:
+                arg_tags |= self.eval(
+                    arg.value if isinstance(arg, ast.Starred) else arg,
+                    state)
+            for kw in expr.keywords:
+                arg_tags |= self.eval(kw.value, state)
+            # the callee expression itself may be tainted (method on a
+            # tainted object keeps the taint: message[0].decode())
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                arg_tags |= self.eval(func.value, state)
+            tags = self.policy.call_tags(expr, arg_tags, state)
+            if self._report:
+                self.policy.call_site(expr, arg_tags, state)
+            if self.policy.reset_on_call(expr):
+                state.flags = frozenset()
+            return tags
+        if isinstance(expr, ast.Attribute):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.Subscript):
+            return self.eval(expr.value, state) | self.eval(
+                expr.slice, state)
+        if isinstance(expr, ast.BinOp):
+            return self.eval(expr.left, state) | self.eval(
+                expr.right, state)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand, state)
+        if isinstance(expr, ast.BoolOp):
+            tags = EMPTY
+            for value in expr.values:
+                tags |= self.eval(value, state)
+            return tags
+        if isinstance(expr, ast.Compare):
+            tags = self.eval(expr.left, state)
+            for comp in expr.comparators:
+                tags |= self.eval(comp, state)
+            return tags
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test, state)
+            return self.eval(expr.body, state) | self.eval(
+                expr.orelse, state)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            tags = EMPTY
+            for element in expr.elts:
+                tags |= self.eval(
+                    element.value if isinstance(element, ast.Starred)
+                    else element, state)
+            return tags
+        if isinstance(expr, ast.Dict):
+            tags = EMPTY
+            for key in expr.keys:
+                if key is not None:
+                    tags |= self.eval(key, state)
+            for value in expr.values:
+                tags |= self.eval(value, state)
+            return tags
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, state)
+        if isinstance(expr, ast.JoinedStr):
+            tags = EMPTY
+            for value in expr.values:
+                if isinstance(value, ast.FormattedValue):
+                    tags |= self.eval(value.value, state)
+            return tags
+        if isinstance(expr, ast.NamedExpr):
+            tags = self.eval(expr.value, state)
+            self.bind(expr.target, tags, state, stmt=None)
+            return tags
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            # conservative: the comprehension result carries the taint
+            # of every expression inside it
+            tags = EMPTY
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Name):
+                    tags |= state.get(node.id)
+            return tags
+        if isinstance(expr, ast.Await):
+            return self.eval(expr.value, state)
+        return EMPTY  # constants, lambdas, ellipsis
+
+    # -- binding -------------------------------------------------------
+    def bind(self, target: ast.expr, tags: Tags, state: TaintState,
+             stmt: Optional[ast.stmt], value: Optional[ast.expr] = None
+             ) -> None:
+        if isinstance(target, ast.Name):
+            state.vars[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = list(target.elts)
+            values: List[Optional[ast.expr]] = [None] * len(elements)
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                    value.elts) == len(elements) and not any(
+                    isinstance(e, ast.Starred) for e in elements):
+                values = list(value.elts)
+            for element, sub_value in zip(elements, values):
+                if isinstance(element, ast.Starred):
+                    element = element.value
+                sub_tags = (self.eval(sub_value, state)
+                            if sub_value is not None else tags)
+                self.bind(element, sub_tags, state, stmt, sub_value)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            if isinstance(target, ast.Subscript):
+                tags = tags | self.eval(target.slice, state)
+            if self._report and stmt is not None:
+                self.policy.store(target, tags, state, stmt)
+
+    # -- transfer ------------------------------------------------------
+    def transfer_stmt(self, stmt: ast.stmt, state: TaintState) -> None:
+        if isinstance(stmt, ast.Assign):
+            tags = self.eval(stmt.value, state)
+            for target in stmt.targets:
+                self.bind(target, tags, state, stmt, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                tags = self.eval(stmt.value, state)
+                self.bind(stmt.target, tags, state, stmt, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            tags = self.eval(stmt.value, state)
+            if isinstance(stmt.target, ast.Name):
+                state.vars[stmt.target.id] = (
+                    state.get(stmt.target.id) | tags)
+            else:
+                self.bind(stmt.target, tags | self.eval(stmt.target, state),
+                          state, stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, state)
+        elif isinstance(stmt, ast.Return):
+            tags = self.eval(stmt.value, state)
+            if self._report:
+                self.policy.returned(stmt, tags, state)
+        elif isinstance(stmt, ast.Raise):
+            self.eval(stmt.exc, state)
+            self.eval(stmt.cause, state)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, state)
+            new = self.policy.sanitize(stmt.test, state)
+            state.vars, state.flags = new.vars, new.flags
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            tags = self.eval(stmt.iter, state)
+            self.bind(stmt.target, tags, state, stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self.eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self.bind(item.optional_vars, tags, state, stmt)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                state.vars[stmt.name] = EMPTY
+        elif isinstance(stmt, ast.Match):
+            self.eval(stmt.subject, state)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.vars.pop(target.id, None)
+        # Pass/Import/Global/Nonlocal/def/class: no dataflow effect
+
+    def transfer_block(self, block: Block, state: TaintState
+                       ) -> TaintState:
+        state = state.copy()
+        for stmt in block.statements:
+            self.transfer_stmt(stmt, state)
+        if block.test is not None:
+            self.eval(block.test, state)
+            new = self.policy.sanitize(block.test, state)
+            state.vars, state.flags = new.vars, new.flags
+        return state
+
+    # -- driver --------------------------------------------------------
+    def run(self) -> Dict[int, TaintState]:
+        """Fixed-point block entry states, then a report replay."""
+        entry_states: Dict[int, TaintState] = {
+            self.cfg.entry.index: self.policy.initial_state(self.fn)
+        }
+        worklist: List[Block] = [self.cfg.entry]
+        iterations = 0
+        limit = 50 * max(1, len(self.cfg.blocks))
+        while worklist and iterations < limit:
+            iterations += 1
+            block = worklist.pop()
+            state = entry_states.get(block.index)
+            if state is None:
+                continue
+            out = self.transfer_block(block, state)
+            for succ in block.successors:
+                seen = entry_states.get(succ.index)
+                merged = out if seen is None else seen.join(out)
+                if seen is None or merged != seen:
+                    entry_states[succ.index] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        # report pass: replay each reachable block once, hooks armed
+        self._report = True
+        try:
+            for block in self.cfg.blocks:
+                state = entry_states.get(block.index)
+                if state is not None:
+                    self.transfer_block(block, state)
+        finally:
+            self._report = False
+        return entry_states
+
+
+# ----------------------------------------------------------------------
+# Protocol order
+# ----------------------------------------------------------------------
+
+
+class ProtocolSpec:
+    """One ordered publish protocol (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str,
+        stages: Tuple[str, ...],
+        classify: Callable[[ast.Call], Optional[str]],
+        *,
+        check_order: bool = True,
+        requires: Optional[Dict[str, Tuple[str, ...]]] = None,
+        check_escape: bool = False,
+    ):
+        self.name = name
+        self.stages = stages
+        self.rank = {stage: index for index, stage in enumerate(stages)}
+        self.classify = classify
+        self.check_order = check_order
+        self.requires = requires or {}
+        self.check_escape = check_escape
+
+
+History = FrozenSet[FrozenSet[str]]
+_START: History = frozenset({frozenset()})
+
+
+class ProtocolAnalysis:
+    """Evaluate one :class:`ProtocolSpec` over one function CFG.
+
+    Violations are ``(kind, node, detail)`` tuples with ``kind`` in
+    ``{"order", "requires", "escape"}``; ``node`` anchors the finding.
+    The final protocol stage *completes* a sequence and resets the
+    history, so loops that publish a full sequence per iteration do not
+    poison the next iteration through the back edge.
+    """
+
+    def __init__(self, cfg: CFG, fn: ast.AST, spec: ProtocolSpec):
+        self.cfg = cfg
+        self.fn = fn
+        self.spec = spec
+        self.violations: List[Tuple[str, ast.AST, str]] = []
+        self._report = False
+
+    # ------------------------------------------------------------------
+    def _iter_event_calls(self, stmt: ast.stmt) -> List[Tuple[ast.Call, str]]:
+        """Protocol events fired by this statement, in source order.
+
+        Marker statements (``for``/``with``/``match`` headers) only
+        evaluate their header expressions here — nested bodies live in
+        their own blocks.  Calls inside nested ``def``/``lambda`` run
+        later (or never) and are not events of *this* statement.
+        """
+        events: List[Tuple[ast.Call, str]] = []
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            roots: List[ast.AST] = [stmt.iter]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            roots = [item.context_expr for item in stmt.items]
+        elif isinstance(stmt, (ast.ExceptHandler,)):
+            roots = []
+        elif isinstance(stmt, ast.Match):
+            roots = [stmt.subject]
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            roots = []
+        else:
+            roots = [stmt]
+        skip: Set[int] = set()
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                    for inner in ast.walk(node):
+                        skip.add(id(inner))
+        for root in roots:
+            for node in ast.walk(root):
+                if id(node) in skip or not isinstance(node, ast.Call):
+                    continue
+                stage = self.spec.classify(node)
+                if stage is not None:
+                    events.append((node, stage))
+        events.sort(key=lambda pair: (pair[0].lineno, pair[0].col_offset))
+        return events
+
+    # ------------------------------------------------------------------
+    def _apply_event(self, history: History, call: ast.Call, stage: str
+                     ) -> History:
+        spec = self.spec
+        rank = spec.rank[stage]
+        if self._report:
+            if spec.check_order:
+                later = {
+                    other
+                    for possible in history
+                    for other in possible
+                    if spec.rank[other] > rank
+                }
+                if later:
+                    self.violations.append((
+                        "order", call,
+                        f"'{stage}' published after "
+                        f"'{sorted(later)[0]}' on some path "
+                        f"(required order: {' -> '.join(spec.stages)})",
+                    ))
+            for prerequisite in spec.requires.get(stage, ()):
+                if any(prerequisite not in possible
+                       for possible in history):
+                    self.violations.append((
+                        "requires", call,
+                        f"'{stage}' reached without '{prerequisite}' "
+                        f"on every path",
+                    ))
+        if rank == len(spec.stages) - 1:
+            return _START  # sequence completed; next one starts fresh
+        return frozenset(possible | {stage} for possible in history)
+
+    def _check_exit(self, history: History, node: ast.AST,
+                    where: str) -> None:
+        if not (self._report and self.spec.check_escape):
+            return
+        incomplete = [possible for possible in history if possible]
+        if incomplete:
+            started = sorted(incomplete[0])
+            final = self.spec.stages[-1]
+            self.violations.append((
+                "escape", node,
+                f"{where} leaves a partial publish sequence "
+                f"({'+'.join(started)} without '{final}')",
+            ))
+
+    def transfer_block(self, block: Block, history: History) -> History:
+        for stmt in block.statements:
+            for call, stage in self._iter_event_calls(stmt):
+                history = self._apply_event(history, call, stage)
+            if isinstance(stmt, ast.Return):
+                self._check_exit(history, stmt, "early return")
+            elif isinstance(stmt, ast.Raise) and id(stmt) in \
+                    self.cfg.escaping_raises:
+                self._check_exit(history, stmt, "unhandled raise")
+        return history
+
+    def run(self) -> List[Tuple[str, ast.AST, str]]:
+        entry: Dict[int, History] = {self.cfg.entry.index: _START}
+        worklist = [self.cfg.entry]
+        iterations = 0
+        limit = 50 * max(1, len(self.cfg.blocks))
+        while worklist and iterations < limit:
+            iterations += 1
+            block = worklist.pop()
+            history = entry.get(block.index)
+            if history is None:
+                continue
+            out = self.transfer_block(block, history)
+            for succ in block.successors:
+                seen = entry.get(succ.index)
+                merged = out if seen is None else (seen | out)
+                if seen is None or merged != seen:
+                    entry[succ.index] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        self._report = True
+        try:
+            for block in self.cfg.blocks:
+                history = entry.get(block.index)
+                if history is not None:
+                    out = self.transfer_block(block, history)
+                    if self.cfg.exit in block.successors and not any(
+                            isinstance(s, ast.Return)
+                            for s in block.statements):
+                        self._check_exit(out, self.fn, "fall-off exit")
+        finally:
+            self._report = False
+        return self.violations
+
+
+def expr_names(expr: ast.expr) -> Set[str]:
+    """Every identifier mentioned in an expression: plain names plus
+    attribute tails (``handle.epoch`` contributes ``handle`` and
+    ``epoch``) — what the fence-comparison sanitizer matches on."""
+    names: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names

@@ -26,8 +26,12 @@ Vocabulary
 
 Suppressions
 ------------
-A finding on line *N* is suppressed by ``# repro: allow(RULE-ID)`` on
-line *N* or line *N-1*.  Several ids may be listed
+A finding is suppressed by ``# repro: allow(RULE-ID)`` anywhere on the
+construct it anchors to: the finding line, the line before it, or —
+for findings on multi-line expressions and on ``def``/``class``
+headers — any line of that span (a decorated ``def``'s span runs from
+its first decorator through its signature; a multi-line call's span is
+the whole call expression).  Several ids may be listed
 (``allow(DET-001, DUR-001)``).  Suppressed findings are still
 reported — marked ``suppressed`` — but do not fail ``--strict``;
 the comment is expected to sit next to prose explaining *why* the
@@ -82,6 +86,10 @@ class Finding:
     message: str
     hint: str = ""
     suppressed: bool = False
+    #: line range an inline ``# repro: allow`` may sit on (defaults to
+    #: the finding line) — internal, not part of the JSON schema
+    span_start: Optional[int] = None
+    span_end: Optional[int] = None
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -133,9 +141,15 @@ class Suppressions:
     def allows(self, rule_id: str, line: int) -> bool:
         """Whether ``rule_id`` is suppressed at ``line`` (same or previous
         line; ``*`` matches every rule)."""
-        for candidate in (line, line - 1):
-            ids = self._by_line.get(candidate)
-            if ids and (rule_id in ids or "*" in ids):
+        return self.allows_span(rule_id, line, line)
+
+    def allows_span(self, rule_id: str, start: int, end: int) -> bool:
+        """Whether a directive sits anywhere on the construct spanning
+        ``start``..``end`` (or the line before it)."""
+        for candidate, ids in self._by_line.items():
+            if start - 1 <= candidate <= end and (
+                rule_id in ids or "*" in ids
+            ):
                 return True
         return False
 
@@ -215,6 +229,25 @@ def match_path(path: str, pattern: str) -> bool:
 # ----------------------------------------------------------------------
 
 
+def _suppression_span(node: ast.AST, line: int) -> Tuple[int, int]:
+    """Line range a ``# repro: allow`` may occupy for this node.
+
+    ``def``/``class`` anchors span from the first decorator through the
+    signature (the body's own lines are *not* included — a directive
+    inside the body belongs to findings there); other nodes span their
+    full source extent, so a directive on the closing line of a
+    multi-line call still attaches.
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        start = min(
+            [line] + [deco.lineno for deco in node.decorator_list]
+        )
+        end = node.body[0].lineno - 1 if node.body else line
+        return start, max(end, line)
+    end = getattr(node, "end_lineno", None) or line
+    return line, max(end, line)
+
+
 class Rule:
     """Base class of one lint invariant (subclasses override ``visit``).
 
@@ -240,6 +273,9 @@ class Rule:
     fixture_path: str = "repro/fixture.py"
     fixture_trigger: str = ""
     fixture_clean: str = ""
+    #: rules that resolve symbols across modules set this; the runner
+    #: then provides a shared :class:`.callgraph.ProjectContext`
+    needs_project: bool = False
 
     def applies_to(self, path: str) -> bool:
         if not any(match_path(path, pattern) for pattern in self.scope):
@@ -249,21 +285,29 @@ class Rule:
         )
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self,
+        tree: ast.Module,
+        path: str,
+        imports: Dict[str, str],
+        project: Optional[Any] = None,
     ) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(
         self, path: str, node: ast.AST, message: str
     ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        start, end = _suppression_span(node, line)
         return Finding(
             rule=self.id,
             severity=self.severity,
             path=path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             message=message,
             hint=self.hint,
+            span_start=start,
+            span_end=end,
         )
 
     def describe(self) -> Dict[str, Any]:
@@ -284,13 +328,19 @@ class Rule:
 
 
 def lint_source(
-    source: str, path: str, rules: Sequence[Rule]
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    project: Optional[Any] = None,
 ) -> List[Finding]:
     """Lint one source string as if it lived at ``path``.
 
     Unparseable files yield a single ``PARSE`` finding instead of
     raising — a file the linter cannot read is itself a CI failure,
-    not a crash.
+    not a crash.  Rules that need cross-module resolution receive
+    ``project`` (a :class:`.callgraph.ProjectContext`); when none is
+    supplied a single-file context is built on the fly, so standalone
+    snippets still get intra-module dataflow.
     """
     applicable = [rule for rule in rules if rule.applies_to(path)]
     if not applicable:
@@ -309,23 +359,33 @@ def lint_source(
                 hint="repro lint only checks files the compiler accepts",
             )
         ]
+    if project is None and any(rule.needs_project for rule in applicable):
+        from .callgraph import ProjectContext
+
+        project = ProjectContext.from_sources({path: source})
     suppressions = Suppressions(source)
     imports = build_import_map(tree)
     findings: List[Finding] = []
     for rule in applicable:
-        for finding in rule.visit(tree, path, imports):
-            finding.suppressed = suppressions.allows(
-                finding.rule, finding.line
+        for finding in rule.visit(tree, path, imports, project=project):
+            finding.suppressed = suppressions.allows_span(
+                finding.rule,
+                finding.span_start or finding.line,
+                finding.span_end or finding.line,
             )
             findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return findings
 
 
-def lint_file(path: str, rules: Sequence[Rule]) -> List[Finding]:
+def lint_file(
+    path: str,
+    rules: Sequence[Rule],
+    project: Optional[Any] = None,
+) -> List[Finding]:
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path, rules)
+    return lint_source(source, path, rules, project=project)
 
 
 def iter_python_files(paths: Iterable[str]) -> List[str]:
@@ -359,9 +419,20 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
 def lint_paths(
     paths: Iterable[str], rules: Sequence[Rule]
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; findings sorted stably."""
+    """Lint every ``.py`` file under ``paths``; findings sorted stably.
+
+    When any selected rule needs cross-module resolution, one shared
+    :class:`.callgraph.ProjectContext` is built over the whole file
+    set first, so helper chains resolve across files.
+    """
+    files = iter_python_files(paths)
+    project = None
+    if any(rule.needs_project for rule in rules):
+        from .callgraph import project_for_files
+
+        project = project_for_files(files)
     findings: List[Finding] = []
-    for name in iter_python_files(paths):
-        findings.extend(lint_file(name, rules))
+    for name in files:
+        findings.extend(lint_file(name, rules, project=project))
     findings.sort(key=Finding.sort_key)
     return findings

@@ -14,6 +14,11 @@ OBS-001   no bare ``print()`` outside the CLI (obs layer owns output)
 SUB-001   durable primitives are constructed only via the substrate
 ========  ============================================================
 
+The dataflow rules (DET-003, DUR-002, CONC-001, SUB-002) live in
+:mod:`.flowrules` — they run CFG/taint analysis instead of call-site
+pattern matching — and are appended to the same :data:`RULES`
+registry here.
+
 Scopes and allowlists live on the rule classes so ``repro lint
 --list-rules`` prints the full contract, exemption rationale included.
 """
@@ -21,8 +26,15 @@ Scopes and allowlists live on the rule classes so ``repro lint
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
+from .banned import (
+    ENTROPY_EXACT,
+    ENTROPY_PREFIXES,
+    SEEDED_NUMPY_API,
+    WALL_CLOCK_CALLS,
+)
+from .flowrules import FLOW_RULES
 from .framework import Finding, Rule, resolve_call_name
 
 __all__ = ["RULES", "RULES_BY_ID", "rule_ids", "select_rules"]
@@ -83,25 +95,11 @@ class WallClockRule(Rule):
         "    return engine.total_cycles\n"
     )
 
-    _BANNED = frozenset(
-        {
-            "time.time",
-            "time.time_ns",
-            "time.monotonic",
-            "time.monotonic_ns",
-            "time.perf_counter",
-            "time.perf_counter_ns",
-            "time.process_time",
-            "time.process_time_ns",
-            "datetime.datetime.now",
-            "datetime.datetime.utcnow",
-            "datetime.datetime.today",
-            "datetime.date.today",
-        }
-    )
+    _BANNED = WALL_CLOCK_CALLS
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
@@ -160,24 +158,13 @@ class UnseededRandomRule(Rule):
     )
 
     #: constructors of the seeded Generator API — the sanctioned path
-    _SEEDED_API = frozenset(
-        {
-            "default_rng",
-            "Generator",
-            "SeedSequence",
-            "BitGenerator",
-            "PCG64",
-            "PCG64DXSM",
-            "Philox",
-            "SFC64",
-            "MT19937",
-        }
-    )
-    _BANNED_EXACT = frozenset({"os.urandom", "uuid.uuid4"})
-    _BANNED_PREFIXES = ("random.", "secrets.")
+    _SEEDED_API = SEEDED_NUMPY_API
+    _BANNED_EXACT = ENTROPY_EXACT
+    _BANNED_PREFIXES = ENTROPY_PREFIXES
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
@@ -280,7 +267,8 @@ class RawWriteRule(Rule):
         )
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
@@ -374,7 +362,8 @@ class EngineRegistryRule(Rule):
     )
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         local_classes = {
             node.name
@@ -471,7 +460,8 @@ class SilentExceptRule(Rule):
         return True
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.ExceptHandler):
@@ -588,7 +578,8 @@ class UnboundedRetryRule(Rule):
         )
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.While):
@@ -669,7 +660,8 @@ class BarePrintRule(Rule):
     )
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
@@ -753,7 +745,8 @@ class SubstrateConstructionRule(Rule):
     _CONSTRUCTORS = frozenset({"acquire", "create", "open_append"})
 
     def visit(
-        self, tree: ast.Module, path: str, imports: Dict[str, str]
+        self, tree: ast.Module, path: str, imports: Dict[str, str],
+        project: Optional[object] = None,
     ) -> Iterator[Finding]:
         # the defining modules construct their own classes (cls(...)
         # aside, e.g. alternate constructors calling each other by name)
@@ -790,7 +783,8 @@ class SubstrateConstructionRule(Rule):
                     )
 
 
-#: the registry, in stable reporting order
+#: the registry, in stable reporting order — the syntactic set first,
+#: then the dataflow set from :mod:`.flowrules`
 RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     UnseededRandomRule(),
@@ -800,7 +794,7 @@ RULES: Tuple[Rule, ...] = (
     SilentExceptRule(),
     UnboundedRetryRule(),
     SubstrateConstructionRule(),
-)
+) + FLOW_RULES
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
 

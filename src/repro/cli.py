@@ -566,6 +566,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the structured finding schema (stdout when FILE "
         "omitted)",
     )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="ratchet mode: findings recorded in FILE are reported as "
+        "informational and only new findings fail --strict",
+    )
+    lint_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings "
+        "instead of checking against it",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="finding output format; 'github' emits ::error workflow "
+        "annotations for new findings",
+    )
 
     resume_parser = subparsers.add_parser(
         "resume",
@@ -1250,6 +1270,34 @@ def _lint_paths(args: argparse.Namespace) -> List[str]:
     return [os.path.dirname(os.path.abspath(__file__))]
 
 
+def _github_annotation(finding) -> str:
+    """Render a finding as a GitHub Actions ``::error`` workflow command
+    (annotates the offending line directly in the PR diff view)."""
+
+    def prop(value: str) -> str:
+        # Property values terminate on "," and ":"; data only on "%"
+        # and newlines.  Escaping rules come from the workflow-command
+        # spec, not from us.
+        return (
+            value.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A")
+            .replace(":", "%3A")
+            .replace(",", "%2C")
+        )
+
+    message = (
+        finding.message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    return (
+        f"::error file={prop(finding.path)},line={finding.line},"
+        f"col={finding.col},title={prop('repro-lint ' + finding.rule)}"
+        f"::{message}"
+    )
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     from .analysis.staticcheck import lint_paths, run_selfcheck
 
@@ -1303,6 +1351,13 @@ def _command_lint(args: argparse.Namespace) -> int:
             )
         return 1 if failures else 0
 
+    if args.update_baseline and not args.baseline:
+        raise ReproError("--update-baseline requires --baseline FILE")
+    if args.format == "github" and json_to_stdout:
+        raise ReproError(
+            "--format github owns stdout; write --json to a file instead"
+        )
+
     paths = _lint_paths(args)
     findings = lint_paths(paths, rules)
     unsuppressed = [f for f in findings if not f.suppressed]
@@ -1310,36 +1365,83 @@ def _command_lint(args: argparse.Namespace) -> int:
     for finding in unsuppressed:
         by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
 
-    for finding in findings:
-        say(finding.format())
-        if finding.hint and not finding.suppressed:
-            say(f"    hint: {finding.hint}")
+    failing = list(unsuppressed)
+    baselined: List[object] = []
+    baseline_json = None
+    if args.baseline:
+        from .analysis.staticcheck.baseline import (
+            apply_baseline,
+            read_baseline,
+            write_baseline,
+        )
+
+        if args.update_baseline:
+            entry_count = write_baseline(unsuppressed, args.baseline)
+            baselined, failing = list(unsuppressed), []
+            say(
+                f"lint: baseline rewritten: {args.baseline} "
+                f"({entry_count} entries)"
+            )
+        else:
+            try:
+                entries = read_baseline(args.baseline)
+            except (OSError, ValueError) as exc:
+                raise ReproError(
+                    f"cannot read lint baseline: {exc}"
+                ) from None
+            entry_count = len(entries)
+            failing, baselined = apply_baseline(unsuppressed, entries)
+        baseline_json = {
+            "file": args.baseline,
+            "updated": bool(args.update_baseline),
+            "entries": entry_count,
+            "baselined": len(baselined),
+            "new": len(failing),
+        }
+    baselined_ids = {id(f) for f in baselined}
+
+    if args.format == "github":
+        for finding in failing:
+            print(_github_annotation(finding))
+    else:
+        for finding in findings:
+            tag = "  [baseline]" if id(finding) in baselined_ids else ""
+            say(finding.format() + tag)
+            if (
+                finding.hint
+                and not finding.suppressed
+                and id(finding) not in baselined_ids
+            ):
+                say(f"    hint: {finding.hint}")
     say(
         f"lint: {len(unsuppressed)} finding(s), "
         f"{len(findings) - len(unsuppressed)} suppressed "
         f"({', '.join(rule.id for rule in rules)})"
     )
+    if args.baseline and not args.update_baseline:
+        say(
+            f"lint: baseline {args.baseline}: {len(baselined)} "
+            f"baselined, {len(failing)} new"
+        )
 
     if args.json is not None:
-        _write_json(
-            {
-                "lint": {
-                    "paths": paths,
-                    "rules": [rule.id for rule in rules],
-                    "strict": bool(args.strict),
-                    "findings": [f.to_json() for f in findings],
-                    "counts": {
-                        "total": len(findings),
-                        "unsuppressed": len(unsuppressed),
-                        "suppressed": len(findings) - len(unsuppressed),
-                        "by_rule": by_rule,
-                    },
-                    "ok": not unsuppressed,
-                }
+        lint_json = {
+            "paths": paths,
+            "rules": [rule.id for rule in rules],
+            "strict": bool(args.strict),
+            "findings": [f.to_json() for f in findings],
+            "counts": {
+                "total": len(findings),
+                "unsuppressed": len(unsuppressed),
+                "suppressed": len(findings) - len(unsuppressed),
+                "by_rule": by_rule,
             },
-            args.json,
-        )
-    return 1 if args.strict and unsuppressed else 0
+            "ok": not failing,
+        }
+        if baseline_json is not None:
+            lint_json["baseline"] = baseline_json
+        _write_json({"lint": lint_json}, args.json)
+    return 1 if args.strict and failing else 0
 
 
 def _command_resume(args: argparse.Namespace) -> int:

@@ -254,6 +254,10 @@ def _worker_main(
             if chaos is not None and chaos == (slice_index, pass_index):
                 os.kill(os.getpid(), signal.SIGKILL)
             vertices = partition.slices[slice_index].vertices
+            # ``state`` is worker-private scratch that never leaves
+            # this process; the (epoch, attempt) token rides the
+            # message and is fence-checked by the supervisor when the
+            # result returns  # repro: allow(CONC-001)
             state[vertices] = shard
             traffic = TrafficCounters()
             outbound: List[Tuple[int, Event]] = []

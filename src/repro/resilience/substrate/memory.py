@@ -250,6 +250,9 @@ class MemoryLeaseStore(LeaseStore):
         now = time.monotonic()
         seen = cache.get(key)
         if seen is None or seen[0] != info.heartbeat:
+            # the (heartbeat, first-seen) observation cache IS the
+            # staleness bookkeeping — operational lease state, never
+            # replayed  # repro: allow(DET-003)
             cache[key] = (info.heartbeat, now)
             return False
         return (now - seen[1]) > timeout

@@ -174,6 +174,10 @@ class TestFramework:
             "RES-001",
             "RES-002",
             "SUB-001",
+            "DET-003",
+            "DUR-002",
+            "CONC-001",
+            "SUB-002",
         )
 
 
